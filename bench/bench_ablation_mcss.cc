@@ -1,0 +1,164 @@
+// Ablations for the design choices called out in DESIGN.md section 5:
+//   1. MCSS push strategy (sampled vs exact, fanout sweep): accuracy/time.
+//   2. Row storage vs regeneration: memory/time trade-off.
+//   3. Dangling-node policy sensitivity.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/indexer.h"
+#include "core/queries.h"
+#include "eval/dense.h"
+#include "graph/generators.h"
+
+using namespace cloudwalker;
+
+int main() {
+  bench::PrintHeader("bench_ablation_mcss",
+                     "Ablations: MCSS push strategy, row mode, dangling "
+                     "policy (DESIGN.md section 5)");
+  ThreadPool pool;
+  const PaperDatasetInstance ds = MakePaperDataset(
+      PaperDataset::kWikiTalk, 2015, bench::BenchScale(), &pool);
+  std::cout << "Dataset: " << ds.name << " stand-in, |V|="
+            << HumanCount(ds.graph.num_nodes())
+            << " |E|=" << HumanCount(ds.graph.num_edges()) << "\n\n";
+
+  auto idx =
+      BuildDiagonalIndex(ds.graph, bench::PaperIndexingOptions(), &pool);
+  if (!idx.ok()) {
+    std::cout << "indexing failed: " << idx.status().ToString() << "\n";
+    return 1;
+  }
+
+  // --- Ablation 1: push strategy. Reference = exact push (no pruning). ---
+  {
+    const NodeId q = 1;
+    QueryOptions ref_opts = bench::PaperQueryOptions();
+    ref_opts.push = PushStrategy::kExact;
+    WallTimer ref_timer;
+    const SparseVector ref = SingleSourceQuery(ds.graph, *idx, q, ref_opts);
+    const double ref_secs = ref_timer.Seconds();
+    const std::vector<double> ref_dense =
+        ToDense(ref, ds.graph.num_nodes());
+
+    TablePrinter t({"strategy", "MCSS time", "mean |err| vs exact push",
+                    "push ops"});
+    t.AddRow({"exact push (ref)", HumanSeconds(ref_secs), "0", "-"});
+    for (uint32_t fanout : {1u, 2u, 4u, 8u}) {
+      QueryOptions qo = bench::PaperQueryOptions();
+      qo.push = PushStrategy::kSampled;
+      qo.push_fanout = fanout;
+      QueryStats stats;
+      WallTimer timer;
+      const SparseVector s =
+          SingleSourceQuery(ds.graph, *idx, q, qo, &stats);
+      const double secs = timer.Seconds();
+      double err = 0.0;
+      for (NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+        err += std::fabs(s.Get(v) - ref_dense[v]);
+      }
+      t.AddRow({"sampled, fanout=" + std::to_string(fanout),
+                HumanSeconds(secs),
+                FormatDouble(err / ds.graph.num_nodes(), 6),
+                HumanCount(stats.push_ops)});
+    }
+    std::cout << "Ablation 1 — MCSS push strategy:\n";
+    t.RenderText(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- Ablation 1b: MCSP estimator (DESIGN.md 5.3). -----------------------
+  {
+    // Spread of each estimator across seeds at equal walk cost.
+    const NodeId i = 1, j = 2;
+    double emp_sum = 0, emp_sq = 0, pair_sum = 0, pair_sq = 0;
+    const int reps = 12;
+    WallTimer emp_timer;
+    for (int r = 0; r < reps; ++r) {
+      QueryOptions qo = bench::PaperQueryOptions();
+      qo.seed = 7000 + r;
+      const double e = SinglePairQuery(ds.graph, *idx, i, j, qo);
+      emp_sum += e;
+      emp_sq += e * e;
+    }
+    const double emp_secs = emp_timer.Seconds() / reps;
+    WallTimer pair_timer;
+    for (int r = 0; r < reps; ++r) {
+      QueryOptions qo = bench::PaperQueryOptions();
+      qo.seed = 7000 + r;
+      const double p = SinglePairQueryPaired(ds.graph, *idx, i, j, qo);
+      pair_sum += p;
+      pair_sq += p * p;
+    }
+    const double pair_secs = pair_timer.Seconds() / reps;
+    auto stddev = [reps](double sum, double sq) {
+      const double mean = sum / reps;
+      return std::sqrt(std::max(0.0, sq / reps - mean * mean));
+    };
+    TablePrinter t({"estimator", "mean", "stddev (seeds)", "time/query"});
+    t.AddRow({"empirical distributions (default)",
+              FormatDouble(emp_sum / reps, 5),
+              FormatDouble(stddev(emp_sum, emp_sq), 5),
+              HumanSeconds(emp_secs)});
+    t.AddRow({"lockstep walker pairs (classic MC)",
+              FormatDouble(pair_sum / reps, 5),
+              FormatDouble(stddev(pair_sum, pair_sq), 5),
+              HumanSeconds(pair_secs)});
+    std::cout << "Ablation 1b — MCSP estimator (equal walk cost, R'=10000):"
+              << "\n";
+    t.RenderText(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- Ablation 2: row storage vs regeneration. ---
+  {
+    TablePrinter t({"row mode", "index time", "row memory", "walk steps"});
+    for (RowMode mode : {RowMode::kStoreRows, RowMode::kRegenerate}) {
+      IndexingOptions o = bench::PaperIndexingOptions();
+      o.row_mode = mode;
+      IndexingStats stats;
+      WallTimer timer;
+      auto built = BuildDiagonalIndex(ds.graph, o, &pool, &stats);
+      if (!built.ok()) continue;
+      const uint64_t row_bytes =
+          mode == RowMode::kStoreRows
+              ? stats.row_nonzeros * sizeof(SparseEntry)
+              : 0;
+      t.AddRow({mode == RowMode::kStoreRows ? "store rows" : "regenerate",
+                HumanSeconds(timer.Seconds()), HumanBytes(row_bytes),
+                HumanCount(stats.walk_steps)});
+    }
+    std::cout << "Ablation 2 — row storage vs regeneration (identical "
+                 "results, L+1x walk work vs O(n R T) memory):\n";
+    t.RenderText(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- Ablation 3: dangling-node policy. ---
+  {
+    TablePrinter t({"policy", "mean diag", "min diag"});
+    for (DanglingPolicy p :
+         {DanglingPolicy::kDie, DanglingPolicy::kSelfLoop}) {
+      IndexingOptions o = bench::PaperIndexingOptions();
+      o.dangling = p;
+      auto built = BuildDiagonalIndex(ds.graph, o, &pool);
+      if (!built.ok()) continue;
+      double sum = 0.0, mn = 1e9;
+      for (NodeId v = 0; v < ds.graph.num_nodes(); ++v) {
+        sum += (*built)[v];
+        mn = std::min(mn, (*built)[v]);
+      }
+      t.AddRow({p == DanglingPolicy::kDie ? "die (faithful P)" : "self-loop",
+                FormatDouble(sum / ds.graph.num_nodes(), 4),
+                FormatDouble(mn, 4)});
+    }
+    std::cout << "Ablation 3 — dangling-node policy sensitivity:\n";
+    t.RenderText(std::cout);
+  }
+  return 0;
+}

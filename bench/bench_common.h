@@ -1,0 +1,66 @@
+// Shared harness for the table/figure reproduction benchmarks.
+//
+// Every bench prints (a) a header identifying the paper artifact it
+// regenerates, (b) the default parameter table (the paper's Table of
+// parameters), and (c) its result table(s) via TablePrinter, so
+// bench_output.txt diffs cleanly against EXPERIMENTS.md.
+//
+// Environment knobs:
+//   CW_BENCH_SCALE  — dataset scale factor in (0, 1], default 0.5.
+//   CW_BENCH_QUICK  — set to 1 for a fast smoke run (scale 0.05).
+
+#ifndef CLOUDWALKER_BENCH_BENCH_COMMON_H_
+#define CLOUDWALKER_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "cluster/sim_cluster.h"
+#include "common/threading.h"
+#include "core/options.h"
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace bench {
+
+/// Scale factor from CW_BENCH_SCALE / CW_BENCH_QUICK (default 0.5).
+double BenchScale();
+
+/// Prints the bench title, the paper artifact it reproduces, and the
+/// default parameter table (c, T, L, R, R').
+void PrintHeader(const std::string& title, const std::string& artifact);
+
+/// The paper's default parameters (Table 2): c=0.6, T=10, L=3, R=100.
+IndexingOptions PaperIndexingOptions();
+
+/// The paper's default query parameters: R'=10,000.
+QueryOptions PaperQueryOptions();
+
+/// Cost model calibrated to Spark's per-record processing rates rather
+/// than raw C++ kernel speed (JVM boxing, iterator chains and task
+/// serialization put Spark's effective walk-step cost near a microsecond
+/// per core — back-derived from the paper's wiki-vote/twitter D times).
+/// Used by the cluster-simulation benches so the compute component is
+/// visible at laptop-scale stand-in sizes.
+CostModel SparkCostModel();
+
+/// The paper's cluster: 10 workers x 16 cores. Worker memory is chosen
+/// *relative to the generated datasets* so that the largest stand-in
+/// (clue-web) exceeds one worker's memory while the second largest
+/// (uk-union) fits — reproducing the 377 GB RAM vs 401 GB clue-web
+/// relationship that makes Broadcasting infeasible on clue-web.
+ClusterConfig PaperClusterConfig(uint64_t uk_union_replica_bytes,
+                                 uint64_t clue_web_replica_bytes);
+
+/// All five paper datasets at the bench scale (generated in parallel on
+/// `pool`), with generation progress logged to stderr.
+std::vector<PaperDatasetInstance> MakeAllDatasets(ThreadPool* pool);
+
+/// Replica footprint the Broadcasting model needs per worker for `graph`.
+uint64_t ReplicaBytes(const Graph& graph);
+
+}  // namespace bench
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_BENCH_BENCH_COMMON_H_

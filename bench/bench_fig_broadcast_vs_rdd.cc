@@ -1,0 +1,70 @@
+// The paper's Broadcasting-vs-RDD figure: simulated indexing time for both
+// execution models as the graph grows, showing (a) Broadcasting is
+// consistently faster while it fits and (b) RDD keeps scaling past the
+// per-worker memory wall where Broadcasting turns N/A.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "core/distributed.h"
+#include "graph/generators.h"
+
+using namespace cloudwalker;
+
+int main() {
+  bench::PrintHeader(
+      "bench_fig_broadcast_vs_rdd",
+      "Figure: Broadcasting vs RDD (time and feasibility vs graph size)");
+  ThreadPool pool;
+  const double scale = bench::BenchScale();
+
+  // Fixed worker memory; graphs grow past it.
+  ClusterConfig cluster;
+  cluster.num_workers = 10;
+  cluster.cores_per_worker = 16;
+  cluster.worker_memory_bytes =
+      static_cast<uint64_t>(24.0 * (1 << 20) * scale);
+  const CostModel cost = bench::SparkCostModel();
+  std::cout << "Simulated cluster: 10 workers x 16 cores, "
+            << HumanBytes(cluster.worker_memory_bytes) << "/worker\n\n";
+
+  TablePrinter table({"|V|", "|E|", "replica", "Broadcast D", "RDD D",
+                      "RDD/Broadcast"});
+  for (double f : {0.02, 0.05, 0.1, 0.2, 0.4, 0.8, 1.6}) {
+    const NodeId n = static_cast<NodeId>(100000 * f * scale) + 64;
+    const uint64_t m = static_cast<uint64_t>(n) * 20;
+    const Graph g = GenerateRmat(n, m, /*seed=*/77, RmatOptions(), &pool);
+
+    auto broadcast = DistributedBuildIndex(
+        g, bench::PaperIndexingOptions(), ExecutionModel::kBroadcasting,
+        cluster, cost, &pool);
+    auto rdd =
+        DistributedBuildIndex(g, bench::PaperIndexingOptions(),
+                              ExecutionModel::kRdd, cluster, cost, &pool);
+    if (!broadcast.ok() || !rdd.ok()) continue;
+
+    std::string b_cell = broadcast->cost.feasible
+                             ? HumanSeconds(broadcast->cost.TotalSeconds())
+                             : "N/A (memory)";
+    std::string r_cell = rdd->cost.feasible
+                             ? HumanSeconds(rdd->cost.TotalSeconds())
+                             : "N/A (memory)";
+    std::string ratio =
+        (broadcast->cost.feasible && rdd->cost.feasible)
+            ? FormatDouble(rdd->cost.TotalSeconds() /
+                               broadcast->cost.TotalSeconds(),
+                           2) + "x"
+            : "-";
+    table.AddRow({HumanCount(n), HumanCount(g.num_edges()),
+                  HumanBytes(bench::ReplicaBytes(g)), b_cell, r_cell,
+                  ratio});
+  }
+  table.RenderText(std::cout);
+  std::cout << "\nShape check: Broadcasting beats RDD wherever both run "
+               "(ratio > 1), and flips to N/A\nonce the replica exceeds "
+               "worker memory while RDD keeps going — \"Broadcasting is "
+               "more\nefficient, but RDD is more scalable\".\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Micro-benchmarks of the random-walk engine: the kernel whose throughput
+// drives every CloudWalker phase.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/alias.h"
+#include "engine/walk.h"
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph* graph =
+      new Graph(GenerateRmat(100000, 1500000, /*seed=*/1));
+  return *graph;
+}
+
+void BM_StepReverse(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  Xoshiro256 rng(7);
+  NodeId v = 0;
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    const NodeId next = StepReverse(g, v, rng);
+    v = next == kInvalidNode ? rng.UniformInt32(g.num_nodes()) : next;
+    benchmark::DoNotOptimize(v);
+    ++steps;
+  }
+  state.SetItemsProcessed(steps);
+}
+BENCHMARK(BM_StepReverse);
+
+void BM_WalkDistributions(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  WalkConfig cfg;
+  cfg.num_steps = 10;
+  cfg.num_walkers = static_cast<uint32_t>(state.range(0));
+  SparseAccumulator scratch(cfg.num_walkers * 2);
+  NodeId source = 0;
+  for (auto _ : state) {
+    const WalkDistributions d =
+        SimulateWalkDistributions(g, source, cfg, &scratch);
+    benchmark::DoNotOptimize(d.levels.back().size());
+    source = (source + 1) % g.num_nodes();
+  }
+  state.SetItemsProcessed(state.iterations() * cfg.num_walkers *
+                          cfg.num_steps);
+}
+BENCHMARK(BM_WalkDistributions)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ExactPropagation(benchmark::State& state) {
+  const Graph& g = BenchGraph();
+  NodeId source = 0;
+  for (auto _ : state) {
+    const WalkDistributions d = ExactWalkDistributions(
+        g, source, static_cast<uint32_t>(state.range(0)), 1e-4);
+    benchmark::DoNotOptimize(d.levels.back().size());
+    source = (source + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_ExactPropagation)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_AliasSample(benchmark::State& state) {
+  std::vector<double> weights(state.range(0));
+  Xoshiro256 seed_rng(3);
+  for (auto& w : weights) w = seed_rng.NextDouble() + 0.01;
+  auto table = AliasTable::Build(weights);
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table->Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AliasSample)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_RngUniformInt(benchmark::State& state) {
+  Xoshiro256 rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.UniformInt32(12345));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniformInt);
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,81 @@
+// Micro-benchmarks of graph construction and access.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/sparse.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+namespace cloudwalker {
+namespace {
+
+void BM_GenerateRmat(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    const Graph g = GenerateRmat(n, static_cast<uint64_t>(n) * 15, seed++);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 15);
+}
+BENCHMARK(BM_GenerateRmat)->Arg(1024)->Arg(16384)->Arg(131072)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CsrBuild(benchmark::State& state) {
+  const NodeId n = static_cast<NodeId>(state.range(0));
+  // Pre-sample the edge list once; measure only Build.
+  Xoshiro256 rng(2);
+  std::vector<std::pair<NodeId, NodeId>> edges(
+      static_cast<size_t>(n) * 12);
+  for (auto& e : edges) {
+    e = {rng.UniformInt32(n), rng.UniformInt32(n)};
+  }
+  for (auto _ : state) {
+    GraphBuilder b(n);
+    b.Reserve(edges.size());
+    for (const auto& [f, t] : edges) b.AddEdge(f, t);
+    auto g = b.Build();
+    benchmark::DoNotOptimize(g->num_edges());
+  }
+  state.SetItemsProcessed(state.iterations() * edges.size());
+}
+BENCHMARK(BM_CsrBuild)->Arg(1024)->Arg(16384)->Arg(131072)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HasEdge(benchmark::State& state) {
+  static const Graph* g = new Graph(GenerateRmat(65536, 1000000, 3));
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g->HasEdge(rng.UniformInt32(65536), rng.UniformInt32(65536)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HasEdge);
+
+void BM_DegreeStats(benchmark::State& state) {
+  static const Graph* g = new Graph(GenerateRmat(65536, 1000000, 5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeDegreeStats(*g).max_in_degree);
+  }
+}
+BENCHMARK(BM_DegreeStats)->Unit(benchmark::kMillisecond);
+
+void BM_SparseAccumulator(benchmark::State& state) {
+  const uint32_t universe = static_cast<uint32_t>(state.range(0));
+  Xoshiro256 rng(6);
+  SparseAccumulator acc(universe);
+  for (auto _ : state) {
+    acc.Clear();
+    for (int i = 0; i < 10000; ++i) {
+      acc.Add(rng.UniformInt32(universe), 1.0);
+    }
+    benchmark::DoNotOptimize(acc.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SparseAccumulator)->Arg(128)->Arg(8192)->Arg(1 << 20);
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,138 @@
+// Churn-prediction example (the paper's telecom motivation): users whose
+// position in the social graph is most similar to already-churned users
+// are flagged as at-risk. Similarity here is structural (SimRank), not
+// attribute-based: a user is churn-like if the people who interact with
+// them are similar to the people who interacted with churners.
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/cloudwalker.h"
+#include "eval/dense.h"
+#include "graph/graph.h"
+
+using namespace cloudwalker;
+
+namespace {
+
+constexpr NodeId kUsers = 5000;
+
+// Synthetic call graph with two behavioural segments: "stable" users call
+// within dense communities; "drifting" users (the churn-prone segment)
+// call sparsely across communities. A known subset of drifters churned.
+struct CallNetwork {
+  Graph graph;
+  std::vector<NodeId> churned;   // ground-truth churned users
+  std::vector<bool> is_drifter;  // latent behavioural segment
+};
+
+CallNetwork MakeCallNetwork(uint64_t seed) {
+  Xoshiro256 rng(seed);
+  CallNetwork net;
+  net.is_drifter.assign(kUsers, false);
+
+  // Assign the latent segment first so drifters can find each other.
+  std::vector<NodeId> drifters;
+  for (NodeId u = 0; u < kUsers; ++u) {
+    if (rng.NextDouble() < 0.1) {
+      net.is_drifter[u] = true;
+      drifters.push_back(u);
+    }
+  }
+
+  GraphBuilder builder(kUsers);
+  constexpr int kCommunities = 25;
+  constexpr NodeId kCommunitySize = kUsers / kCommunities;
+  for (NodeId u = 0; u < kUsers; ++u) {
+    const NodeId community = u / kCommunitySize;
+    const bool drifter = net.is_drifter[u];
+    const int calls = drifter ? 6 : 12;
+    for (int c = 0; c < calls; ++c) {
+      NodeId peer;
+      if (drifter) {
+        // Drifters disengage from their community and interact mostly with
+        // the same fringe (other drifters): the structural churn signature.
+        peer = rng.NextDouble() < 0.7
+                   ? drifters[rng.UniformInt(drifters.size())]
+                   : rng.UniformInt32(kUsers);
+      } else if (rng.NextDouble() < 0.9) {
+        peer = community * kCommunitySize + rng.UniformInt32(kCommunitySize);
+      } else {
+        peer = rng.UniformInt32(kUsers);  // weak ties anywhere
+      }
+      if (peer == u) continue;
+      builder.AddEdge(u, peer);
+      builder.AddEdge(peer, u);  // calls are mutual interactions
+    }
+  }
+  net.graph = std::move(builder.Build()).value();
+  // A sample of drifters has already churned.
+  for (const NodeId u : drifters) {
+    if (rng.NextDouble() < 0.3) net.churned.push_back(u);
+  }
+  return net;
+}
+
+}  // namespace
+
+int main() {
+  const CallNetwork net = MakeCallNetwork(/*seed=*/99);
+  std::cout << "call network: " << kUsers << " users, "
+            << HumanCount(net.graph.num_edges()) << " call edges, "
+            << net.churned.size() << " known churners\n";
+
+  ThreadPool pool;
+  IndexingOptions io;
+  io.num_walkers = 100;
+  auto cw = CloudWalker::Build(&net.graph, io, &pool);
+  if (!cw.ok()) {
+    std::cerr << cw.status().ToString() << "\n";
+    return 1;
+  }
+
+  // Churn risk of user u = mean SimRank similarity to the known churners,
+  // computed with one MCSS per churner (seed users), aggregated.
+  QueryOptions qo;
+  qo.num_walkers = 2000;
+  std::vector<double> risk(kUsers, 0.0);
+  const size_t seeds = std::min<size_t>(net.churned.size(), 50);
+  for (size_t s = 0; s < seeds; ++s) {
+    auto scores = cw->SingleSource(net.churned[s], qo);
+    if (!scores.ok()) continue;
+    for (const SparseEntry& e : *scores) {
+      risk[e.index] += e.value / static_cast<double>(seeds);
+    }
+  }
+  for (const NodeId c : net.churned) risk[c] = 0.0;  // already gone
+
+  // Evaluate: do high-risk users over-represent the drifting segment?
+  std::vector<NodeId> by_risk(kUsers);
+  for (NodeId u = 0; u < kUsers; ++u) by_risk[u] = u;
+  std::sort(by_risk.begin(), by_risk.end(),
+            [&risk](NodeId a, NodeId b) { return risk[a] > risk[b]; });
+
+  const size_t flagged = 200;
+  size_t hits = 0;
+  for (size_t i = 0; i < flagged; ++i) {
+    hits += net.is_drifter[by_risk[i]];
+  }
+  size_t base_drifters = 0;
+  for (NodeId u = 0; u < kUsers; ++u) base_drifters += net.is_drifter[u];
+  const double lift =
+      (static_cast<double>(hits) / flagged) /
+      (static_cast<double>(base_drifters) / kUsers);
+
+  std::cout << "top " << flagged << " at-risk users: " << hits
+            << " are in the churn-prone segment\n"
+            << "base rate: "
+            << FormatDouble(100.0 * base_drifters / kUsers, 1)
+            << "%  |  flagged rate: "
+            << FormatDouble(100.0 * hits / flagged, 1)
+            << "%  |  lift: " << FormatDouble(lift, 2) << "x\n"
+            << "(structural similarity to churners concentrates the "
+               "churn-prone segment at the top of the ranking)\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "baselines/cocitation.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cloudwalker {
+
+double CoCitation(const Graph& graph, NodeId i, NodeId j) {
+  CW_CHECK_LT(i, graph.num_nodes());
+  CW_CHECK_LT(j, graph.num_nodes());
+  const auto a = graph.InNeighbors(i);
+  const auto b = graph.InNeighbors(j);
+  if (a.empty() || b.empty()) return 0.0;
+  size_t x = 0, y = 0, common = 0;
+  while (x < a.size() && y < b.size()) {
+    if (a[x] < b[y]) {
+      ++x;
+    } else if (a[x] > b[y]) {
+      ++y;
+    } else {
+      ++common;
+      ++x;
+      ++y;
+    }
+  }
+  return static_cast<double>(common) /
+         std::sqrt(static_cast<double>(a.size()) *
+                   static_cast<double>(b.size()));
+}
+
+std::vector<double> CoCitationSingleSource(const Graph& graph, NodeId q) {
+  CW_CHECK_LT(q, graph.num_nodes());
+  std::vector<double> scores(graph.num_nodes(), 0.0);
+  const auto in_q = graph.InNeighbors(q);
+  if (in_q.empty()) return scores;
+  // Every out-neighbor v of an in-neighbor of q shares that citer with q.
+  for (const NodeId citer : in_q) {
+    for (const NodeId v : graph.OutNeighbors(citer)) scores[v] += 1.0;
+  }
+  const double dq = static_cast<double>(in_q.size());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (scores[v] == 0.0) continue;
+    scores[v] /= std::sqrt(dq * static_cast<double>(graph.InDegree(v)));
+  }
+  return scores;
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,25 @@
+// Co-citation similarity — the classical measure SimRank improves upon
+// (two nodes are similar if the *same* nodes reference both). Used by the
+// examples to show where SimRank's multi-hop propagation wins.
+
+#ifndef CLOUDWALKER_BASELINES_COCITATION_H_
+#define CLOUDWALKER_BASELINES_COCITATION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// |In(i) ∩ In(j)| / sqrt(|In(i)| * |In(j)|) — cosine-normalized
+/// co-citation. Returns 0 when either node has no in-neighbors; 1 when
+/// i == j and In(i) is non-empty.
+double CoCitation(const Graph& graph, NodeId i, NodeId j);
+
+/// Co-citation of `q` against every node, computed in O(sum of out-degrees
+/// of In(q)) by counter propagation.
+std::vector<double> CoCitationSingleSource(const Graph& graph, NodeId q);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_BASELINES_COCITATION_H_

@@ -1,0 +1,93 @@
+#include "baselines/exact_simrank.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cloudwalker {
+
+StatusOr<ExactSimRank> ExactSimRank::Compute(const Graph& graph,
+                                             const Options& options,
+                                             ThreadPool* pool) {
+  if (!(options.decay > 0.0) || !(options.decay < 1.0)) {
+    return Status::InvalidArgument("decay factor must lie in (0, 1)");
+  }
+  if (options.iterations < 1) {
+    return Status::InvalidArgument("iterations must be >= 1");
+  }
+  const NodeId n = graph.num_nodes();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot compute SimRank of empty graph");
+  }
+  if (n > options.max_nodes) {
+    return Status::ResourceExhausted(
+        "graph has " + std::to_string(n) + " nodes; exact SimRank is capped "
+        "at " + std::to_string(options.max_nodes));
+  }
+
+  const size_t nn = static_cast<size_t>(n);
+  const double c = options.decay;
+  std::vector<double> s(nn * nn, 0.0);
+  for (size_t i = 0; i < nn; ++i) s[i * nn + i] = 1.0;
+
+  std::vector<double> m(nn * nn);     // M = S P
+  std::vector<double> next(nn * nn);  // S' = c P^T M
+  std::vector<double> pre_diag(nn, 0.0);
+
+  for (uint32_t it = 0; it < options.iterations; ++it) {
+    // M[:, j] = (1 / |In(j)|) * sum_{i' in In(j)} S[:, i'].
+    ParallelFor(pool, 0, nn, /*grain=*/0, [&](uint64_t begin, uint64_t end) {
+      for (uint64_t j = begin; j < end; ++j) {
+        const auto in = graph.InNeighbors(static_cast<NodeId>(j));
+        if (in.empty()) {
+          for (size_t r = 0; r < nn; ++r) m[r * nn + j] = 0.0;
+          continue;
+        }
+        const double inv = 1.0 / static_cast<double>(in.size());
+        for (size_t r = 0; r < nn; ++r) {
+          double acc = 0.0;
+          for (const NodeId ip : in) acc += s[r * nn + ip];
+          m[r * nn + j] = acc * inv;
+        }
+      }
+    });
+    // S'[i, :] = (c / |In(i)|) * sum_{k in In(i)} M[k, :], diagonal -> 1.
+    ParallelFor(pool, 0, nn, /*grain=*/0, [&](uint64_t begin, uint64_t end) {
+      for (uint64_t i = begin; i < end; ++i) {
+        double* row = next.data() + i * nn;
+        const auto in = graph.InNeighbors(static_cast<NodeId>(i));
+        if (in.empty()) {
+          std::fill(row, row + nn, 0.0);
+        } else {
+          const double scale = c / static_cast<double>(in.size());
+          std::fill(row, row + nn, 0.0);
+          for (const NodeId k : in) {
+            const double* mrow = m.data() + static_cast<size_t>(k) * nn;
+            for (size_t j = 0; j < nn; ++j) row[j] += mrow[j];
+          }
+          for (size_t j = 0; j < nn; ++j) row[j] *= scale;
+        }
+        pre_diag[i] = row[i] / c;  // (P^T S P)_ii before pinning
+        row[i] = 1.0;
+      }
+    });
+    std::swap(s, next);
+  }
+
+  return ExactSimRank(n, c, std::move(s), std::move(pre_diag));
+}
+
+std::vector<double> ExactSimRank::Row(NodeId i) const {
+  const size_t nn = n_;
+  return std::vector<double>(matrix_.begin() + static_cast<size_t>(i) * nn,
+                             matrix_.begin() + (static_cast<size_t>(i) + 1) *
+                                                   nn);
+}
+
+std::vector<double> ExactSimRank::ExactDiagonalCorrection() const {
+  std::vector<double> d(n_);
+  for (NodeId k = 0; k < n_; ++k) d[k] = 1.0 - decay_ * pre_diag_[k];
+  return d;
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,73 @@
+// Exact SimRank by Jeh-Widom power iteration on the dense n x n similarity
+// matrix. O(n m) time per iteration and O(n^2) memory — feasible only for
+// small graphs; used as ground truth in the effectiveness experiments.
+
+#ifndef CLOUDWALKER_BASELINES_EXACT_SIMRANK_H_
+#define CLOUDWALKER_BASELINES_EXACT_SIMRANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/threading.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// Options of ExactSimRank::Compute.
+struct ExactSimRankOptions {
+  /// Decay factor c in (0, 1).
+  double decay = 0.6;
+  /// Power iterations; the result is within c^iterations of the fixpoint.
+  uint32_t iterations = 20;
+  /// Refuse to allocate the dense matrix beyond this node count.
+  NodeId max_nodes = 20000;
+};
+
+/// Ground-truth SimRank scores for one graph.
+class ExactSimRank {
+ public:
+  using Options = ExactSimRankOptions;
+
+  /// Runs S_{k+1} = (c P^T S_k P) with the diagonal pinned to 1 after every
+  /// iteration, starting from S_0 = I. Fails on invalid options or when the
+  /// graph exceeds max_nodes.
+  static StatusOr<ExactSimRank> Compute(const Graph& graph,
+                                        const Options& options = Options(),
+                                        ThreadPool* pool = nullptr);
+
+  /// s(i, j), symmetric, s(i, i) == 1.
+  double Similarity(NodeId i, NodeId j) const {
+    return matrix_[static_cast<size_t>(i) * n_ + j];
+  }
+
+  /// Number of nodes covered.
+  NodeId num_nodes() const { return n_; }
+
+  /// Row-major dense matrix (n x n).
+  const std::vector<double>& matrix() const { return matrix_; }
+
+  /// Row i of the similarity matrix.
+  std::vector<double> Row(NodeId i) const;
+
+  /// The exact diagonal correction matrix of the linearization
+  /// S = c P^T S P + D:  D_kk = 1 - c (P^T S P)_kk. This is what
+  /// CloudWalker's Monte-Carlo indexing estimates.
+  std::vector<double> ExactDiagonalCorrection() const;
+
+ private:
+  ExactSimRank(NodeId n, double decay, std::vector<double> matrix,
+               std::vector<double> pre_diag)
+      : n_(n), decay_(decay), matrix_(std::move(matrix)),
+        pre_diag_(std::move(pre_diag)) {}
+
+  NodeId n_ = 0;
+  double decay_ = 0.6;
+  std::vector<double> matrix_;
+  /// (P^T S P)_kk of the converged S, captured during the last iteration.
+  std::vector<double> pre_diag_;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_BASELINES_EXACT_SIMRANK_H_

@@ -1,0 +1,139 @@
+#include "baselines/fmt.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace cloudwalker {
+namespace {
+
+/// The coupled random in-neighbor function f_{r,t}(v): every walk of sample
+/// r uses the same choice at (t, v), so walks coalesce on first meeting.
+inline NodeId CoupledStep(const Graph& graph, NodeId v, uint64_t seed,
+                          uint32_t r, uint32_t t) {
+  const uint32_t deg = graph.InDegree(v);
+  if (deg == 0) return kInvalidNode;
+  // One hash per (r, t, v); cheap and stateless.
+  uint64_t h = DeriveSeed(seed, (static_cast<uint64_t>(r) << 40) ^
+                                    (static_cast<uint64_t>(t) << 32) ^ v);
+  // Map the hash uniformly onto [0, deg) via 64x32 multiply-shift.
+  const uint32_t idx = static_cast<uint32_t>(
+      (static_cast<uint64_t>(static_cast<uint32_t>(h >> 32)) * deg) >> 32);
+  return graph.InNeighbor(v, idx);
+}
+
+}  // namespace
+
+uint64_t FmtIndex::PredictMemoryBytes(const Graph& graph,
+                                      const Options& options) {
+  return static_cast<uint64_t>(graph.num_nodes()) *
+         (options.num_steps + 1) * options.num_fingerprints * sizeof(NodeId);
+}
+
+StatusOr<FmtIndex> FmtIndex::Build(const Graph& graph, const Options& options,
+                                   ThreadPool* pool) {
+  if (options.num_fingerprints < 1) {
+    return Status::InvalidArgument("num_fingerprints must be >= 1");
+  }
+  if (!(options.decay > 0.0) || !(options.decay < 1.0)) {
+    return Status::InvalidArgument("decay factor must lie in (0, 1)");
+  }
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot index an empty graph");
+  }
+  const uint64_t bytes = PredictMemoryBytes(graph, options);
+  if (bytes > options.memory_budget_bytes) {
+    return Status::ResourceExhausted(
+        "FMT fingerprints need " + std::to_string(bytes) +
+        " bytes, budget is " + std::to_string(options.memory_budget_bytes));
+  }
+
+  FmtIndex index(&graph, options);
+  index.positions_.resize(options.num_fingerprints);
+  const NodeId n = graph.num_nodes();
+  const uint32_t levels = options.num_steps + 1;
+
+  ParallelFor(pool, 0, options.num_fingerprints, /*grain=*/1,
+              [&graph, &options, &index, n, levels](uint64_t begin,
+                                                    uint64_t end) {
+                for (uint64_t r = begin; r < end; ++r) {
+                  std::vector<NodeId>& pos = index.positions_[r];
+                  pos.assign(static_cast<size_t>(n) * levels, kInvalidNode);
+                  for (NodeId v = 0; v < n; ++v) {
+                    pos[static_cast<size_t>(v) * levels] = v;
+                  }
+                  for (uint32_t t = 1; t < levels; ++t) {
+                    for (NodeId v = 0; v < n; ++v) {
+                      const NodeId prev =
+                          pos[static_cast<size_t>(v) * levels + t - 1];
+                      if (prev == kInvalidNode) continue;
+                      pos[static_cast<size_t>(v) * levels + t] = CoupledStep(
+                          graph, prev, options.seed,
+                          static_cast<uint32_t>(r), t);
+                    }
+                  }
+                }
+              });
+  return index;
+}
+
+double FmtIndex::SinglePair(NodeId i, NodeId j) const {
+  CW_CHECK_LT(i, graph_->num_nodes());
+  CW_CHECK_LT(j, graph_->num_nodes());
+  if (i == j) return 1.0;
+  const uint32_t levels = options_.num_steps + 1;
+  double sum = 0.0;
+  for (const std::vector<NodeId>& pos : positions_) {
+    const NodeId* wi = pos.data() + static_cast<size_t>(i) * levels;
+    const NodeId* wj = pos.data() + static_cast<size_t>(j) * levels;
+    double ct = 1.0;
+    for (uint32_t t = 1; t < levels; ++t) {
+      ct *= options_.decay;
+      if (wi[t] == kInvalidNode || wj[t] == kInvalidNode) break;
+      if (wi[t] == wj[t]) {  // first meeting: coupling keeps them together
+        sum += ct;
+        break;
+      }
+    }
+  }
+  return sum / static_cast<double>(positions_.size());
+}
+
+std::vector<double> FmtIndex::SingleSource(NodeId q) const {
+  CW_CHECK_LT(q, graph_->num_nodes());
+  const NodeId n = graph_->num_nodes();
+  const uint32_t levels = options_.num_steps + 1;
+  std::vector<double> scores(n, 0.0);
+  std::vector<bool> met(n);
+  const double inv_r = 1.0 / static_cast<double>(positions_.size());
+
+  for (const std::vector<NodeId>& pos : positions_) {
+    std::fill(met.begin(), met.end(), false);
+    met[q] = true;
+    const NodeId* wq = pos.data() + static_cast<size_t>(q) * levels;
+    double ct = 1.0;
+    for (uint32_t t = 1; t < levels; ++t) {
+      ct *= options_.decay;
+      const NodeId qpos = wq[t];
+      if (qpos == kInvalidNode) break;
+      for (NodeId v = 0; v < n; ++v) {
+        if (met[v]) continue;
+        if (pos[static_cast<size_t>(v) * levels + t] == qpos) {
+          met[v] = true;
+          scores[v] += ct * inv_r;
+        }
+      }
+    }
+  }
+  scores[q] = 1.0;
+  return scores;
+}
+
+uint64_t FmtIndex::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const auto& pos : positions_) bytes += pos.size() * sizeof(NodeId);
+  return bytes;
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,74 @@
+// FMT — the fingerprint method of Fogaras & Rácz, "Scaling link-based
+// similarity search" (WWW'05), the paper's first baseline.
+//
+// Preprocessing samples R_f *coupled* reverse walks per node: at step t of
+// sample r every node uses the same random in-neighbor function
+// f_{r,t}(node), so two walks that meet coalesce forever — exactly the
+// first-meeting coupling the SimRank estimator E[c^tau] requires.
+// Fingerprints are materialized as an n x (T+1) position table per sample,
+// which is why the method's memory footprint is O(n R_f T) and why the
+// paper reports N/A beyond the smallest dataset.
+
+#ifndef CLOUDWALKER_BASELINES_FMT_H_
+#define CLOUDWALKER_BASELINES_FMT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/threading.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// Options of FmtIndex::Build.
+struct FmtOptions {
+  /// Number of coupled walk samples per node (R_f).
+  uint32_t num_fingerprints = 100;
+  /// Walk length (T).
+  uint32_t num_steps = 10;
+  /// Decay factor c.
+  double decay = 0.6;
+  /// Seed of the random in-neighbor functions.
+  uint64_t seed = 11;
+  /// Build fails with ResourceExhausted beyond this footprint, emulating
+  /// the paper's single-machine memory limit.
+  uint64_t memory_budget_bytes = 1ull << 30;
+};
+
+/// Fingerprint index answering SP / SS SimRank queries.
+class FmtIndex {
+ public:
+  using Options = FmtOptions;
+
+  /// Samples all fingerprints (parallel across samples).
+  static StatusOr<FmtIndex> Build(const Graph& graph,
+                                  const Options& options = Options(),
+                                  ThreadPool* pool = nullptr);
+
+  /// First-meeting single-pair estimate (1/R_f) sum_r c^{tau_r}.
+  double SinglePair(NodeId i, NodeId j) const;
+
+  /// Single-source estimates via a full fingerprint scan: O(n R_f T).
+  std::vector<double> SingleSource(NodeId q) const;
+
+  /// Index footprint in bytes.
+  uint64_t MemoryBytes() const;
+
+  /// Predicted footprint of an index with these options on `graph`.
+  static uint64_t PredictMemoryBytes(const Graph& graph,
+                                     const Options& options);
+
+ private:
+  FmtIndex(const Graph* graph, Options options)
+      : graph_(graph), options_(options) {}
+
+  /// positions_[r][v * (T+1) + t]: node of sample r's walk from v at step t.
+  const Graph* graph_;
+  Options options_;
+  std::vector<std::vector<NodeId>> positions_;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_BASELINES_FMT_H_

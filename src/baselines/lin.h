@@ -1,0 +1,86 @@
+// LIN — SimRank linearization of Maehara, Kusumoto & Kawarabayashi
+// ("Efficient SimRank computation via linearization", 2014), the paper's
+// second baseline and the formulation CloudWalker builds on.
+//
+// LIN solves the same diagonal-correction system A x = 1 as CloudWalker but
+// computes the walk distributions u_{k,t} = P^t e_k *exactly* by sparse
+// propagation (with optional epsilon pruning) instead of by Monte Carlo,
+// and answers queries with exact propagation too. Accuracy is higher; cost
+// grows with graph density — which is exactly the preprocessing/query gap
+// the paper's comparison table demonstrates.
+
+#ifndef CLOUDWALKER_BASELINES_LIN_H_
+#define CLOUDWALKER_BASELINES_LIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/threading.h"
+#include "core/diagonal.h"
+#include "core/options.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// Options of LinIndex::Build.
+struct LinOptions {
+  /// SimRank parameters (c, T).
+  SimRankParams params;
+  /// Jacobi iterations for A x = 1.
+  uint32_t jacobi_iterations = 3;
+  /// Entries of u_{k,t} below this are dropped during preprocessing
+  /// (0 = fully exact; the classic practical choice is ~1e-4).
+  double prune_threshold = 1e-4;
+  /// Build fails with ResourceExhausted once the propagation work exceeds
+  /// this many edge operations (emulates the paper's time budget; LIN's
+  /// preprocessing is orders of magnitude beyond CloudWalker's on large
+  /// graphs).
+  uint64_t max_edge_ops = 2'000'000'000ull;
+};
+
+/// Linearized-SimRank index (exact-propagation variant).
+class LinIndex {
+ public:
+  using Options = LinOptions;
+
+  /// Solves for diag(D) with exact rows. Parallel across nodes.
+  static StatusOr<LinIndex> Build(const Graph& graph,
+                                  const Options& options = Options(),
+                                  ThreadPool* pool = nullptr);
+
+  /// Exact single-pair score sum_t c^t u_{i,t}^T D u_{j,t}.
+  double SinglePair(NodeId i, NodeId j) const;
+
+  /// Exact single-source scores s(q, *) via forward propagation.
+  std::vector<double> SingleSource(NodeId q) const;
+
+  /// The diagonal estimate (comparable with CloudWalker's DiagonalIndex).
+  const DiagonalIndex& diagonal() const { return diagonal_; }
+
+  /// Edge operations spent in Build (the preprocessing cost driver).
+  uint64_t build_edge_ops() const { return build_edge_ops_; }
+
+  /// Measures the per-node preprocessing cost on `sample_nodes` evenly
+  /// spaced sources and extrapolates the total edge-op count for a full
+  /// build. Used by benchmarks to report LIN costs it would be impractical
+  /// to pay in full.
+  static uint64_t EstimateBuildEdgeOps(const Graph& graph,
+                                       const Options& options,
+                                       NodeId sample_nodes = 64);
+
+ private:
+  LinIndex(const Graph* graph, Options options, DiagonalIndex diagonal,
+           uint64_t edge_ops)
+      : graph_(graph), options_(options), diagonal_(std::move(diagonal)),
+        build_edge_ops_(edge_ops) {}
+
+  const Graph* graph_;
+  Options options_;
+  DiagonalIndex diagonal_;
+  uint64_t build_edge_ops_ = 0;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_BASELINES_LIN_H_

@@ -1,0 +1,69 @@
+// Cost model translating counted work units into simulated cluster time.
+//
+// The paper evaluates on a 10-node Spark cluster (16 cores, 377 GB each).
+// That hardware is unavailable here, so computations execute for real on the
+// local thread pool while every kernel *counts* its work (walk steps, edge
+// traversals, floating-point ops). The cost model maps those counts plus the
+// communication pattern (stages, broadcasts, shuffles) onto simulated
+// wall-clock time for a configurable cluster. Relative behaviour — dataset
+// ordering, Broadcasting-vs-RDD ratios, scalability curves — is preserved
+// because it is driven by the same counts that drove the paper's runtimes.
+
+#ifndef CLOUDWALKER_CLUSTER_COST_MODEL_H_
+#define CLOUDWALKER_CLUSTER_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace cloudwalker {
+
+/// Rates and overheads of the simulated cluster.
+struct CostModel {
+  /// Seconds per random-walk step on one core (memory-latency bound).
+  double seconds_per_walk_step = 2e-8;
+  /// Seconds per adjacency-edge traversal on one core (streaming bound).
+  double seconds_per_edge_op = 4e-9;
+  /// Seconds per scalar floating-point op on one core.
+  double seconds_per_flop = 2e-9;
+  /// Fixed scheduler cost of launching one distributed stage (Spark-like).
+  double stage_overhead_seconds = 0.25;
+  /// Per-task launch cost within a stage.
+  double task_overhead_seconds = 0.005;
+  /// One-way network latency per message round.
+  double network_latency_seconds = 1e-3;
+  /// Aggregate network bandwidth available to a broadcast or shuffle.
+  double network_bandwidth_bytes_per_sec = 1.0e9;
+
+  /// The documented defaults above.
+  static CostModel Default() { return CostModel{}; }
+};
+
+/// Per-worker work counters filled in by kernels during a stage.
+class WorkMeter {
+ public:
+  /// Adds `n` random-walk steps.
+  void AddWalkSteps(uint64_t n) { walk_steps_ += n; }
+  /// Adds `n` adjacency-edge traversals.
+  void AddEdgeOps(uint64_t n) { edge_ops_ += n; }
+  /// Adds `n` scalar floating-point operations.
+  void AddFlops(uint64_t n) { flops_ += n; }
+
+  uint64_t walk_steps() const { return walk_steps_; }
+  uint64_t edge_ops() const { return edge_ops_; }
+  uint64_t flops() const { return flops_; }
+
+  /// Single-core seconds this meter's work would take under `model`.
+  double SingleCoreSeconds(const CostModel& model) const {
+    return static_cast<double>(walk_steps_) * model.seconds_per_walk_step +
+           static_cast<double>(edge_ops_) * model.seconds_per_edge_op +
+           static_cast<double>(flops_) * model.seconds_per_flop;
+  }
+
+ private:
+  uint64_t walk_steps_ = 0;
+  uint64_t edge_ops_ = 0;
+  uint64_t flops_ = 0;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_CLUSTER_COST_MODEL_H_

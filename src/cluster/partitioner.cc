@@ -1,0 +1,31 @@
+#include "cluster/partitioner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cloudwalker {
+
+Partitioner::Partitioner(PartitionStrategy strategy, NodeId num_nodes,
+                         int num_workers)
+    : strategy_(strategy),
+      num_nodes_(num_nodes),
+      num_workers_(static_cast<uint64_t>(std::max(1, num_workers))) {
+  range_width_ = static_cast<NodeId>(
+      (static_cast<uint64_t>(num_nodes_) + num_workers_ - 1) /
+      std::max<uint64_t>(1, num_workers_));
+  if (range_width_ == 0) range_width_ = 1;
+}
+
+void Partitioner::OwnedRange(int worker, NodeId* begin, NodeId* end) const {
+  CW_CHECK(strategy_ == PartitionStrategy::kRange)
+      << "OwnedRange requires a range partitioner";
+  CW_CHECK_GE(worker, 0);
+  CW_CHECK_LT(static_cast<uint64_t>(worker), num_workers_);
+  const uint64_t b = static_cast<uint64_t>(worker) * range_width_;
+  const uint64_t e = b + range_width_;
+  *begin = static_cast<NodeId>(std::min<uint64_t>(b, num_nodes_));
+  *end = static_cast<NodeId>(std::min<uint64_t>(e, num_nodes_));
+}
+
+}  // namespace cloudwalker

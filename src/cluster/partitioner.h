@@ -1,0 +1,54 @@
+// Node -> worker assignment for the simulated cluster.
+
+#ifndef CLOUDWALKER_CLUSTER_PARTITIONER_H_
+#define CLOUDWALKER_CLUSTER_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// Partitioning strategies.
+enum class PartitionStrategy {
+  /// worker = hash(node) % W — the RDD model's hash partitioner; spreads
+  /// hubs and contiguous id ranges evenly.
+  kHash = 0,
+  /// worker = node / ceil(n / W) — contiguous ranges; cheap ownership test,
+  /// used for work partitioning in the Broadcasting model.
+  kRange = 1,
+};
+
+/// Maps node ids in [0, num_nodes) onto workers [0, num_workers).
+class Partitioner {
+ public:
+  /// Creates a partitioner; num_workers must be >= 1.
+  Partitioner(PartitionStrategy strategy, NodeId num_nodes, int num_workers);
+
+  /// The worker owning `node`.
+  int Owner(NodeId node) const {
+    if (strategy_ == PartitionStrategy::kHash) {
+      // Fibonacci hash then reduce; avoids modulo bias on sequential ids.
+      const uint64_t h = static_cast<uint64_t>(node) * 0x9e3779b97f4a7c15ULL;
+      return static_cast<int>((h >> 32) * num_workers_ >> 32);
+    }
+    return static_cast<int>(node / range_width_);
+  }
+
+  int num_workers() const { return static_cast<int>(num_workers_); }
+  PartitionStrategy strategy() const { return strategy_; }
+
+  /// For kRange: the [begin, end) node range owned by `worker`.
+  /// For kHash: CW_CHECK-fails (ranges are not contiguous).
+  void OwnedRange(int worker, NodeId* begin, NodeId* end) const;
+
+ private:
+  PartitionStrategy strategy_;
+  NodeId num_nodes_;
+  uint64_t num_workers_;
+  NodeId range_width_;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_CLUSTER_PARTITIONER_H_

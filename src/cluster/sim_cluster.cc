@@ -1,0 +1,101 @@
+#include "cluster/sim_cluster.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cloudwalker {
+
+SimCluster::SimCluster(const ClusterConfig& config,
+                       const CostModel& cost_model, ThreadPool* pool)
+    : config_(config), cost_model_(cost_model), pool_(pool) {
+  CW_CHECK_GE(config_.num_workers, 1);
+  CW_CHECK_GE(config_.cores_per_worker, 1);
+}
+
+void SimCluster::RunStage(
+    std::string_view name,
+    const std::function<void(int worker, WorkMeter& meter)>& body,
+    int tasks_per_worker) {
+  const int w = config_.num_workers;
+  std::vector<WorkMeter> meters(w);
+  ParallelFor(pool_, 0, static_cast<uint64_t>(w), /*grain=*/1,
+              [&body, &meters](uint64_t begin, uint64_t end) {
+                for (uint64_t i = begin; i < end; ++i) {
+                  body(static_cast<int>(i), meters[i]);
+                }
+              });
+
+  double critical_path = 0.0;
+  for (const WorkMeter& m : meters) {
+    critical_path = std::max(
+        critical_path, m.SingleCoreSeconds(cost_model_) /
+                           static_cast<double>(config_.cores_per_worker));
+  }
+  // Tasks launch in waves across a worker's cores.
+  const int waves = (std::max(1, tasks_per_worker) +
+                     config_.cores_per_worker - 1) /
+                    config_.cores_per_worker;
+  const double overhead =
+      cost_model_.stage_overhead_seconds +
+      cost_model_.task_overhead_seconds * static_cast<double>(waves);
+  report_.compute_seconds += critical_path;
+  report_.overhead_seconds += overhead;
+  ++report_.num_stages;
+  report_.stages.push_back(
+      StageRecord{std::string(name), critical_path, overhead});
+}
+
+void SimCluster::RunDriver(const std::function<void(WorkMeter& meter)>& body) {
+  WorkMeter meter;
+  body(meter);
+  report_.compute_seconds +=
+      meter.SingleCoreSeconds(cost_model_) /
+      static_cast<double>(config_.cores_per_worker);
+}
+
+void SimCluster::Broadcast(uint64_t bytes) {
+  // Tree/torrent broadcast: latency grows with log2(W), volume is pipelined
+  // so the wire time is ~one copy of the payload.
+  const double hops =
+      std::ceil(std::log2(static_cast<double>(config_.num_workers) + 1));
+  report_.network_seconds +=
+      cost_model_.network_latency_seconds * hops +
+      static_cast<double>(bytes) /
+          cost_model_.network_bandwidth_bytes_per_sec;
+  report_.bytes_broadcast += bytes * static_cast<uint64_t>(config_.num_workers);
+}
+
+void SimCluster::Shuffle(uint64_t total_bytes) {
+  report_.network_seconds +=
+      cost_model_.network_latency_seconds +
+      static_cast<double>(total_bytes) /
+          cost_model_.network_bandwidth_bytes_per_sec;
+  report_.bytes_shuffled += total_bytes;
+}
+
+void SimCluster::RecordWorkerMemory(uint64_t bytes_per_worker) {
+  report_.peak_worker_memory_bytes =
+      std::max(report_.peak_worker_memory_bytes, bytes_per_worker);
+}
+
+bool SimCluster::CheckWorkerMemory(uint64_t bytes_per_worker,
+                                   std::string_view what) {
+  report_.peak_worker_memory_bytes =
+      std::max(report_.peak_worker_memory_bytes, bytes_per_worker);
+  if (bytes_per_worker > config_.worker_memory_bytes) {
+    report_.feasible = false;
+    if (report_.infeasible_reason.empty()) {
+      report_.infeasible_reason =
+          std::string(what) + " needs " + std::to_string(bytes_per_worker) +
+          " bytes/worker, capacity is " +
+          std::to_string(config_.worker_memory_bytes);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cloudwalker

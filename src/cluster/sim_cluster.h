@@ -1,0 +1,123 @@
+// Simulated Spark-like cluster.
+//
+// A SimCluster executes stages for real on a local ThreadPool (one logical
+// task per simulated worker) while advancing a simulated clock according to
+// the CostModel:
+//
+//   stage time = stage_overhead
+//              + max over workers of (work / cores_per_worker + task cost)
+//
+// Broadcast() and Shuffle() advance the clock by modeled network time and
+// record traffic volumes. CheckWorkerMemory() records infeasibility when a
+// dataflow needs more per-worker memory than the configured capacity — this
+// is what makes the Broadcasting model "N/A" on graphs that do not fit on
+// one worker, reproducing the paper's Table entries.
+
+#ifndef CLOUDWALKER_CLUSTER_SIM_CLUSTER_H_
+#define CLOUDWALKER_CLUSTER_SIM_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "common/threading.h"
+
+namespace cloudwalker {
+
+/// Shape of the simulated cluster (defaults mirror the paper's testbed,
+/// with memory scaled to the scaled-down datasets: 377 GB : 401 GB
+/// graph ≈ 128 MiB : our largest stand-in).
+struct ClusterConfig {
+  /// Number of worker machines.
+  int num_workers = 10;
+  /// Cores per worker machine.
+  int cores_per_worker = 16;
+  /// Per-worker memory capacity in bytes.
+  uint64_t worker_memory_bytes = 128ull << 20;
+};
+
+/// Per-stage breakdown entry (in execution order).
+struct StageRecord {
+  std::string name;
+  double compute_seconds = 0.0;   // critical-path compute of this stage
+  double overhead_seconds = 0.0;  // scheduling cost of this stage
+};
+
+/// Accumulated simulated-execution metrics.
+struct SimCostReport {
+  double compute_seconds = 0.0;   // stage compute on the critical path
+  double overhead_seconds = 0.0;  // stage + task launch overheads
+  double network_seconds = 0.0;   // broadcast + shuffle time
+  uint64_t bytes_broadcast = 0;
+  uint64_t bytes_shuffled = 0;
+  uint64_t num_stages = 0;
+  uint64_t peak_worker_memory_bytes = 0;
+  bool feasible = true;
+  std::string infeasible_reason;
+  /// One record per RunStage call, in order.
+  std::vector<StageRecord> stages;
+
+  /// Simulated elapsed wall-clock seconds.
+  double TotalSeconds() const {
+    return compute_seconds + overhead_seconds + network_seconds;
+  }
+};
+
+/// One simulated cluster run. Create, execute stages, read report().
+/// Not thread-safe; drive it from a single thread (stage bodies themselves
+/// run concurrently across simulated workers).
+class SimCluster {
+ public:
+  /// `pool` may be null (stages then execute serially); it must outlive the
+  /// cluster.
+  SimCluster(const ClusterConfig& config, const CostModel& cost_model,
+             ThreadPool* pool);
+
+  const ClusterConfig& config() const { return config_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  int num_workers() const { return config_.num_workers; }
+
+  /// Runs `body(worker, meter)` once per worker (concurrently when a pool is
+  /// available) and advances the simulated clock. `tasks_per_worker` models
+  /// how many scheduler tasks the stage fans out per worker.
+  void RunStage(std::string_view name,
+                const std::function<void(int worker, WorkMeter& meter)>& body,
+                int tasks_per_worker = 1);
+
+  /// Runs driver-local work: no stage overhead, parallelized across the
+  /// driver's cores (== cores_per_worker). This is the Broadcasting model's
+  /// query path.
+  void RunDriver(const std::function<void(WorkMeter& meter)>& body);
+
+  /// Accounts a driver -> all-workers broadcast of `bytes` per worker.
+  void Broadcast(uint64_t bytes);
+
+  /// Accounts an all-to-all shuffle moving `total_bytes` across the network.
+  void Shuffle(uint64_t total_bytes);
+
+  /// Records that each worker must hold `bytes_per_worker` for `what`;
+  /// marks the run infeasible when capacity is exceeded. Returns true when
+  /// it fits.
+  bool CheckWorkerMemory(uint64_t bytes_per_worker, std::string_view what);
+
+  /// Records spillable per-worker memory (e.g. materialized rows a Spark
+  /// executor could spill to disk or regenerate): tracked in
+  /// peak_worker_memory_bytes but never gates feasibility.
+  void RecordWorkerMemory(uint64_t bytes_per_worker);
+
+  /// Metrics accumulated so far.
+  const SimCostReport& report() const { return report_; }
+
+ private:
+  ClusterConfig config_;
+  CostModel cost_model_;
+  ThreadPool* pool_;
+  SimCostReport report_;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_CLUSTER_SIM_CLUSTER_H_

@@ -1,0 +1,102 @@
+// Minimal streaming log + check macros (glog-flavoured, dependency-free).
+//
+//   CW_LOG(INFO) << "indexed " << n << " nodes";
+//   CW_CHECK_GT(walkers, 0) << "need at least one walker";
+//
+// FATAL logs and CHECK failures abort the process. Log output goes to
+// stderr; the minimum severity is controlled with SetMinLogSeverity.
+
+#ifndef CLOUDWALKER_COMMON_LOGGING_H_
+#define CLOUDWALKER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace cloudwalker {
+
+/// Log severities in increasing order of importance.
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Sets the global minimum severity that is actually emitted (default INFO).
+/// FATAL messages always abort regardless of this setting.
+void SetMinLogSeverity(LogSeverity severity);
+
+/// Returns the current global minimum severity.
+LogSeverity GetMinLogSeverity();
+
+namespace internal {
+
+/// One in-flight log statement; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything streamed into it; used for disabled DCHECKs.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Swallows a stream expression inside the false arm of the CHECK ternary
+/// (glog's Voidify idiom): '&' binds looser than '<<', so the whole message
+/// chain is built before being discarded as void.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+// Uppercase aliases so CW_LOG(INFO) can splice the conventional level names.
+inline constexpr LogSeverity kSeverityINFO = LogSeverity::kInfo;
+inline constexpr LogSeverity kSeverityWARNING = LogSeverity::kWarning;
+inline constexpr LogSeverity kSeverityERROR = LogSeverity::kError;
+inline constexpr LogSeverity kSeverityFATAL = LogSeverity::kFatal;
+
+}  // namespace internal
+}  // namespace cloudwalker
+
+#define CW_LOG(severity)                                                 \
+  ::cloudwalker::internal::LogMessage(                                   \
+      __FILE__, __LINE__, ::cloudwalker::internal::kSeverity##severity)  \
+      .stream()
+
+#define CW_CHECK(cond)                                                        \
+  (cond) ? (void)0                                                            \
+         : ::cloudwalker::internal::Voidify() &                               \
+               ::cloudwalker::internal::LogMessage(                           \
+                   __FILE__, __LINE__, ::cloudwalker::LogSeverity::kFatal)    \
+                       .stream()                                              \
+                   << "Check failed: " #cond " "
+
+#define CW_CHECK_OP_(a, b, op) CW_CHECK((a)op(b))
+#define CW_CHECK_EQ(a, b) CW_CHECK_OP_(a, b, ==)
+#define CW_CHECK_NE(a, b) CW_CHECK_OP_(a, b, !=)
+#define CW_CHECK_LT(a, b) CW_CHECK_OP_(a, b, <)
+#define CW_CHECK_LE(a, b) CW_CHECK_OP_(a, b, <=)
+#define CW_CHECK_GT(a, b) CW_CHECK_OP_(a, b, >)
+#define CW_CHECK_GE(a, b) CW_CHECK_OP_(a, b, >=)
+#define CW_CHECK_OK(expr) CW_CHECK((expr).ok())
+
+#ifdef NDEBUG
+// Compiles (and type-checks) the condition and message without evaluating
+// either at runtime; the constant-true ternary arm is selected statically.
+#define CW_DCHECK(cond) CW_CHECK(true || (cond))
+#else
+#define CW_DCHECK(cond) CW_CHECK(cond)
+#endif
+
+#endif  // CLOUDWALKER_COMMON_LOGGING_H_

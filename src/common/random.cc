@@ -1,0 +1,79 @@
+#include "common/random.h"
+
+namespace cloudwalker {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream) {
+  // Two SplitMix64 mixes keyed by both inputs; avalanche is sufficient for
+  // statistically independent xoshiro seeds.
+  uint64_t s = seed ^ (0x9e3779b97f4a7c15ULL + (stream << 1));
+  uint64_t a = SplitMix64Next(&s);
+  s ^= stream * 0xda942042e4dd58b5ULL;
+  uint64_t b = SplitMix64Next(&s);
+  return a ^ Rotl(b, 23);
+}
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& lane : s_) lane = SplitMix64Next(&sm);
+  // The all-zero state is the one fixed point of xoshiro; SplitMix64 cannot
+  // produce four zero outputs from any state, so no further guard is needed.
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Xoshiro256::UniformInt(uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's method with rejection to remove modulo bias.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+uint32_t Xoshiro256::UniformInt32(uint32_t bound) {
+  if (bound == 0) return 0;
+  uint64_t x = Next() >> 32;
+  uint64_t m = x * bound;
+  uint32_t l = static_cast<uint32_t>(m);
+  if (l < bound) {
+    uint32_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = Next() >> 32;
+      m = x * bound;
+      l = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+}  // namespace cloudwalker

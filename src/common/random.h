@@ -1,0 +1,59 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All randomized components in the library draw from Xoshiro256** streams
+// derived with DeriveSeed(seed, stream). Deriving a fresh generator per
+// logical unit of work (e.g. per source node) makes results reproducible
+// regardless of thread count or scheduling.
+
+#ifndef CLOUDWALKER_COMMON_RANDOM_H_
+#define CLOUDWALKER_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace cloudwalker {
+
+/// Advances a SplitMix64 state and returns the next 64-bit output.
+/// SplitMix64 is used for seeding and seed derivation only.
+uint64_t SplitMix64Next(uint64_t* state);
+
+/// Mixes (seed, stream) into an independent 64-bit seed. Distinct streams
+/// yield statistically independent generator states.
+uint64_t DeriveSeed(uint64_t seed, uint64_t stream);
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, 2^256-1 period.
+class Xoshiro256 {
+ public:
+  /// Seeds the four lanes from `seed` via SplitMix64 (never all-zero).
+  explicit Xoshiro256(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns a generator seeded from DeriveSeed(seed, stream); the canonical
+  /// way to obtain per-node / per-worker independent streams.
+  static Xoshiro256 Derive(uint64_t seed, uint64_t stream) {
+    return Xoshiro256(DeriveSeed(seed, stream));
+  }
+
+  /// Next raw 64 bits.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [0, bound) for 32-bit bounds (fast path).
+  uint32_t UniformInt32(uint32_t bound);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_COMMON_RANDOM_H_

@@ -1,0 +1,52 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+
+namespace cloudwalker {
+
+Status BinaryWriter::Flush(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != buffer_.size() || !close_ok) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::LoadFile(const std::string& path, std::string* buffer) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError("cannot stat: " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  buffer->resize(static_cast<size_t>(size));
+  const size_t read = std::fread(buffer->data(), 1, buffer->size(), f);
+  std::fclose(f);
+  if (read != buffer->size()) {
+    return Status::IoError("short read from " + path);
+  }
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadString(std::string* out) {
+  uint64_t n = 0;
+  CW_RETURN_IF_ERROR(Read(&n));
+  if (pos_ + n > size_) {
+    return Status::OutOfRange("BinaryReader: truncated string");
+  }
+  out->assign(data_ + pos_, n);
+  pos_ += n;
+  return Status::Ok();
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,135 @@
+// Sparse vector primitives used throughout the walk and indexing kernels.
+//
+// SparseVector   — immutable-ish sorted (index, value) array with vector ops.
+// SparseAccumulator — open-addressing uint32 -> double map tuned for the
+//                     "scatter many small contributions, then drain" pattern
+//                     of Monte-Carlo walk aggregation.
+
+#ifndef CLOUDWALKER_COMMON_SPARSE_H_
+#define CLOUDWALKER_COMMON_SPARSE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cloudwalker {
+
+/// One non-zero of a sparse vector.
+struct SparseEntry {
+  uint32_t index;
+  double value;
+
+  bool operator==(const SparseEntry& o) const {
+    return index == o.index && value == o.value;
+  }
+};
+
+/// Sorted sparse vector over uint32 indices.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Takes entries in any order (duplicates allowed); sorts and merges.
+  static SparseVector FromUnsorted(std::vector<SparseEntry> entries);
+
+  /// Wraps entries that are already sorted by index with no duplicates.
+  /// CW_DCHECKs the precondition in debug builds.
+  static SparseVector FromSorted(std::vector<SparseEntry> entries);
+
+  /// Number of stored non-zeros.
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const SparseEntry& operator[](size_t i) const { return entries_[i]; }
+  std::vector<SparseEntry>::const_iterator begin() const {
+    return entries_.begin();
+  }
+  std::vector<SparseEntry>::const_iterator end() const {
+    return entries_.end();
+  }
+
+  /// Value at `index` (0.0 when absent); O(log nnz).
+  double Get(uint32_t index) const;
+
+  /// Sum of values.
+  double Sum() const;
+
+  /// Sum of squared values.
+  double SumSquares() const;
+
+  /// L1-normalizes in place; no-op if the vector sums to 0.
+  void Normalize();
+
+  /// Multiplies every value by `factor`.
+  void Scale(double factor);
+
+  /// Drops entries with |value| < threshold.
+  void Prune(double threshold);
+
+  /// Sparse dot product, O(nnz_a + nnz_b).
+  static double Dot(const SparseVector& a, const SparseVector& b);
+
+  /// Dot product with a per-index diagonal weight:
+  /// sum_k a[k] * b[k] * diag[k]. `diag` is dense, indexed by entry index.
+  static double DotWeighted(const SparseVector& a, const SparseVector& b,
+                            const std::vector<double>& diag);
+
+  /// a + alpha * b, returned as a new sorted vector.
+  static SparseVector Axpy(const SparseVector& a, double alpha,
+                           const SparseVector& b);
+
+  /// Access to the underlying storage (sorted by index).
+  const std::vector<SparseEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<SparseEntry> entries_;
+};
+
+/// Open-addressing hash accumulator for uint32 keys and double values.
+/// Linear probing, power-of-two capacity, tombstone-free (no deletion).
+/// ~2x faster than std::unordered_map for the walk-counting workload and
+/// reusable across batches via Clear().
+class SparseAccumulator {
+ public:
+  /// `expected` sizes the table to hold that many distinct keys without
+  /// rehashing.
+  explicit SparseAccumulator(size_t expected = 16);
+
+  /// Adds `value` to the accumulator slot for `index`.
+  void Add(uint32_t index, double value);
+
+  /// Value currently accumulated at `index` (0.0 when absent).
+  double Get(uint32_t index) const;
+
+  /// Number of distinct keys present.
+  size_t size() const { return size_; }
+
+  /// Removes all entries but keeps the capacity.
+  void Clear();
+
+  /// Drains the contents into a sorted SparseVector.
+  SparseVector ToSortedVector() const;
+
+  /// Invokes fn(index, value) for every entry, in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty) fn(keys_[i], values_[i]);
+    }
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+
+  void Rehash(size_t new_capacity);
+  size_t Probe(uint32_t key) const;
+
+  std::vector<uint32_t> keys_;
+  std::vector<double> values_;
+  size_t size_ = 0;
+  size_t mask_ = 0;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_COMMON_SPARSE_H_

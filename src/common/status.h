@@ -1,0 +1,151 @@
+// Status / StatusOr: exception-free error handling in the style of
+// Google's absl::Status and RocksDB's rocksdb::Status.
+//
+// Library code returns Status (or StatusOr<T>) instead of throwing.
+// Use CW_RETURN_IF_ERROR / CW_ASSIGN_OR_RETURN to propagate errors.
+
+#ifndef CLOUDWALKER_COMMON_STATUS_H_
+#define CLOUDWALKER_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace cloudwalker {
+
+/// Canonical error space, a compact subset of absl's codes that covers the
+/// failure modes in this library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kResourceExhausted = 5,
+  kUnimplemented = 6,
+  kIoError = 7,
+  kInternal = 8,
+};
+
+/// Returns the canonical name of `code`, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic error indicator. Ok statuses are cheap to copy; error
+/// statuses carry a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string_view message)
+      : code_(code), message_(message) {}
+
+  /// Factory helpers, one per canonical code.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status OutOfRange(std::string_view msg) {
+    return Status(StatusCode::kOutOfRange, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+  static Status ResourceExhausted(std::string_view msg) {
+    return Status(StatusCode::kResourceExhausted, msg);
+  }
+  static Status Unimplemented(std::string_view msg) {
+    return Status(StatusCode::kUnimplemented, msg);
+  }
+  static Status IoError(std::string_view msg) {
+    return Status(StatusCode::kIoError, msg);
+  }
+  static Status Internal(std::string_view msg) {
+    return Status(StatusCode::kInternal, msg);
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The canonical code.
+  StatusCode code() const { return code_; }
+
+  /// The human-readable message ("" for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error StatusOr aborts (programming error), mirroring absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (success).
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+
+  /// Implicit construction from an error status. `status.ok()` is a
+  /// programming error and yields an Internal error instead.
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value; must only be called when ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// Pointer-style access; must only be called when ok().
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error status from an expression returning Status.
+#define CW_RETURN_IF_ERROR(expr)                 \
+  do {                                           \
+    ::cloudwalker::Status _cw_status = (expr);   \
+    if (!_cw_status.ok()) return _cw_status;     \
+  } while (0)
+
+#define CW_STATUS_CONCAT_INNER_(x, y) x##y
+#define CW_STATUS_CONCAT_(x, y) CW_STATUS_CONCAT_INNER_(x, y)
+
+/// Evaluates an expression returning StatusOr<T>; on success moves the value
+/// into `lhs`, otherwise returns the error from the enclosing function.
+#define CW_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  auto CW_STATUS_CONCAT_(_cw_statusor_, __LINE__) = (expr);             \
+  if (!CW_STATUS_CONCAT_(_cw_statusor_, __LINE__).ok())                 \
+    return CW_STATUS_CONCAT_(_cw_statusor_, __LINE__).status();         \
+  lhs = std::move(CW_STATUS_CONCAT_(_cw_statusor_, __LINE__)).value()
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_COMMON_STATUS_H_

@@ -1,0 +1,92 @@
+#include "common/string_util.h"
+
+#include <cstdio>
+
+namespace cloudwalker {
+
+std::vector<std::string> StrSplit(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' ||
+                          s[b] == '\n')) {
+    ++b;
+  }
+  size_t e = s.size();
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string HumanCount(uint64_t n) {
+  if (n >= 1000000000ull) {
+    return FormatDouble(static_cast<double>(n) / 1e9, 1) + "B";
+  }
+  if (n >= 1000000ull) {
+    return FormatDouble(static_cast<double>(n) / 1e6, 1) + "M";
+  }
+  if (n >= 1000ull) {
+    return FormatDouble(static_cast<double>(n) / 1e3, 1) + "K";
+  }
+  return std::to_string(n);
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  constexpr uint64_t kKiB = 1024, kMiB = kKiB * 1024, kGiB = kMiB * 1024;
+  if (bytes >= kGiB) {
+    return FormatDouble(static_cast<double>(bytes) / kGiB, 1) + "GB";
+  }
+  if (bytes >= kMiB) {
+    return FormatDouble(static_cast<double>(bytes) / kMiB, 1) + "MB";
+  }
+  if (bytes >= kKiB) {
+    return FormatDouble(static_cast<double>(bytes) / kKiB, 1) + "KB";
+  }
+  return std::to_string(bytes) + "B";
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds >= 3600.0) {
+    return FormatDouble(seconds / 3600.0, 1) + "h";
+  }
+  if (seconds >= 1.0) {
+    return FormatDouble(seconds, seconds >= 100 ? 0 : 1) + "s";
+  }
+  if (seconds >= 1e-3) {
+    return FormatDouble(seconds * 1e3, seconds >= 0.1 ? 0 : 1) + "ms";
+  }
+  if (seconds >= 1e-6) {
+    return FormatDouble(seconds * 1e6, 0) + "us";
+  }
+  if (seconds <= 0.0) {
+    return "0s";
+  }
+  return FormatDouble(seconds * 1e9, 0) + "ns";
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,39 @@
+// Small string helpers plus human-readable formatting of counts, bytes and
+// durations (used by the benchmark tables to mirror the paper's units).
+
+#ifndef CLOUDWALKER_COMMON_STRING_UTIL_H_
+#define CLOUDWALKER_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cloudwalker {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// "7.1K", "1.5B", "103" — counts with one decimal, as in the paper's
+/// dataset table.
+std::string HumanCount(uint64_t n);
+
+/// "476.8KB", "11.4GB" — binary sizes with one decimal.
+std::string HumanBytes(uint64_t bytes);
+
+/// "64.0s", "46ms", "110.2h", "4us" — durations matched to the unit the
+/// paper uses at each magnitude.
+std::string HumanSeconds(double seconds);
+
+/// Fixed-precision double, e.g. FormatDouble(0.12345, 3) == "0.123".
+std::string FormatDouble(double value, int precision);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_COMMON_STRING_UTIL_H_

@@ -1,0 +1,43 @@
+// Aligned text / markdown / CSV table rendering for the benchmark harness.
+// Every "Table N" bench prints through this so output stays diffable.
+
+#ifndef CLOUDWALKER_COMMON_TABLE_H_
+#define CLOUDWALKER_COMMON_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace cloudwalker {
+
+/// Column-aligned table with a header row.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with space-padded columns and a rule under the header.
+  void RenderText(std::ostream& os) const;
+
+  /// Renders as a GitHub-flavoured markdown table.
+  void RenderMarkdown(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (fields containing commas are quoted).
+  void RenderCsv(std::ostream& os) const;
+
+ private:
+  std::vector<size_t> ColumnWidths() const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_COMMON_TABLE_H_

@@ -1,0 +1,125 @@
+#include "common/threading.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cloudwalker {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    CW_CHECK(!stop_) << "Submit after shutdown";
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t begin, uint64_t end, uint64_t grain,
+    const std::function<void(uint64_t, uint64_t)>& body) {
+  if (begin >= end) return;
+  const uint64_t n = end - begin;
+  if (grain == 0) {
+    const uint64_t target_chunks =
+        static_cast<uint64_t>(num_threads()) * 8;
+    grain = std::max<uint64_t>(1, n / std::max<uint64_t>(1, target_chunks));
+  }
+  if (n <= grain || num_threads() == 1) {
+    body(begin, end);
+    return;
+  }
+
+  // Chunk claiming via a shared atomic cursor: chunk boundaries depend only
+  // on `grain`, so work partitioning is deterministic even though the
+  // assignment of chunks to threads is not.
+  auto next = std::make_shared<std::atomic<uint64_t>>(begin);
+  auto pending = std::make_shared<std::atomic<int>>(0);
+  auto done_mu = std::make_shared<std::mutex>();
+  auto done_cv = std::make_shared<std::condition_variable>();
+
+  auto drain = [next, end, grain, &body] {
+    while (true) {
+      const uint64_t s = next->fetch_add(grain, std::memory_order_relaxed);
+      if (s >= end) return;
+      body(s, std::min(s + grain, end));
+    }
+  };
+
+  const int helpers = num_threads();
+  pending->store(helpers, std::memory_order_relaxed);
+  for (int i = 0; i < helpers; ++i) {
+    Submit([drain, pending, done_mu, done_cv] {
+      drain();
+      if (pending->fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(*done_mu);
+        done_cv->notify_all();
+      }
+    });
+  }
+  drain();  // The caller participates too.
+  std::unique_lock<std::mutex> lock(*done_mu);
+  done_cv->wait(lock, [pending] {
+    return pending->load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ParallelFor(ThreadPool* pool, uint64_t begin, uint64_t end,
+                 uint64_t grain,
+                 const std::function<void(uint64_t, uint64_t)>& body) {
+  if (pool == nullptr) {
+    if (begin < end) body(begin, end);
+    return;
+  }
+  pool->ParallelFor(begin, end, grain, body);
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,75 @@
+// ThreadPool + ParallelFor: the execution substrate for all parallel phases.
+//
+// Determinism contract: ParallelFor hands the body [begin, end) chunks whose
+// boundaries depend only on `grain`, never on the number of threads, so any
+// computation that derives randomness from chunk/item indices is reproducible
+// across machines and thread counts.
+
+#ifndef CLOUDWALKER_COMMON_THREADING_H_
+#define CLOUDWALKER_COMMON_THREADING_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cloudwalker {
+
+/// Fixed-size pool of worker threads with a FIFO task queue.
+/// Thread-safe; tasks may be submitted from any thread (including workers,
+/// though a worker blocking on Wait() for its own task set would deadlock —
+/// use ParallelFor for nested data parallelism instead).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; num_threads <= 0 selects the hardware
+  /// concurrency (at least 1).
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  /// Runs `body(chunk_begin, chunk_end)` over [begin, end) split into chunks
+  /// of at most `grain` items, using all pool threads plus the caller.
+  /// Blocks until every chunk has finished. `grain == 0` picks a chunk size
+  /// targeting ~8 chunks per thread.
+  void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                   const std::function<void(uint64_t, uint64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;   // signalled when a task is queued
+  std::condition_variable cv_idle_;   // signalled when a worker finishes
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+/// Serial fallback used when `pool` is null, otherwise pool->ParallelFor.
+/// Lets library code take an optional ThreadPool* without branching at every
+/// call site.
+void ParallelFor(ThreadPool* pool, uint64_t begin, uint64_t end,
+                 uint64_t grain,
+                 const std::function<void(uint64_t, uint64_t)>& body);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_COMMON_THREADING_H_

@@ -1,0 +1,47 @@
+// Wall-clock timing helpers (header-only).
+
+#ifndef CLOUDWALKER_COMMON_TIMER_H_
+#define CLOUDWALKER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace cloudwalker {
+
+/// Monotonic stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Adds the scope's elapsed seconds to *accumulator on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* accumulator) : accumulator_(accumulator) {}
+  ~ScopedTimer() { *accumulator_ += timer_.Seconds(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* accumulator_;
+  WallTimer timer_;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_COMMON_TIMER_H_

@@ -1,0 +1,97 @@
+#include "core/cloudwalker.h"
+
+#include <algorithm>
+
+namespace cloudwalker {
+namespace {
+
+double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+StatusOr<CloudWalker> CloudWalker::Build(const Graph* graph,
+                                         const IndexingOptions& options,
+                                         ThreadPool* pool) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("graph must not be null");
+  }
+  IndexingStats stats;
+  CW_ASSIGN_OR_RETURN(DiagonalIndex index,
+                      BuildDiagonalIndex(*graph, options, pool, &stats));
+  return CloudWalker(graph, std::move(index), stats);
+}
+
+StatusOr<CloudWalker> CloudWalker::FromIndex(const Graph* graph,
+                                             DiagonalIndex index) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("graph must not be null");
+  }
+  if (index.num_nodes() != graph->num_nodes()) {
+    return Status::FailedPrecondition(
+        "index covers " + std::to_string(index.num_nodes()) +
+        " nodes but the graph has " + std::to_string(graph->num_nodes()));
+  }
+  return CloudWalker(graph, std::move(index), IndexingStats{});
+}
+
+Status CloudWalker::ValidateQuery(NodeId node,
+                                  const QueryOptions& options) const {
+  CW_RETURN_IF_ERROR(options.Validate());
+  if (node >= graph_->num_nodes()) {
+    return Status::OutOfRange("node " + std::to_string(node) +
+                              " out of range (graph has " +
+                              std::to_string(graph_->num_nodes()) + " nodes)");
+  }
+  return Status::Ok();
+}
+
+StatusOr<double> CloudWalker::SinglePair(NodeId i, NodeId j,
+                                         const QueryOptions& options) const {
+  CW_RETURN_IF_ERROR(ValidateQuery(i, options));
+  CW_RETURN_IF_ERROR(ValidateQuery(j, options));
+  return Clamp01(SinglePairQuery(*graph_, index_, i, j, options));
+}
+
+StatusOr<SparseVector> CloudWalker::SingleSource(
+    NodeId q, const QueryOptions& options) const {
+  CW_RETURN_IF_ERROR(ValidateQuery(q, options));
+  const SparseVector raw = SingleSourceQuery(*graph_, index_, q, options);
+  std::vector<SparseEntry> entries;
+  entries.reserve(raw.size() + 1);
+  bool saw_self = false;
+  for (const SparseEntry& e : raw) {
+    if (e.index == q) {
+      entries.push_back(SparseEntry{q, 1.0});
+      saw_self = true;
+    } else {
+      entries.push_back(SparseEntry{e.index, Clamp01(e.value)});
+    }
+  }
+  SparseVector out = SparseVector::FromSorted(std::move(entries));
+  if (!saw_self) {
+    out = SparseVector::Axpy(out, 1.0,
+                             SparseVector::FromSorted({SparseEntry{q, 1.0}}));
+  }
+  return out;
+}
+
+StatusOr<std::vector<ScoredNode>> CloudWalker::SingleSourceTopK(
+    NodeId q, size_t k, const QueryOptions& options) const {
+  CW_RETURN_IF_ERROR(ValidateQuery(q, options));
+  const SparseVector raw = SingleSourceQuery(*graph_, index_, q, options);
+  std::vector<ScoredNode> top = TopKFromSparse(raw, /*exclude=*/q, k);
+  for (ScoredNode& s : top) s.score = Clamp01(s.score);
+  return top;
+}
+
+StatusOr<std::vector<std::vector<ScoredNode>>> CloudWalker::AllPairs(
+    size_t k, const QueryOptions& options, ThreadPool* pool) const {
+  CW_RETURN_IF_ERROR(options.Validate());
+  auto result = AllPairsTopK(*graph_, index_, options, k, pool);
+  for (auto& per_source : result) {
+    for (ScoredNode& s : per_source) s.score = Clamp01(s.score);
+  }
+  return result;
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,90 @@
+// CloudWalker facade — the library's primary public API.
+//
+// Quickstart:
+//
+//   Graph graph = GenerateRmat(10'000, 150'000, /*seed=*/7);
+//   ThreadPool pool;
+//   auto cw = CloudWalker::Build(&graph, IndexingOptions{}, &pool);
+//   CW_CHECK_OK(cw.status());
+//   double s = cw->SinglePair(12, 34).value();
+//   auto similar = cw->SingleSourceTopK(12, /*k=*/10).value();
+//
+// The facade owns the DiagonalIndex but only observes the graph; the graph
+// must outlive the CloudWalker instance.
+
+#ifndef CLOUDWALKER_CORE_CLOUDWALKER_H_
+#define CLOUDWALKER_CORE_CLOUDWALKER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/threading.h"
+#include "core/diagonal.h"
+#include "core/indexer.h"
+#include "core/options.h"
+#include "core/queries.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// An indexed graph ready to answer SimRank queries. Query methods are
+/// const and thread-safe (independent RNG streams per call).
+class CloudWalker {
+ public:
+  /// Runs offline indexing on `graph` (threaded via `pool`, serial when
+  /// null) and returns a query-ready instance. `graph` is borrowed.
+  static StatusOr<CloudWalker> Build(const Graph* graph,
+                                     const IndexingOptions& options = {},
+                                     ThreadPool* pool = nullptr);
+
+  /// Wraps a previously built (e.g. loaded) index for `graph`. Fails when
+  /// the index and graph disagree on the node count.
+  static StatusOr<CloudWalker> FromIndex(const Graph* graph,
+                                         DiagonalIndex index);
+
+  /// MCSP: SimRank estimate for (i, j), clamped to [0, 1]; exact 1 for
+  /// i == j. Fails on out-of-range nodes or invalid options.
+  StatusOr<double> SinglePair(NodeId i, NodeId j,
+                              const QueryOptions& options = {}) const;
+
+  /// MCSS: estimates s(q, v) for every v, returned sparse and clamped to
+  /// [0, 1] with the self-similarity entry pinned to exactly 1.
+  StatusOr<SparseVector> SingleSource(NodeId q,
+                                      const QueryOptions& options = {}) const;
+
+  /// The k nodes most similar to q (self excluded), by MCSS.
+  StatusOr<std::vector<ScoredNode>> SingleSourceTopK(
+      NodeId q, size_t k, const QueryOptions& options = {}) const;
+
+  /// MCAP: per-source top-k over all sources (parallel via `pool`).
+  StatusOr<std::vector<std::vector<ScoredNode>>> AllPairs(
+      size_t k, const QueryOptions& options = {},
+      ThreadPool* pool = nullptr) const;
+
+  /// The offline index.
+  const DiagonalIndex& index() const { return index_; }
+
+  /// Counters from the Build() indexing run (zeros for FromIndex).
+  const IndexingStats& indexing_stats() const { return stats_; }
+
+  /// The graph being queried.
+  const Graph& graph() const { return *graph_; }
+
+  /// Persists the index; reload with DiagonalIndex::Load + FromIndex.
+  Status SaveIndex(const std::string& path) const { return index_.Save(path); }
+
+ private:
+  CloudWalker(const Graph* graph, DiagonalIndex index, IndexingStats stats)
+      : graph_(graph), index_(std::move(index)), stats_(stats) {}
+
+  Status ValidateQuery(NodeId node, const QueryOptions& options) const;
+
+  const Graph* graph_;
+  DiagonalIndex index_;
+  IndexingStats stats_;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_CORE_CLOUDWALKER_H_

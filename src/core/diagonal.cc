@@ -1,0 +1,47 @@
+#include "core/diagonal.h"
+
+#include "common/serialize.h"
+
+namespace cloudwalker {
+namespace {
+
+constexpr uint64_t kIndexMagic = 0x434c574b44494147ull;  // "CLWKDIAG"
+constexpr uint32_t kIndexVersion = 1;
+
+}  // namespace
+
+Status DiagonalIndex::Save(const std::string& path) const {
+  BinaryWriter w;
+  w.Write(kIndexMagic);
+  w.Write(kIndexVersion);
+  w.Write(params_.decay);
+  w.Write(params_.num_steps);
+  w.WriteVector(diagonal_);
+  return w.Flush(path);
+}
+
+StatusOr<DiagonalIndex> DiagonalIndex::Load(const std::string& path) {
+  std::string buffer;
+  CW_RETURN_IF_ERROR(BinaryReader::LoadFile(path, &buffer));
+  BinaryReader r(buffer);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  CW_RETURN_IF_ERROR(r.Read(&magic));
+  if (magic != kIndexMagic) {
+    return Status::InvalidArgument("not a CloudWalker index file: " + path);
+  }
+  CW_RETURN_IF_ERROR(r.Read(&version));
+  if (version != kIndexVersion) {
+    return Status::InvalidArgument("unsupported index version " +
+                                   std::to_string(version));
+  }
+  SimRankParams params;
+  CW_RETURN_IF_ERROR(r.Read(&params.decay));
+  CW_RETURN_IF_ERROR(r.Read(&params.num_steps));
+  CW_RETURN_IF_ERROR(params.Validate());
+  std::vector<double> diagonal;
+  CW_RETURN_IF_ERROR(r.ReadVector(&diagonal));
+  return DiagonalIndex(params, std::move(diagonal));
+}
+
+}  // namespace cloudwalker

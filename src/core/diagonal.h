@@ -1,0 +1,52 @@
+// DiagonalIndex: the offline artifact of CloudWalker — diag(D) of the
+// SimRank linearization S = sum_t c^t (P^T)^t D P^t, together with the
+// SimRank parameters it was estimated under. Persistable.
+
+#ifndef CLOUDWALKER_CORE_DIAGONAL_H_
+#define CLOUDWALKER_CORE_DIAGONAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/options.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// Immutable diag(D) estimate for one graph + parameter set.
+class DiagonalIndex {
+ public:
+  /// An empty index (num_nodes() == 0).
+  DiagonalIndex() = default;
+
+  /// Wraps an estimated diagonal. `diagonal[k]` is D_kk.
+  DiagonalIndex(SimRankParams params, std::vector<double> diagonal)
+      : params_(params), diagonal_(std::move(diagonal)) {}
+
+  /// SimRank parameters (c, T) the diagonal was estimated for.
+  const SimRankParams& params() const { return params_; }
+
+  /// Number of nodes covered.
+  NodeId num_nodes() const { return static_cast<NodeId>(diagonal_.size()); }
+
+  /// D_kk (unchecked).
+  double operator[](NodeId k) const { return diagonal_[k]; }
+
+  /// The full diagonal.
+  const std::vector<double>& diagonal() const { return diagonal_; }
+
+  /// Writes the index to `path` (binary, versioned).
+  Status Save(const std::string& path) const;
+
+  /// Reads an index written by Save.
+  static StatusOr<DiagonalIndex> Load(const std::string& path);
+
+ private:
+  SimRankParams params_;
+  std::vector<double> diagonal_;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_CORE_DIAGONAL_H_

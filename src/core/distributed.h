@@ -1,0 +1,86 @@
+// Distributed execution of CloudWalker on the simulated cluster, in the
+// paper's two Spark models:
+//
+//   Broadcasting — every worker holds a full replica of the graph; work is
+//     range-partitioned over nodes; diag(D) is broadcast each Jacobi round;
+//     queries run driver-local (milliseconds). Fast, but the graph must fit
+//     in one worker's memory.
+//
+//   RDD — the graph is hash-partitioned; walkers are exchanged between
+//     partitions in BSP supersteps (one distributed stage per walk step),
+//     and row fragments are shuffled to each source's home partition.
+//     Queries pay per-stage scheduling overhead (seconds), but per-worker
+//     memory is ~1/W of the graph, so the model scales to graphs no single
+//     worker could hold.
+//
+// Numerics are identical across models (and identical to the local
+// indexer): both execute the same deterministic per-source walks; only the
+// simulated dataflow — and therefore the simulated cost report — differs.
+
+#ifndef CLOUDWALKER_CORE_DISTRIBUTED_H_
+#define CLOUDWALKER_CORE_DISTRIBUTED_H_
+
+#include "cluster/cost_model.h"
+#include "cluster/sim_cluster.h"
+#include "common/sparse.h"
+#include "common/status.h"
+#include "core/diagonal.h"
+#include "core/options.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// The paper's two Spark implementation models.
+enum class ExecutionModel {
+  kBroadcasting = 0,
+  kRdd = 1,
+};
+
+/// Returns "Broadcasting" or "RDD".
+const char* ExecutionModelName(ExecutionModel model);
+
+/// Outcome of a distributed indexing run.
+struct DistributedIndexResult {
+  /// Empty (num_nodes == 0) when infeasible.
+  DiagonalIndex index;
+  /// Simulated cost; `cost.feasible == false` means the model could not run
+  /// (e.g. Broadcasting on a graph exceeding worker memory) and `index` is
+  /// empty — the paper's "N/A" cells.
+  SimCostReport cost;
+};
+
+/// Runs offline indexing under `model` on a simulated cluster. Fails only on
+/// invalid arguments; memory infeasibility is reported via `cost.feasible`.
+StatusOr<DistributedIndexResult> DistributedBuildIndex(
+    const Graph& graph, const IndexingOptions& options, ExecutionModel model,
+    const ClusterConfig& cluster_config, const CostModel& cost_model,
+    ThreadPool* pool);
+
+/// Outcome of one distributed query.
+struct DistributedPairResult {
+  double value = 0.0;
+  SimCostReport cost;
+};
+struct DistributedSourceResult {
+  SparseVector scores;
+  SimCostReport cost;
+};
+
+/// MCSP under `model`. Results equal the local SinglePairQuery; the cost
+/// report reflects the model's dataflow.
+StatusOr<DistributedPairResult> DistributedSinglePair(
+    const Graph& graph, const DiagonalIndex& index, NodeId i, NodeId j,
+    const QueryOptions& options, ExecutionModel model,
+    const ClusterConfig& cluster_config, const CostModel& cost_model,
+    ThreadPool* pool);
+
+/// MCSS under `model`. Results equal the local SingleSourceQuery.
+StatusOr<DistributedSourceResult> DistributedSingleSource(
+    const Graph& graph, const DiagonalIndex& index, NodeId q,
+    const QueryOptions& options, ExecutionModel model,
+    const ClusterConfig& cluster_config, const CostModel& cost_model,
+    ThreadPool* pool);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_CORE_DISTRIBUTED_H_

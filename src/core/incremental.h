@@ -1,0 +1,85 @@
+// Incremental maintenance of a DiagonalIndex under graph updates — the
+// natural extension of CloudWalker's per-node decomposition (and a staple
+// follow-up to the paper): when edges change, only nodes whose walk
+// distributions can have changed need their rows re-estimated, after which
+// a few Jacobi sweeps restore the solve.
+//
+// A node k's row a_k depends on the T-step reverse-walk neighborhood of k,
+// so an edge (u -> v) insertion/removal invalidates exactly the nodes that
+// can reach v within T forward... more precisely: u joins/leaves In(v), so
+// every node whose reverse walks can visit v within T - 1 steps — the
+// nodes reachable from v via OUT-edges within T - 1 hops, plus v itself —
+// may sample differently. We recompute rows for that dirty set and re-run
+// the Jacobi iterations globally (cheap relative to the walks).
+
+#ifndef CLOUDWALKER_CORE_INCREMENTAL_H_
+#define CLOUDWALKER_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/threading.h"
+#include "core/diagonal.h"
+#include "core/indexer.h"
+#include "core/options.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// One edge insertion or removal.
+struct EdgeUpdate {
+  NodeId from = 0;
+  NodeId to = 0;
+  bool insert = true;  // false = removal
+};
+
+/// Maintains a CloudWalker index across batches of edge updates.
+/// Usage:
+///   IncrementalIndexer inc(options);
+///   CW_ASSIGN_OR_RETURN(auto state, inc.Initialize(graph, pool));
+///   ... graph' = graph with updates applied (rebuilt by the caller) ...
+///   CW_ASSIGN_OR_RETURN(state, inc.ApplyUpdates(graph_prime, updates,
+///                                               std::move(state), pool));
+///   state.index  // refreshed diag(D)
+///
+/// The indexer owns no graph; callers pass the *post-update* graph along
+/// with the update batch. Rows are kept materialized between batches
+/// (RowMode::kStoreRows semantics).
+class IncrementalIndexer {
+ public:
+  /// State carried between update batches.
+  struct State {
+    DiagonalIndex index;
+    std::vector<SparseVector> rows;  // one per node, current graph
+    /// Nodes re-estimated by the last ApplyUpdates call (telemetry).
+    uint64_t last_dirty_count = 0;
+  };
+
+  explicit IncrementalIndexer(const IndexingOptions& options)
+      : options_(options) {}
+
+  /// Full build: rows + solve, returning reusable state.
+  StatusOr<State> Initialize(const Graph& graph, ThreadPool* pool) const;
+
+  /// Applies a batch of updates: computes the dirty set (nodes within
+  /// T-1 forward hops of any touched endpoint), re-estimates exactly those
+  /// rows against `updated_graph`, and re-solves. Node counts must match
+  /// the previous state. Fails on out-of-range endpoints.
+  StatusOr<State> ApplyUpdates(const Graph& updated_graph,
+                               const std::vector<EdgeUpdate>& updates,
+                               State state, ThreadPool* pool) const;
+
+  /// The dirty set of `updates` on `graph`: every node whose index row can
+  /// change. Exposed for testing and cost analysis.
+  std::vector<NodeId> DirtyNodes(const Graph& graph,
+                                 const std::vector<EdgeUpdate>& updates) const;
+
+ private:
+  IndexingOptions options_;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_CORE_INCREMENTAL_H_

@@ -1,0 +1,39 @@
+#include "core/options.h"
+
+namespace cloudwalker {
+
+Status SimRankParams::Validate() const {
+  if (!(decay > 0.0) || !(decay < 1.0)) {
+    return Status::InvalidArgument("decay factor c must lie in (0, 1)");
+  }
+  if (num_steps < 1) {
+    return Status::InvalidArgument("num_steps T must be >= 1");
+  }
+  return Status::Ok();
+}
+
+Status IndexingOptions::Validate() const {
+  CW_RETURN_IF_ERROR(params.Validate());
+  if (num_walkers < 1) {
+    return Status::InvalidArgument("num_walkers R must be >= 1");
+  }
+  if (jacobi_iterations < 1) {
+    return Status::InvalidArgument("jacobi_iterations L must be >= 1");
+  }
+  return Status::Ok();
+}
+
+Status QueryOptions::Validate() const {
+  if (num_walkers < 1) {
+    return Status::InvalidArgument("num_walkers R' must be >= 1");
+  }
+  if (push_fanout < 1) {
+    return Status::InvalidArgument("push_fanout must be >= 1");
+  }
+  if (prune_threshold < 0.0) {
+    return Status::InvalidArgument("prune_threshold must be >= 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,99 @@
+// User-facing option structs for CloudWalker indexing and queries.
+// Defaults are the paper's Table of default parameters:
+//   c = 0.6, T = 10, L = 3, R = 100, R' = 10,000.
+
+#ifndef CLOUDWALKER_CORE_OPTIONS_H_
+#define CLOUDWALKER_CORE_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "engine/walk.h"
+
+namespace cloudwalker {
+
+/// The SimRank measure itself: decay factor c and series truncation T.
+struct SimRankParams {
+  /// Decay factor c in (0, 1).
+  double decay = 0.6;
+  /// Number of walk steps T (series truncated after c^T terms).
+  uint32_t num_steps = 10;
+
+  /// InvalidArgument unless 0 < decay < 1 and num_steps >= 1.
+  Status Validate() const;
+
+  bool operator==(const SimRankParams& o) const {
+    return decay == o.decay && num_steps == o.num_steps;
+  }
+};
+
+/// How the Jacobi solver obtains row a_k at each iteration.
+enum class RowMode {
+  /// Materialize all sparse rows once (O(n * R * T) memory, fastest).
+  kStoreRows = 0,
+  /// Re-run the (deterministically seeded) walks every iteration
+  /// (O(n) memory, L+1 times the walk work) — the big-graph regime.
+  kRegenerate = 1,
+};
+
+/// Offline indexing (estimation of diag(D)) parameters.
+struct IndexingOptions {
+  SimRankParams params;
+  /// R — Monte-Carlo walkers per node when estimating rows of A.
+  uint32_t num_walkers = 100;
+  /// L — Jacobi iterations for A x = 1.
+  uint32_t jacobi_iterations = 3;
+  /// Master seed for all index-time randomness.
+  uint64_t seed = 1;
+  /// Row storage strategy (see RowMode).
+  RowMode row_mode = RowMode::kStoreRows;
+  /// Starting guess for diag(D); a negative value selects 1 - c, the exact
+  /// solution on cycle-like graphs and the customary initialization.
+  double initial_diagonal = -1.0;
+  /// Behaviour at dangling (in-degree-0) nodes.
+  DanglingPolicy dangling = DanglingPolicy::kDie;
+  /// Also compute the residual max_k |(A x)_k - 1| after every iteration
+  /// (one extra sweep each; useful for convergence studies).
+  bool track_residuals = false;
+
+  /// InvalidArgument unless params validate, num_walkers >= 1 and
+  /// jacobi_iterations >= 1.
+  Status Validate() const;
+};
+
+/// Strategy for the (P^T)^t push inside single-source queries.
+enum class PushStrategy {
+  /// One weighted sample per non-zero per step: O(T^2 R') total, the
+  /// paper-shaped constant-cost estimator.
+  kSampled = 0,
+  /// Exact sparse propagation with optional epsilon pruning: cost grows
+  /// with graph density; higher accuracy. Ablation mode.
+  kExact = 1,
+};
+
+/// Online query (MCSP / MCSS / MCAP) parameters.
+struct QueryOptions {
+  /// R' — Monte-Carlo walkers per query source.
+  uint32_t num_walkers = 10000;
+  /// Seed for query-time randomness (streams derived per source node, so
+  /// SinglePair(i, j) == SinglePair(j, i) exactly).
+  uint64_t seed = 97;
+  /// Single-source push strategy.
+  PushStrategy push = PushStrategy::kSampled;
+  /// kSampled: weighted samples drawn per non-zero per step (>= 1).
+  /// Larger values reduce variance at proportional cost.
+  uint32_t push_fanout = 1;
+  /// kExact: entries with |mass| below this are dropped each step
+  /// (0 disables pruning).
+  double prune_threshold = 0.0;
+  /// Behaviour at dangling nodes (must match the index to be meaningful).
+  DanglingPolicy dangling = DanglingPolicy::kDie;
+
+  /// InvalidArgument unless num_walkers >= 1, push_fanout >= 1 and
+  /// prune_threshold >= 0.
+  Status Validate() const;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_CORE_OPTIONS_H_

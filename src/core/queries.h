@@ -1,0 +1,84 @@
+// Online Monte-Carlo query kernels:
+//   MCSP — single-pair  s(i, j), O(T R')
+//   MCSS — single-source s(q, *), O(T^2 R') with the sampled push
+//   MCAP — all-pairs via repeated MCSS, streamed as per-source top-k
+//
+// All kernels consume a DiagonalIndex built by core/indexer.h and estimate
+//   s(i, j) = sum_{t=0..T} c^t (P^t e_i)^T D (P^t e_j).
+// Raw estimates are returned unclamped (they can exceed [0, 1] slightly due
+// to Monte-Carlo variance); the CloudWalker facade applies clamping.
+
+#ifndef CLOUDWALKER_CORE_QUERIES_H_
+#define CLOUDWALKER_CORE_QUERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sparse.h"
+#include "common/threading.h"
+#include "core/diagonal.h"
+#include "core/options.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// Execution counters of one query. Crossing counters are only filled when
+/// an owner function is supplied (simulated-cluster accounting).
+struct QueryStats {
+  uint64_t walk_steps = 0;            // reverse-walk steps
+  uint64_t push_ops = 0;              // forward-push operations (MCSS only)
+  uint64_t walk_crossings = 0;        // walk steps crossing partitions
+  uint64_t push_crossings = 0;        // push ops crossing partitions
+};
+
+/// MCSP: single-pair SimRank estimate. Walker streams are derived per node,
+/// so the result is exactly symmetric in (i, j). Returns 1 for i == j.
+///
+/// This is the empirical-distribution estimator: the two R'-walker clouds
+/// are intersected level by level, giving R'^2 effective walker pairings
+/// per level at O(T R') cost.
+double SinglePairQuery(const Graph& graph, const DiagonalIndex& index,
+                       NodeId i, NodeId j, const QueryOptions& options,
+                       QueryStats* stats = nullptr,
+                       const NodeOwnerFn* owner = nullptr);
+
+/// Classic paired-walker MCSP estimator (ablation; DESIGN.md section 5.3):
+/// R' walker *pairs* advance in lockstep and the estimate is
+/// (1/R') sum_r sum_t c^t x_{a_t^r} [a_t^r == b_t^r]. Unbiased for the same
+/// quantity as SinglePairQuery but with only R' pairings per level, so its
+/// variance is higher at equal walk cost. Exactly symmetric in (i, j).
+double SinglePairQueryPaired(const Graph& graph, const DiagonalIndex& index,
+                             NodeId i, NodeId j, const QueryOptions& options,
+                             QueryStats* stats = nullptr);
+
+/// MCSS: single-source SimRank estimates s(q, v) for all v, as a sparse
+/// vector (absent nodes estimate to 0). The self-entry holds the diagonal
+/// *estimate* (close to 1 when the index converged), not a hard-coded 1.
+SparseVector SingleSourceQuery(const Graph& graph, const DiagonalIndex& index,
+                               NodeId q, const QueryOptions& options,
+                               QueryStats* stats = nullptr,
+                               const NodeOwnerFn* owner = nullptr);
+
+/// A node with its similarity score.
+struct ScoredNode {
+  NodeId node = kInvalidNode;
+  double score = 0.0;
+};
+
+/// Extracts the k highest-scoring entries of `scores` (excluding `exclude`,
+/// pass kInvalidNode to keep all), sorted by descending score then ascending
+/// node id.
+std::vector<ScoredNode> TopKFromSparse(const SparseVector& scores,
+                                       NodeId exclude, size_t k);
+
+/// MCAP: runs MCSS from every node (parallel across sources) and keeps the
+/// top-k similar nodes per source. O(n T^2 R') — the n x n result is never
+/// materialized. `total_walk_steps` (optional) accumulates walk counters.
+std::vector<std::vector<ScoredNode>> AllPairsTopK(
+    const Graph& graph, const DiagonalIndex& index,
+    const QueryOptions& options, size_t k, ThreadPool* pool,
+    uint64_t* total_walk_steps = nullptr);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_CORE_QUERIES_H_

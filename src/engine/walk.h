@@ -1,0 +1,122 @@
+// The Monte-Carlo random-walk engine.
+//
+// SimRank's transition matrix P is the column-normalized adjacency matrix,
+// so `P^t e_s` — the quantity every CloudWalker phase estimates — is the
+// distribution of a t-step walk from s that moves to a uniformly random
+// *in-neighbor* at each step. Walkers die at nodes with no in-neighbors
+// (mass loss is part of the definition; see DanglingPolicy).
+//
+// Determinism: every simulation derives its generator from
+// (config.seed, source), so results are independent of threading.
+
+#ifndef CLOUDWALKER_ENGINE_WALK_H_
+#define CLOUDWALKER_ENGINE_WALK_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sparse.h"
+#include "common/threading.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// What a walker does at a node with no in-neighbors.
+enum class DanglingPolicy {
+  /// The walker terminates; the empirical distribution loses its mass.
+  /// This is the faithful interpretation of P (columns of dangling nodes
+  /// are all-zero) and the library default.
+  kDie = 0,
+  /// The walker stays put, as if every dangling node had a self loop.
+  /// Provided for sensitivity experiments only.
+  kSelfLoop = 1,
+};
+
+/// Parameters of a walk simulation.
+struct WalkConfig {
+  /// Walk length T (number of steps; level 0 is the source itself).
+  uint32_t num_steps = 10;
+  /// Number of independent walkers per source (R or R' in the paper).
+  uint32_t num_walkers = 100;
+  /// Behaviour at dangling nodes.
+  DanglingPolicy dangling = DanglingPolicy::kDie;
+  /// Master seed; per-source streams are derived from it.
+  uint64_t seed = 1;
+};
+
+/// Advances one walker one step along in-links. Returns kInvalidNode when
+/// the walker dies (dangling node under kDie policy).
+inline NodeId StepReverse(const Graph& graph, NodeId v, Xoshiro256& rng,
+                          DanglingPolicy policy = DanglingPolicy::kDie) {
+  const uint32_t deg = graph.InDegree(v);
+  if (deg == 0) {
+    return policy == DanglingPolicy::kSelfLoop ? v : kInvalidNode;
+  }
+  return graph.InNeighbor(v, rng.UniformInt32(deg));
+}
+
+/// Empirical walk distributions û_{s,t} for t = 0..T.
+/// levels[t] sums to (surviving walkers at step t) / R, i.e. it estimates
+/// the (possibly sub-stochastic) column `P^t e_s`.
+struct WalkDistributions {
+  std::vector<SparseVector> levels;
+
+  /// Number of levels (T + 1).
+  size_t num_levels() const { return levels.size(); }
+};
+
+/// Maps a node to the id of the simulated worker owning it. Used by the
+/// cluster layer to count partition crossings without the engine depending
+/// on cluster types.
+using NodeOwnerFn = std::function<int(NodeId)>;
+
+/// Execution counters of one walk simulation.
+struct WalkStats {
+  /// Walk steps actually taken (dead walkers stop contributing).
+  uint64_t steps = 0;
+  /// Steps whose endpoint is owned by a different worker than the start
+  /// (only counted when an owner function is supplied).
+  uint64_t partition_crossings = 0;
+};
+
+/// Simulates `config.num_walkers` reverse walks from `source` and returns
+/// the empirical distribution at every step. `scratch` (optional) avoids
+/// reallocation across calls on the same thread. `owner` (optional) enables
+/// partition-crossing accounting into `stats`.
+WalkDistributions SimulateWalkDistributions(const Graph& graph, NodeId source,
+                                            const WalkConfig& config,
+                                            SparseAccumulator* scratch =
+                                                nullptr,
+                                            const NodeOwnerFn* owner = nullptr,
+                                            WalkStats* stats = nullptr);
+
+/// Runs SimulateWalkDistributions for every source in [0, graph.num_nodes())
+/// on `pool` (serial when null) and invokes `consume(source, dists)` once
+/// per source. `consume` may run concurrently for different sources and must
+/// be thread-safe across them.
+void SimulateAllSources(
+    const Graph& graph, const WalkConfig& config, ThreadPool* pool,
+    const std::function<void(NodeId, const WalkDistributions&)>& consume);
+
+/// Records the full trajectory of a single walker: positions[t] is the node
+/// at step t (kInvalidNode after death). positions[0] == source.
+std::vector<NodeId> SimulateTrajectory(const Graph& graph, NodeId source,
+                                       uint32_t num_steps, Xoshiro256& rng,
+                                       DanglingPolicy policy =
+                                           DanglingPolicy::kDie);
+
+/// Deterministic counterpart of SimulateWalkDistributions: computes the
+/// exact distributions u_{s,t} = P^t e_s by sparse propagation along
+/// in-links, optionally dropping entries below `prune_threshold` after each
+/// step (the LIN baseline's practical variant). `edge_ops` (optional)
+/// accumulates the number of edge traversals performed.
+WalkDistributions ExactWalkDistributions(const Graph& graph, NodeId source,
+                                         uint32_t num_steps,
+                                         double prune_threshold = 0.0,
+                                         uint64_t* edge_ops = nullptr);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_ENGINE_WALK_H_

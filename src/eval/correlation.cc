@@ -1,0 +1,100 @@
+#include "eval/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace cloudwalker {
+namespace {
+
+Status ValidateSizes(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("correlation requires equal sizes");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("correlation requires >= 2 elements");
+  }
+  return Status::Ok();
+}
+
+/// Average ranks (1-based), ties assigned their mid-rank.
+std::vector<double> AverageRanks(const std::vector<double>& v) {
+  std::vector<size_t> order(v.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&v](size_t x, size_t y) { return v[x] < v[y]; });
+  std::vector<double> ranks(v.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() && v[order[j + 1]] == v[order[i]]) ++j;
+    const double mid = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = mid;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+StatusOr<double> PearsonCorrelation(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  CW_RETURN_IF_ERROR(ValidateSizes(a, b));
+  const double n = static_cast<double>(a.size());
+  double ma = 0, mb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double cov = 0, va = 0, vb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) {
+    return Status::FailedPrecondition("correlation of constant vector");
+  }
+  return cov / std::sqrt(va * vb);
+}
+
+StatusOr<double> SpearmanCorrelation(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  CW_RETURN_IF_ERROR(ValidateSizes(a, b));
+  return PearsonCorrelation(AverageRanks(a), AverageRanks(b));
+}
+
+StatusOr<double> KendallTau(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  CW_RETURN_IF_ERROR(ValidateSizes(a, b));
+  int64_t concordant = 0, discordant = 0;
+  int64_t ties_a = 0, ties_b = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = i + 1; j < a.size(); ++j) {
+      const double da = a[i] - a[j];
+      const double db = b[i] - b[j];
+      if (da == 0.0 && db == 0.0) continue;
+      if (da == 0.0) {
+        ++ties_a;
+      } else if (db == 0.0) {
+        ++ties_b;
+      } else if ((da > 0) == (db > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = concordant + discordant + ties_a + ties_b;
+  const double denom = std::sqrt((concordant + discordant + ties_a) *
+                                 static_cast<double>(concordant +
+                                                     discordant + ties_b));
+  if (n0 == 0.0 || denom == 0.0) return 0.0;
+  return (concordant - discordant) / denom;
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,31 @@
+// Rank-correlation measures between estimated and ground-truth scores,
+// complementing the absolute-error metrics in eval/metrics.h.
+
+#ifndef CLOUDWALKER_EVAL_CORRELATION_H_
+#define CLOUDWALKER_EVAL_CORRELATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace cloudwalker {
+
+/// Pearson correlation coefficient of two equally-sized vectors.
+/// Fails on size mismatch, fewer than 2 elements, or zero variance.
+StatusOr<double> PearsonCorrelation(const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
+/// Spearman rank correlation (Pearson over average ranks; ties get their
+/// mid-rank). Same failure conditions as PearsonCorrelation.
+StatusOr<double> SpearmanCorrelation(const std::vector<double>& a,
+                                     const std::vector<double>& b);
+
+/// Kendall's tau-b over all pairs, O(n^2); fine for the evaluation sizes
+/// used here. Fails on size mismatch or fewer than 2 elements; returns 0
+/// when either vector is entirely tied.
+StatusOr<double> KendallTau(const std::vector<double>& a,
+                            const std::vector<double>& b);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_EVAL_CORRELATION_H_

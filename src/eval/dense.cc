@@ -1,0 +1,13 @@
+#include "eval/dense.h"
+
+namespace cloudwalker {
+
+std::vector<double> ToDense(const SparseVector& sparse, NodeId n) {
+  std::vector<double> out(n, 0.0);
+  for (const SparseEntry& e : sparse) {
+    if (e.index < n) out[e.index] = e.value;
+  }
+  return out;
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,20 @@
+// Small conversions between sparse query results and dense score vectors,
+// shared by tests, benches and examples.
+
+#ifndef CLOUDWALKER_EVAL_DENSE_H_
+#define CLOUDWALKER_EVAL_DENSE_H_
+
+#include <vector>
+
+#include "common/sparse.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// Expands a sparse score vector to a dense one of length `n` (zeros where
+/// absent). Entries beyond n are ignored.
+std::vector<double> ToDense(const SparseVector& sparse, NodeId n);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_EVAL_DENSE_H_

@@ -1,0 +1,83 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace cloudwalker {
+
+StatusOr<ErrorStats> ComputeErrorStats(const std::vector<double>& estimate,
+                                       const std::vector<double>& truth) {
+  if (estimate.size() != truth.size()) {
+    return Status::InvalidArgument("error stats require equal sizes");
+  }
+  if (estimate.empty()) {
+    return Status::InvalidArgument("error stats of empty vectors");
+  }
+  ErrorStats stats;
+  double sum_abs = 0.0, sum_sq = 0.0;
+  for (size_t i = 0; i < estimate.size(); ++i) {
+    const double d = std::fabs(estimate[i] - truth[i]);
+    stats.max_abs = std::max(stats.max_abs, d);
+    sum_abs += d;
+    sum_sq += d * d;
+  }
+  stats.mean_abs = sum_abs / static_cast<double>(estimate.size());
+  stats.rmse = std::sqrt(sum_sq / static_cast<double>(estimate.size()));
+  return stats;
+}
+
+double PrecisionAtK(const std::vector<NodeId>& estimated_topk,
+                    const std::vector<NodeId>& true_topk, size_t k) {
+  if (k == 0) return 0.0;
+  std::unordered_set<NodeId> truth(
+      true_topk.begin(),
+      true_topk.begin() + std::min(k, true_topk.size()));
+  size_t hits = 0;
+  const size_t limit = std::min(k, estimated_topk.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (truth.count(estimated_topk[i]) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double NdcgAtK(const std::vector<NodeId>& estimated_ranking,
+               const std::vector<double>& truth, size_t k) {
+  if (k == 0) return 0.0;
+  const size_t limit = std::min(k, estimated_ranking.size());
+  double dcg = 0.0;
+  for (size_t i = 0; i < limit; ++i) {
+    const NodeId v = estimated_ranking[i];
+    const double rel = v < truth.size() ? truth[v] : 0.0;
+    dcg += rel / std::log2(static_cast<double>(i) + 2.0);
+  }
+  // Ideal DCG: the k largest ground-truth scores in order.
+  std::vector<double> sorted(truth);
+  std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+  double idcg = 0.0;
+  for (size_t i = 0; i < std::min(k, sorted.size()); ++i) {
+    idcg += sorted[i] / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg > 0.0 ? dcg / idcg : 0.0;
+}
+
+std::vector<NodeId> TopKIndices(const std::vector<double>& scores, size_t k,
+                                NodeId exclude) {
+  std::vector<NodeId> ids;
+  ids.reserve(scores.size());
+  for (NodeId v = 0; v < scores.size(); ++v) {
+    if (v != exclude) ids.push_back(v);
+  }
+  const size_t keep = std::min(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + keep, ids.end(),
+                    [&scores](NodeId a, NodeId b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] > scores[b];
+                      }
+                      return a < b;
+                    });
+  ids.resize(keep);
+  return ids;
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,44 @@
+// Accuracy metrics for comparing estimated similarity scores against
+// ground truth (the paper's effectiveness study).
+
+#ifndef CLOUDWALKER_EVAL_METRICS_H_
+#define CLOUDWALKER_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// Elementwise error summary between two equally-sized score vectors.
+struct ErrorStats {
+  double max_abs = 0.0;
+  double mean_abs = 0.0;
+  double rmse = 0.0;
+};
+
+/// Computes ErrorStats over two vectors; fails on size mismatch.
+StatusOr<ErrorStats> ComputeErrorStats(const std::vector<double>& estimate,
+                                       const std::vector<double>& truth);
+
+/// Precision@k: fraction of the top-k estimated ids present in the top-k
+/// ground-truth ids (set intersection over k). Ids beyond either list's
+/// length are treated as absent.
+double PrecisionAtK(const std::vector<NodeId>& estimated_topk,
+                    const std::vector<NodeId>& true_topk, size_t k);
+
+/// NDCG@k with graded relevance = the ground-truth score of each returned
+/// node. `truth[v]` must be the ground-truth score of node v.
+double NdcgAtK(const std::vector<NodeId>& estimated_ranking,
+               const std::vector<double>& truth, size_t k);
+
+/// Indices of the k largest entries of `scores` (excluding `exclude`),
+/// sorted by descending score then ascending index.
+std::vector<NodeId> TopKIndices(const std::vector<double>& scores, size_t k,
+                                NodeId exclude = kInvalidNode);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_EVAL_METRICS_H_

@@ -1,0 +1,59 @@
+// Connectivity utilities: weakly connected components, BFS reachability,
+// and subgraph extraction with node relabeling. Used for dataset hygiene
+// (SimRank mass cannot cross weak components) and by the examples.
+
+#ifndef CLOUDWALKER_GRAPH_COMPONENTS_H_
+#define CLOUDWALKER_GRAPH_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// Weakly-connected-component labelling.
+struct ComponentInfo {
+  /// component[v] in [0, num_components); components are numbered by the
+  /// smallest node id they contain, in increasing order.
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+  /// Nodes per component.
+  std::vector<uint64_t> sizes;
+
+  /// Id of the largest component (ties broken by lower id).
+  uint32_t LargestComponent() const;
+};
+
+/// Computes weakly connected components (edges treated as undirected).
+ComponentInfo ComputeWeakComponents(const Graph& graph);
+
+/// Nodes reachable from `source` following edges in the given direction
+/// within at most `max_hops` steps (kForward = out-edges). The source is
+/// included at distance 0. Returns (node, distance) pairs in BFS order.
+enum class Direction { kForward = 0, kBackward = 1 };
+struct BfsVisit {
+  NodeId node;
+  uint32_t distance;
+};
+std::vector<BfsVisit> BfsReachable(const Graph& graph, NodeId source,
+                                   Direction direction,
+                                   uint32_t max_hops = 0xffffffffu);
+
+/// Extracts the subgraph induced by `nodes` (deduplicated), relabelling
+/// them 0..k-1 in ascending original-id order. `old_to_new` (optional)
+/// receives the mapping (kInvalidNode for dropped nodes).
+/// Fails if `nodes` contains an out-of-range id.
+StatusOr<Graph> InducedSubgraph(const Graph& graph,
+                                const std::vector<NodeId>& nodes,
+                                std::vector<NodeId>* old_to_new = nullptr);
+
+/// Convenience: the induced subgraph of the largest weak component,
+/// with `old_to_new` as in InducedSubgraph.
+Graph LargestComponentSubgraph(const Graph& graph,
+                               std::vector<NodeId>* old_to_new = nullptr);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_GRAPH_COMPONENTS_H_

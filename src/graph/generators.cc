@@ -1,0 +1,214 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace cloudwalker {
+namespace {
+
+Graph MustBuild(GraphBuilder& builder, const GraphBuildOptions& options = {}) {
+  auto built = builder.Build(options);
+  CW_CHECK(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+}  // namespace
+
+Graph GenerateErdosRenyi(NodeId num_nodes, uint64_t num_edges,
+                         uint64_t seed) {
+  CW_CHECK_GT(num_nodes, 0u);
+  Xoshiro256 rng(DeriveSeed(seed, 0x4552u));  // "ER"
+  GraphBuilder builder(num_nodes);
+  builder.Reserve(num_edges);
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    const NodeId from = rng.UniformInt32(num_nodes);
+    const NodeId to = rng.UniformInt32(num_nodes);
+    builder.AddEdge(from, to);
+  }
+  return MustBuild(builder);
+}
+
+Graph GenerateRmat(NodeId num_nodes, uint64_t num_edges, uint64_t seed,
+                   const RmatOptions& options, ThreadPool* pool) {
+  CW_CHECK_GT(num_nodes, 0u);
+  const double total = options.a + options.b + options.c + options.d;
+  CW_CHECK_GT(total, 0.0);
+  int levels = 0;
+  while ((NodeId{1} << levels) < num_nodes) ++levels;
+
+  // Edges are sampled in fixed-size chunks, each with its own derived RNG
+  // stream, so the output is identical for any thread count.
+  constexpr uint64_t kChunk = 1 << 16;
+  const uint64_t num_chunks = (num_edges + kChunk - 1) / kChunk;
+  std::vector<std::pair<NodeId, NodeId>> edges(num_edges);
+  ParallelFor(pool, 0, num_chunks, /*grain=*/1, [&](uint64_t cb,
+                                                    uint64_t ce) {
+    for (uint64_t chunk = cb; chunk < ce; ++chunk) {
+      Xoshiro256 rng =
+          Xoshiro256::Derive(DeriveSeed(seed, 0x524d4154u), chunk);  // "RMAT"
+      const uint64_t begin = chunk * kChunk;
+      const uint64_t end = std::min(begin + kChunk, num_edges);
+      for (uint64_t e = begin; e < end; ++e) {
+        NodeId row = 0, col = 0;
+        for (int lvl = 0; lvl < levels; ++lvl) {
+          double a = options.a, b = options.b, c = options.c, d = options.d;
+          if (options.noise) {
+            // +/-10% multiplicative noise per level, renormalized below.
+            a *= 0.9 + 0.2 * rng.NextDouble();
+            b *= 0.9 + 0.2 * rng.NextDouble();
+            c *= 0.9 + 0.2 * rng.NextDouble();
+            d *= 0.9 + 0.2 * rng.NextDouble();
+          }
+          const double norm = a + b + c + d;
+          const double r = rng.NextDouble() * norm;
+          row <<= 1;
+          col <<= 1;
+          if (r < a) {
+            // top-left quadrant
+          } else if (r < a + b) {
+            col |= 1;
+          } else if (r < a + b + c) {
+            row |= 1;
+          } else {
+            row |= 1;
+            col |= 1;
+          }
+        }
+        // Fold the 2^levels grid down onto [0, num_nodes).
+        edges[e] = {row % num_nodes, col % num_nodes};
+      }
+    }
+  });
+
+  GraphBuilder builder(num_nodes);
+  builder.Reserve(num_edges);
+  for (const auto& [f, t] : edges) builder.AddEdge(f, t);
+  return MustBuild(builder);
+}
+
+Graph GenerateBarabasiAlbert(NodeId num_nodes, uint32_t attach,
+                             uint64_t seed) {
+  CW_CHECK_GT(num_nodes, 0u);
+  CW_CHECK_GT(attach, 0u);
+  Xoshiro256 rng(DeriveSeed(seed, 0x4241u));  // "BA"
+  GraphBuilder builder(num_nodes);
+  builder.Reserve(static_cast<size_t>(num_nodes) * attach);
+  // Repeated-endpoint list: each edge target appended once per incidence,
+  // so uniform sampling from it is preferential attachment (in-degree + 1
+  // via also appending each node once on arrival).
+  std::vector<NodeId> urn;
+  urn.reserve(static_cast<size_t>(num_nodes) * (attach + 1));
+  urn.push_back(0);
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const uint32_t k = std::min<uint32_t>(attach, v);
+    for (uint32_t j = 0; j < k; ++j) {
+      const NodeId target = urn[rng.UniformInt(urn.size())];
+      builder.AddEdge(v, target);
+      urn.push_back(target);
+    }
+    urn.push_back(v);
+  }
+  return MustBuild(builder);
+}
+
+Graph GenerateCycle(NodeId num_nodes) {
+  CW_CHECK_GT(num_nodes, 0u);
+  GraphBuilder builder(num_nodes);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    builder.AddEdge(v, (v + 1) % num_nodes);
+  }
+  return MustBuild(builder);
+}
+
+Graph GeneratePath(NodeId num_nodes) {
+  CW_CHECK_GT(num_nodes, 0u);
+  GraphBuilder builder(num_nodes);
+  for (NodeId v = 0; v + 1 < num_nodes; ++v) builder.AddEdge(v, v + 1);
+  return MustBuild(builder);
+}
+
+Graph GenerateStarInward(NodeId num_nodes) {
+  CW_CHECK_GT(num_nodes, 0u);
+  GraphBuilder builder(num_nodes);
+  for (NodeId v = 1; v < num_nodes; ++v) builder.AddEdge(v, 0);
+  return MustBuild(builder);
+}
+
+Graph GenerateComplete(NodeId num_nodes) {
+  CW_CHECK_GT(num_nodes, 0u);
+  GraphBuilder builder(num_nodes);
+  builder.Reserve(static_cast<size_t>(num_nodes) * (num_nodes - 1));
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (NodeId v = 0; v < num_nodes; ++v) {
+      if (u != v) builder.AddEdge(u, v);
+    }
+  }
+  return MustBuild(builder);
+}
+
+Graph GenerateBipartite(NodeId left, NodeId right, uint32_t degree,
+                        uint64_t seed) {
+  CW_CHECK_GT(left, 0u);
+  CW_CHECK_GT(right, 0u);
+  Xoshiro256 rng(DeriveSeed(seed, 0x4249u));  // "BI"
+  GraphBuilder builder(left + right);
+  builder.Reserve(static_cast<size_t>(left) * degree);
+  for (NodeId u = 0; u < left; ++u) {
+    for (uint32_t j = 0; j < degree; ++j) {
+      builder.AddEdge(u, left + rng.UniformInt32(right));
+    }
+  }
+  return MustBuild(builder);
+}
+
+std::vector<PaperDataset> AllPaperDatasets() {
+  return {PaperDataset::kWikiVote, PaperDataset::kWikiTalk,
+          PaperDataset::kTwitter2010, PaperDataset::kUkUnion,
+          PaperDataset::kClueWeb};
+}
+
+PaperDatasetInstance MakePaperDataset(PaperDataset dataset, uint64_t seed,
+                                      double scale, ThreadPool* pool) {
+  CW_CHECK_GT(scale, 0.0);
+  CW_CHECK_LE(scale, 1.0);
+  struct Spec {
+    const char* name;
+    uint64_t paper_nodes;
+    uint64_t paper_edges;
+    const char* paper_size;
+    NodeId default_nodes;  // laptop-scale stand-in size at scale = 1
+  };
+  // Stand-in node counts shrink the paper's graphs to laptop scale while
+  // keeping (a) the relative ordering of the five datasets and (b) each
+  // dataset's average degree, which is what drives walk costs.
+  static constexpr Spec kSpecs[] = {
+      {"wiki-vote", 7115, 103689, "476.8KB", 7115},  // kept at full size
+      {"wiki-talk", 2400000, 5000000, "45.6MB", 120000},
+      {"twitter-2010", 42000000, 1500000000, "11.4GB", 200000},
+      {"uk-union", 131000000, 5500000000ull, "48.3GB", 300000},
+      {"clue-web", 1000000000, 42600000000ull, "401.1GB", 500000},
+  };
+  const Spec& spec = kSpecs[static_cast<int>(dataset)];
+  const double avg_degree = static_cast<double>(spec.paper_edges) /
+                            static_cast<double>(spec.paper_nodes);
+  const NodeId nodes = std::max<NodeId>(
+      64, static_cast<NodeId>(std::llround(spec.default_nodes * scale)));
+  const uint64_t edges = std::max<uint64_t>(
+      nodes, static_cast<uint64_t>(std::llround(nodes * avg_degree)));
+
+  PaperDatasetInstance inst;
+  inst.name = spec.name;
+  inst.paper_nodes = spec.paper_nodes;
+  inst.paper_edges = spec.paper_edges;
+  inst.paper_size = spec.paper_size;
+  inst.graph =
+      GenerateRmat(nodes, edges,
+                   DeriveSeed(seed, static_cast<uint64_t>(dataset)),
+                   RmatOptions(), pool);
+  return inst;
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,92 @@
+// Synthetic graph generators: classical random models, simple fixed
+// topologies for tests, and scaled stand-ins for the paper's five datasets.
+
+#ifndef CLOUDWALKER_GRAPH_GENERATORS_H_
+#define CLOUDWALKER_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/threading.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// G(n, m) Erdős–Rényi digraph: m edges sampled uniformly (dedup'd, so the
+/// final count can be slightly below m on dense settings).
+Graph GenerateErdosRenyi(NodeId num_nodes, uint64_t num_edges, uint64_t seed);
+
+/// R-MAT (Chakrabarti et al.) power-law digraph. Quadrant probabilities
+/// default to the Graph500 values. `num_nodes` need not be a power of two;
+/// ids are folded down from the enclosing 2^k grid.
+struct RmatOptions {
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Randomly perturb quadrant probabilities per level (reduces artefacts).
+  bool noise = true;
+};
+/// Edge sampling parallelizes over `pool` when provided; results are
+/// identical regardless of thread count (per-chunk derived RNG streams).
+Graph GenerateRmat(NodeId num_nodes, uint64_t num_edges, uint64_t seed,
+                   const RmatOptions& options = {},
+                   ThreadPool* pool = nullptr);
+
+/// Directed Barabási–Albert preferential attachment: each new node links to
+/// `attach` existing nodes chosen proportionally to in-degree + 1.
+Graph GenerateBarabasiAlbert(NodeId num_nodes, uint32_t attach,
+                             uint64_t seed);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+Graph GenerateCycle(NodeId num_nodes);
+
+/// Simple path 0 -> 1 -> ... -> n-1.
+Graph GeneratePath(NodeId num_nodes);
+
+/// Star: leaves 1..n-1 all point at the hub 0.
+Graph GenerateStarInward(NodeId num_nodes);
+
+/// Complete digraph on n nodes (no self loops).
+Graph GenerateComplete(NodeId num_nodes);
+
+/// Random bipartite digraph: `left` user nodes point at `right` item nodes
+/// (ids [left, left+right)), each left node linking to `degree` uniform
+/// items. Models recommender workloads.
+Graph GenerateBipartite(NodeId left, NodeId right, uint32_t degree,
+                        uint64_t seed);
+
+/// The five datasets of the paper's evaluation, as scaled R-MAT stand-ins
+/// preserving name, node ordering, and average degree.
+enum class PaperDataset {
+  kWikiVote = 0,     // paper: |V|=7.1K,  |E|=103K
+  kWikiTalk = 1,     // paper: |V|=2.4M,  |E|=5M
+  kTwitter2010 = 2,  // paper: |V|=42M,   |E|=1.5B
+  kUkUnion = 3,      // paper: |V|=131M,  |E|=5.5B
+  kClueWeb = 4,      // paper: |V|=1B,    |E|=42.6B
+};
+
+/// All five datasets in evaluation order.
+std::vector<PaperDataset> AllPaperDatasets();
+
+/// A generated dataset plus the original statistics it stands in for.
+struct PaperDatasetInstance {
+  std::string name;          // e.g. "wiki-vote"
+  Graph graph;               // the scaled synthetic counterpart
+  uint64_t paper_nodes = 0;  // |V| reported in the paper
+  uint64_t paper_edges = 0;  // |E| reported in the paper
+  std::string paper_size;    // on-disk size reported in the paper
+};
+
+/// Generates the stand-in for `dataset`. `scale` in (0, 1] shrinks the
+/// default laptop-sized instance further (benchmark --quick modes); node
+/// counts are floored at 64. Generation parallelizes over `pool`.
+PaperDatasetInstance MakePaperDataset(PaperDataset dataset, uint64_t seed,
+                                      double scale = 1.0,
+                                      ThreadPool* pool = nullptr);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_GRAPH_GENERATORS_H_

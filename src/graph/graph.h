@@ -1,0 +1,128 @@
+// Immutable directed graph in compressed-sparse-row form, with both
+// out-adjacency (forward edges) and in-adjacency (reverse edges) because
+// SimRank walks follow in-links while MCSS pushes mass along out-links.
+
+#ifndef CLOUDWALKER_GRAPH_GRAPH_H_
+#define CLOUDWALKER_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cloudwalker {
+
+/// Node identifier; dense in [0, num_nodes).
+using NodeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// Immutable CSR digraph. Construct with GraphBuilder or the generators in
+/// graph/generators.h. Copyable (deep) and cheaply movable.
+class Graph {
+ public:
+  /// An empty graph with zero nodes.
+  Graph() = default;
+
+  /// Number of nodes.
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Number of directed edges.
+  uint64_t num_edges() const { return out_targets_.size(); }
+
+  /// Targets of edges leaving `v` (sorted ascending).
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    return {out_targets_.data() + out_offsets_[v],
+            out_targets_.data() + out_offsets_[v + 1]};
+  }
+
+  /// Sources of edges entering `v` (sorted ascending).
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    return {in_targets_.data() + in_offsets_[v],
+            in_targets_.data() + in_offsets_[v + 1]};
+  }
+
+  /// Out-degree of `v`.
+  uint32_t OutDegree(NodeId v) const {
+    return static_cast<uint32_t>(out_offsets_[v + 1] - out_offsets_[v]);
+  }
+
+  /// In-degree of `v`.
+  uint32_t InDegree(NodeId v) const {
+    return static_cast<uint32_t>(in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// The k-th in-neighbor of `v` (unchecked).
+  NodeId InNeighbor(NodeId v, uint32_t k) const {
+    return in_targets_[in_offsets_[v] + k];
+  }
+
+  /// The k-th out-neighbor of `v` (unchecked).
+  NodeId OutNeighbor(NodeId v, uint32_t k) const {
+    return out_targets_[out_offsets_[v] + k];
+  }
+
+  /// True if the edge (from -> to) exists; O(log outdeg(from)).
+  bool HasEdge(NodeId from, NodeId to) const;
+
+  /// Resident memory of the CSR arrays in bytes.
+  uint64_t MemoryBytes() const;
+
+  /// Returns a graph with every edge reversed (out <-> in swapped); O(1),
+  /// shares no state with this graph (deep copy of the swapped arrays).
+  Graph Reversed() const;
+
+ private:
+  friend class GraphBuilder;
+  friend Status LoadGraphBinary(const std::string& path, Graph* graph);
+
+  NodeId num_nodes_ = 0;
+  std::vector<uint64_t> out_offsets_{0};  // size num_nodes_+1
+  std::vector<NodeId> out_targets_;
+  std::vector<uint64_t> in_offsets_{0};   // size num_nodes_+1
+  std::vector<NodeId> in_targets_;
+};
+
+/// Options controlling GraphBuilder::Build.
+struct GraphBuildOptions {
+  /// Remove duplicate parallel edges.
+  bool dedup = true;
+  /// Remove self loops (v -> v). SimRank is conventionally defined on
+  /// loop-free graphs; keep the default unless studying sensitivity.
+  bool remove_self_loops = true;
+};
+
+/// Accumulates an edge list and produces an immutable Graph.
+class GraphBuilder {
+ public:
+  /// `num_nodes` fixes the node-id space [0, num_nodes).
+  explicit GraphBuilder(NodeId num_nodes);
+
+  /// Adds a directed edge; ids are validated at Build time.
+  void AddEdge(NodeId from, NodeId to) { edges_.push_back({from, to}); }
+
+  /// Number of edges added so far (before dedup).
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Reserves capacity for `n` AddEdge calls.
+  void Reserve(size_t n) { edges_.reserve(n); }
+
+  /// Builds the CSR representation. Fails with InvalidArgument if any edge
+  /// endpoint is out of range. The builder is left empty afterwards.
+  StatusOr<Graph> Build(const GraphBuildOptions& options = {});
+
+ private:
+  struct Edge {
+    NodeId from;
+    NodeId to;
+  };
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_GRAPH_GRAPH_H_

@@ -1,0 +1,32 @@
+// Graph persistence: SNAP-style whitespace edge-list text files and a
+// compact binary CSR snapshot format.
+
+#ifndef CLOUDWALKER_GRAPH_GRAPH_IO_H_
+#define CLOUDWALKER_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// Parses a text edge list: one "from to" pair per line, '#' comments and
+/// blank lines skipped. Node ids may be sparse; they are used verbatim, and
+/// num_nodes = max id + 1 (or `num_nodes_hint` if larger).
+StatusOr<Graph> LoadEdgeListText(const std::string& path,
+                                 const GraphBuildOptions& options = {},
+                                 NodeId num_nodes_hint = 0);
+
+/// Writes "from to" lines, one per edge.
+Status SaveEdgeListText(const Graph& graph, const std::string& path);
+
+/// Writes the CSR snapshot (magic, version, offsets, targets).
+Status SaveGraphBinary(const Graph& graph, const std::string& path);
+
+/// Reads a CSR snapshot written by SaveGraphBinary.
+Status LoadGraphBinary(const std::string& path, Graph* graph);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_GRAPH_GRAPH_IO_H_

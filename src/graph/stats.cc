@@ -1,0 +1,42 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+
+namespace cloudwalker {
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  stats.num_nodes = graph.num_nodes();
+  stats.num_edges = graph.num_edges();
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint32_t in = graph.InDegree(v);
+    const uint32_t out = graph.OutDegree(v);
+    stats.max_in_degree = std::max(stats.max_in_degree, in);
+    stats.max_out_degree = std::max(stats.max_out_degree, out);
+    if (in == 0) ++stats.dangling_in;
+    if (out == 0) ++stats.dangling_out;
+  }
+  stats.avg_degree =
+      stats.num_nodes == 0
+          ? 0.0
+          : static_cast<double>(stats.num_edges) / stats.num_nodes;
+  return stats;
+}
+
+DegreeHistogram ComputeInDegreeHistogram(const Graph& graph) {
+  DegreeHistogram hist;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    const uint32_t d = graph.InDegree(v);
+    if (d == 0) {
+      ++hist.zero;
+      continue;
+    }
+    size_t bucket = 0;
+    while ((uint32_t{1} << (bucket + 1)) <= d) ++bucket;
+    if (hist.buckets.size() <= bucket) hist.buckets.resize(bucket + 1, 0);
+    ++hist.buckets[bucket];
+  }
+  return hist;
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,40 @@
+// Degree statistics used by the dataset table and by sanity checks.
+
+#ifndef CLOUDWALKER_GRAPH_STATS_H_
+#define CLOUDWALKER_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// Aggregate degree statistics of a digraph.
+struct DegreeStats {
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint32_t max_in_degree = 0;
+  uint32_t max_out_degree = 0;
+  double avg_degree = 0.0;        // edges / nodes
+  uint64_t dangling_in = 0;       // nodes with no in-neighbors (walks die)
+  uint64_t dangling_out = 0;      // nodes with no out-neighbors
+};
+
+/// Computes DegreeStats in one pass.
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+/// Histogram of in-degrees in power-of-two buckets: bucket k counts nodes
+/// with in-degree in [2^k, 2^(k+1)); bucket 0 additionally includes degree 0
+/// at index 0 of the returned pair's `.first`.
+struct DegreeHistogram {
+  uint64_t zero = 0;                 // nodes with degree exactly 0
+  std::vector<uint64_t> buckets;     // buckets[k]: degree in [2^k, 2^{k+1})
+};
+
+/// In-degree histogram (drives the power-law shape checks in tests).
+DegreeHistogram ComputeInDegreeHistogram(const Graph& graph);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_GRAPH_STATS_H_

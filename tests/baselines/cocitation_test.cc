@@ -1,0 +1,88 @@
+#include "baselines/cocitation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace {
+
+TEST(CoCitationTest, NoSharedCitersIsZero) {
+  const Graph g = GenerateCycle(6);
+  EXPECT_DOUBLE_EQ(CoCitation(g, 0, 3), 0.0);
+}
+
+TEST(CoCitationTest, NoInNeighborsIsZero) {
+  const Graph g = GeneratePath(3);
+  EXPECT_DOUBLE_EQ(CoCitation(g, 0, 1), 0.0);  // node 0 has no citers
+}
+
+TEST(CoCitationTest, SharedCiterScoresOne) {
+  // 0 -> 1, 0 -> 2: both cited exactly by {0} -> cosine 1.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  const Graph g = std::move(b.Build()).value();
+  EXPECT_DOUBLE_EQ(CoCitation(g, 1, 2), 1.0);
+}
+
+TEST(CoCitationTest, PartialOverlap) {
+  // In(3) = {0, 1}, In(4) = {1, 2}: overlap 1, cosine 1/2.
+  GraphBuilder b(5);
+  b.AddEdge(0, 3);
+  b.AddEdge(1, 3);
+  b.AddEdge(1, 4);
+  b.AddEdge(2, 4);
+  const Graph g = std::move(b.Build()).value();
+  EXPECT_DOUBLE_EQ(CoCitation(g, 3, 4), 0.5);
+}
+
+TEST(CoCitationTest, Symmetric) {
+  const Graph g = GenerateRmat(100, 800, 1);
+  for (auto [i, j] : std::vector<std::pair<NodeId, NodeId>>{
+           {0, 1}, {5, 50}, {99, 3}}) {
+    EXPECT_DOUBLE_EQ(CoCitation(g, i, j), CoCitation(g, j, i));
+  }
+}
+
+TEST(CoCitationTest, SelfScoreOneWithCiters) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  const Graph g = std::move(b.Build()).value();
+  EXPECT_DOUBLE_EQ(CoCitation(g, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(CoCitation(g, 0, 0), 0.0);  // no in-neighbors
+}
+
+TEST(CoCitationSingleSourceTest, MatchesPairwise) {
+  const Graph g = GenerateRmat(120, 960, 2);
+  const NodeId q = 17;
+  const std::vector<double> ss = CoCitationSingleSource(g, q);
+  ASSERT_EQ(ss.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_NEAR(ss[v], CoCitation(g, q, v), 1e-12) << "node " << v;
+  }
+}
+
+TEST(CoCitationSingleSourceTest, SourceWithoutCitersAllZero) {
+  const Graph g = GeneratePath(4);
+  const std::vector<double> ss = CoCitationSingleSource(g, 0);
+  for (double s : ss) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(CoCitationTest, CannotSeeMultiHopSimilarity) {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 4: SimRank finds s(3, 4) = c^2 > 0 but
+  // co-citation scores 0 (no shared direct citer) — the paper's motivation
+  // for similarity propagation.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 4);
+  const Graph g = std::move(b.Build()).value();
+  EXPECT_DOUBLE_EQ(CoCitation(g, 3, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,212 @@
+#include "baselines/exact_simrank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace {
+
+TEST(ExactSimRankTest, RejectsBadOptions) {
+  const Graph g = GenerateCycle(4);
+  ExactSimRank::Options o;
+  o.decay = 0.0;
+  EXPECT_FALSE(ExactSimRank::Compute(g, o).ok());
+  o.decay = 0.6;
+  o.iterations = 0;
+  EXPECT_FALSE(ExactSimRank::Compute(g, o).ok());
+}
+
+TEST(ExactSimRankTest, RejectsEmptyGraph) {
+  EXPECT_FALSE(ExactSimRank::Compute(Graph()).ok());
+}
+
+TEST(ExactSimRankTest, RejectsOversizedGraph) {
+  const Graph g = GenerateCycle(100);
+  ExactSimRank::Options o;
+  o.max_nodes = 50;
+  auto r = ExactSimRank::Compute(g, o);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExactSimRankTest, DiagonalIsOne) {
+  const Graph g = GenerateRmat(50, 300, 1);
+  auto r = ExactSimRank::Compute(g);
+  ASSERT_TRUE(r.ok());
+  for (NodeId v = 0; v < 50; ++v) {
+    EXPECT_DOUBLE_EQ(r->Similarity(v, v), 1.0);
+  }
+}
+
+TEST(ExactSimRankTest, MatrixIsSymmetric) {
+  const Graph g = GenerateRmat(60, 400, 2);
+  auto r = ExactSimRank::Compute(g);
+  ASSERT_TRUE(r.ok());
+  for (NodeId i = 0; i < 60; ++i) {
+    for (NodeId j = 0; j < 60; ++j) {
+      EXPECT_NEAR(r->Similarity(i, j), r->Similarity(j, i), 1e-12);
+    }
+  }
+}
+
+TEST(ExactSimRankTest, ScoresInUnitInterval) {
+  const Graph g = GenerateErdosRenyi(80, 600, 3);
+  auto r = ExactSimRank::Compute(g);
+  ASSERT_TRUE(r.ok());
+  for (NodeId i = 0; i < 80; ++i) {
+    for (NodeId j = 0; j < 80; ++j) {
+      EXPECT_GE(r->Similarity(i, j), 0.0);
+      EXPECT_LE(r->Similarity(i, j), 1.0);
+    }
+  }
+}
+
+TEST(ExactSimRankTest, CycleOffDiagonalIsZero) {
+  // Deterministic reverse walks on a cycle never meet: S = I.
+  const Graph g = GenerateCycle(12);
+  auto r = ExactSimRank::Compute(g);
+  ASSERT_TRUE(r.ok());
+  for (NodeId i = 0; i < 12; ++i) {
+    for (NodeId j = 0; j < 12; ++j) {
+      if (i != j) {
+        EXPECT_NEAR(r->Similarity(i, j), 0.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ExactSimRankTest, StarLeavesScoreExactlyC) {
+  // Hub -> leaves: s(leaf_i, leaf_j) = c * s(hub, hub) = c.
+  GraphBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) b.AddEdge(0, v);
+  const Graph g = std::move(b.Build()).value();
+  auto r = ExactSimRank::Compute(g);
+  ASSERT_TRUE(r.ok());
+  for (NodeId i = 1; i < 5; ++i) {
+    for (NodeId j = 1; j < 5; ++j) {
+      if (i != j) {
+        EXPECT_NEAR(r->Similarity(i, j), 0.6, 1e-12);
+      }
+    }
+  }
+  // Hub has no in-neighbors: similarity to every leaf is 0.
+  for (NodeId j = 1; j < 5; ++j) {
+    EXPECT_DOUBLE_EQ(r->Similarity(0, j), 0.0);
+  }
+}
+
+TEST(ExactSimRankTest, TwoLevelStarMatchesHandComputation) {
+  // 0 -> {1, 2}; 1 -> 3; 2 -> 4.
+  // s(1,2) = c; s(3,4) = c * s(1,2) = c^2.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 4);
+  const Graph g = std::move(b.Build()).value();
+  auto r = ExactSimRank::Compute(g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->Similarity(1, 2), 0.6, 1e-12);
+  EXPECT_NEAR(r->Similarity(3, 4), 0.36, 1e-12);
+  EXPECT_NEAR(r->Similarity(1, 3), 0.0, 1e-12);  // different depths
+}
+
+TEST(ExactSimRankTest, SatisfiesSimRankFixpointEquation) {
+  const Graph g = GenerateRmat(40, 240, 4);
+  ExactSimRank::Options o;
+  o.iterations = 60;  // converge tightly
+  auto r = ExactSimRank::Compute(g, o);
+  ASSERT_TRUE(r.ok());
+  const double c = 0.6;
+  for (NodeId i = 0; i < 40; ++i) {
+    for (NodeId j = 0; j < 40; ++j) {
+      if (i == j) continue;
+      const auto in_i = g.InNeighbors(i);
+      const auto in_j = g.InNeighbors(j);
+      double expect = 0.0;
+      if (!in_i.empty() && !in_j.empty()) {
+        for (NodeId a : in_i) {
+          for (NodeId b2 : in_j) expect += r->Similarity(a, b2);
+        }
+        expect *= c / (static_cast<double>(in_i.size()) * in_j.size());
+      }
+      EXPECT_NEAR(r->Similarity(i, j), expect, 1e-6)
+          << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(ExactSimRankTest, RowAccessor) {
+  const Graph g = GenerateRmat(30, 180, 5);
+  auto r = ExactSimRank::Compute(g);
+  ASSERT_TRUE(r.ok());
+  const std::vector<double> row = r->Row(7);
+  ASSERT_EQ(row.size(), 30u);
+  for (NodeId j = 0; j < 30; ++j) {
+    EXPECT_DOUBLE_EQ(row[j], r->Similarity(7, j));
+  }
+}
+
+TEST(ExactSimRankTest, ExactDiagonalCorrectionOnCycle) {
+  // On a cycle S = I and (P^T S P)_kk = 1, so D = (1 - c) I.
+  const Graph g = GenerateCycle(10);
+  auto r = ExactSimRank::Compute(g);
+  ASSERT_TRUE(r.ok());
+  for (double d : r->ExactDiagonalCorrection()) {
+    EXPECT_NEAR(d, 0.4, 1e-12);
+  }
+}
+
+TEST(ExactSimRankTest, ExactDiagonalCorrectionIsOneForDanglingNodes) {
+  const Graph g = GeneratePath(4);  // node 0 has no in-neighbors
+  auto r = ExactSimRank::Compute(g);
+  ASSERT_TRUE(r.ok());
+  const std::vector<double> d = r->ExactDiagonalCorrection();
+  EXPECT_NEAR(d[0], 1.0, 1e-12);
+}
+
+TEST(ExactSimRankTest, DiagonalCorrectionReconstructsSimRank) {
+  // S must equal sum_t c^t (P^T)^t D P^t; spot-check via the recurrence
+  // S = c P^T S P + D on the dense matrix.
+  const Graph g = GenerateRmat(30, 200, 6);
+  ExactSimRank::Options o;
+  o.iterations = 60;
+  auto r = ExactSimRank::Compute(g, o);
+  ASSERT_TRUE(r.ok());
+  const std::vector<double> d = r->ExactDiagonalCorrection();
+  const NodeId n = g.num_nodes();
+  // Compute c * P^T S P + D and compare to S.
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      const auto in_i = g.InNeighbors(i);
+      const auto in_j = g.InNeighbors(j);
+      double v = 0.0;
+      if (!in_i.empty() && !in_j.empty()) {
+        for (NodeId a : in_i) {
+          for (NodeId b2 : in_j) v += r->Similarity(a, b2);
+        }
+        v *= 0.6 / (static_cast<double>(in_i.size()) * in_j.size());
+      }
+      if (i == j) v += d[i];
+      EXPECT_NEAR(v, r->Similarity(i, j), 1e-6);
+    }
+  }
+}
+
+TEST(ExactSimRankTest, ParallelMatchesSerial) {
+  const Graph g = GenerateRmat(70, 500, 7);
+  ThreadPool pool(8);
+  auto serial = ExactSimRank::Compute(g, ExactSimRank::Options(), nullptr);
+  auto parallel = ExactSimRank::Compute(g, ExactSimRank::Options(), &pool);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  for (NodeId i = 0; i < 70; ++i) {
+    for (NodeId j = 0; j < 70; ++j) {
+      EXPECT_DOUBLE_EQ(serial->Similarity(i, j), parallel->Similarity(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,154 @@
+#include "baselines/fmt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/exact_simrank.h"
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace {
+
+FmtIndex::Options FastOptions() {
+  FmtIndex::Options o;
+  o.num_fingerprints = 400;
+  o.seed = 13;
+  return o;
+}
+
+TEST(FmtTest, RejectsBadOptions) {
+  const Graph g = GenerateCycle(4);
+  FmtIndex::Options o;
+  o.num_fingerprints = 0;
+  EXPECT_FALSE(FmtIndex::Build(g, o).ok());
+  o = FmtIndex::Options();
+  o.decay = 1.0;
+  EXPECT_FALSE(FmtIndex::Build(g, o).ok());
+}
+
+TEST(FmtTest, RejectsEmptyGraph) {
+  EXPECT_FALSE(FmtIndex::Build(Graph(), FastOptions()).ok());
+}
+
+TEST(FmtTest, MemoryBudgetEnforced) {
+  // This is the paper's Table-3 N/A behaviour: fingerprints outgrow memory.
+  const Graph g = GenerateRmat(10000, 50000, 1);
+  FmtIndex::Options o = FastOptions();
+  o.memory_budget_bytes = 1 << 20;  // 1 MiB: far below n * R_f * (T+1) * 4
+  auto idx = FmtIndex::Build(g, o);
+  EXPECT_EQ(idx.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(FmtTest, PredictMemoryMatchesActual) {
+  const Graph g = GenerateRmat(500, 2500, 2);
+  FmtIndex::Options o = FastOptions();
+  o.num_fingerprints = 32;
+  auto idx = FmtIndex::Build(g, o);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx->MemoryBytes(), FmtIndex::PredictMemoryBytes(g, o));
+}
+
+TEST(FmtTest, SelfPairIsOne) {
+  const Graph g = GenerateRmat(100, 600, 3);
+  auto idx = FmtIndex::Build(g, FastOptions());
+  ASSERT_TRUE(idx.ok());
+  EXPECT_DOUBLE_EQ(idx->SinglePair(5, 5), 1.0);
+}
+
+TEST(FmtTest, PairSymmetric) {
+  const Graph g = GenerateRmat(100, 600, 3);
+  auto idx = FmtIndex::Build(g, FastOptions());
+  ASSERT_TRUE(idx.ok());
+  for (auto [i, j] : std::vector<std::pair<NodeId, NodeId>>{
+           {0, 1}, {10, 90}, {33, 34}}) {
+    EXPECT_DOUBLE_EQ(idx->SinglePair(i, j), idx->SinglePair(j, i));
+  }
+}
+
+TEST(FmtTest, CycleOffDiagonalIsZero) {
+  // Coupled deterministic walks on a cycle never meet.
+  const Graph g = GenerateCycle(15);
+  auto idx = FmtIndex::Build(g, FastOptions());
+  ASSERT_TRUE(idx.ok());
+  EXPECT_DOUBLE_EQ(idx->SinglePair(0, 7), 0.0);
+}
+
+TEST(FmtTest, StarLeavesMeetImmediately) {
+  // Leaves of hub -> leaves meet at the hub on step 1: estimate = c exactly.
+  GraphBuilder b(6);
+  for (NodeId v = 1; v < 6; ++v) b.AddEdge(0, v);
+  const Graph g = std::move(b.Build()).value();
+  auto idx = FmtIndex::Build(g, FastOptions());
+  ASSERT_TRUE(idx.ok());
+  // Every sample meets at step 1; only float summation order deviates.
+  EXPECT_NEAR(idx->SinglePair(1, 2), 0.6, 1e-9);
+}
+
+TEST(FmtTest, FirstMeetingEstimateApproximatesSimRank) {
+  const Graph g = GenerateRmat(80, 480, 4);
+  auto exact = ExactSimRank::Compute(g);
+  ASSERT_TRUE(exact.ok());
+  FmtIndex::Options o = FastOptions();
+  o.num_fingerprints = 3000;
+  auto idx = FmtIndex::Build(g, o);
+  ASSERT_TRUE(idx.ok());
+  double max_err = 0.0;
+  for (NodeId i = 0; i < 15; ++i) {
+    for (NodeId j = i + 1; j < 15; ++j) {
+      max_err = std::max(max_err, std::fabs(idx->SinglePair(i, j) -
+                                            exact->Similarity(i, j)));
+    }
+  }
+  // First-meeting estimates carry a known coupling bias on top of MC noise;
+  // they should still land in the right neighbourhood.
+  EXPECT_LT(max_err, 0.12);
+}
+
+TEST(FmtTest, SingleSourceConsistentWithSinglePair) {
+  const Graph g = GenerateRmat(60, 360, 5);
+  auto idx = FmtIndex::Build(g, FastOptions());
+  ASSERT_TRUE(idx.ok());
+  const std::vector<double> ss = idx->SingleSource(9);
+  ASSERT_EQ(ss.size(), g.num_nodes());
+  EXPECT_DOUBLE_EQ(ss[9], 1.0);
+  for (NodeId v : {0u, 17u, 42u}) {
+    if (v == 9) continue;
+    EXPECT_NEAR(ss[v], idx->SinglePair(9, v), 1e-9) << "node " << v;
+  }
+}
+
+TEST(FmtTest, DeterministicForSeed) {
+  const Graph g = GenerateRmat(60, 360, 6);
+  auto a = FmtIndex::Build(g, FastOptions());
+  auto b = FmtIndex::Build(g, FastOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->SinglePair(1, 2), b->SinglePair(1, 2));
+}
+
+TEST(FmtTest, ParallelBuildMatchesSerial) {
+  const Graph g = GenerateRmat(60, 360, 7);
+  ThreadPool pool(4);
+  auto serial = FmtIndex::Build(g, FastOptions(), nullptr);
+  auto parallel = FmtIndex::Build(g, FastOptions(), &pool);
+  ASSERT_TRUE(serial.ok() && parallel.ok());
+  for (NodeId i = 0; i < 10; ++i) {
+    for (NodeId j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(serial->SinglePair(i, j), parallel->SinglePair(i, j));
+    }
+  }
+}
+
+TEST(FmtTest, ScoresInUnitInterval) {
+  const Graph g = GenerateRmat(100, 700, 8);
+  auto idx = FmtIndex::Build(g, FastOptions());
+  ASSERT_TRUE(idx.ok());
+  const std::vector<double> ss = idx->SingleSource(0);
+  for (double s : ss) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,134 @@
+#include "baselines/pairgraph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/exact_simrank.h"
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace {
+
+PairGraphSimRank::Options ExactOptions() {
+  PairGraphSimRank::Options o;
+  o.prune_threshold = 0.0;
+  o.iterations = 20;
+  return o;
+}
+
+TEST(PairGraphTest, RejectsBadOptions) {
+  const Graph g = GenerateCycle(4);
+  PairGraphSimRank::Options o;
+  o.decay = 1.5;
+  EXPECT_FALSE(PairGraphSimRank::Compute(g, o).ok());
+  o = PairGraphSimRank::Options();
+  o.iterations = 0;
+  EXPECT_FALSE(PairGraphSimRank::Compute(g, o).ok());
+  o = PairGraphSimRank::Options();
+  o.prune_threshold = -1;
+  EXPECT_FALSE(PairGraphSimRank::Compute(g, o).ok());
+}
+
+TEST(PairGraphTest, RejectsEmptyGraph) {
+  EXPECT_FALSE(PairGraphSimRank::Compute(Graph(), ExactOptions()).ok());
+}
+
+TEST(PairGraphTest, PairBudgetEnforced) {
+  const Graph g = GenerateErdosRenyi(2000, 30000, 1);
+  PairGraphSimRank::Options o = ExactOptions();
+  o.max_pairs = 1000;  // the O(n^2) wall
+  auto r = PairGraphSimRank::Compute(g, o);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PairGraphTest, SelfSimilarityIsOne) {
+  const Graph g = GenerateCycle(6);
+  auto r = PairGraphSimRank::Compute(g, ExactOptions());
+  ASSERT_TRUE(r.ok());
+  for (NodeId v = 0; v < 6; ++v) {
+    EXPECT_DOUBLE_EQ(r->Similarity(v, v), 1.0);
+  }
+}
+
+TEST(PairGraphTest, CycleOffDiagonalZero) {
+  const Graph g = GenerateCycle(8);
+  auto r = PairGraphSimRank::Compute(g, ExactOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_pairs(), 0u);
+  EXPECT_DOUBLE_EQ(r->Similarity(0, 4), 0.0);
+}
+
+TEST(PairGraphTest, StarLeavesScoreC) {
+  GraphBuilder b(5);
+  for (NodeId v = 1; v < 5; ++v) b.AddEdge(0, v);
+  const Graph g = std::move(b.Build()).value();
+  auto r = PairGraphSimRank::Compute(g, ExactOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->Similarity(1, 2), 0.6, 1e-12);
+  EXPECT_NEAR(r->Similarity(3, 4), 0.6, 1e-12);
+}
+
+TEST(PairGraphTest, Symmetric) {
+  const Graph g = GenerateRmat(40, 200, 2);
+  auto r = PairGraphSimRank::Compute(g, ExactOptions());
+  ASSERT_TRUE(r.ok());
+  for (NodeId i = 0; i < 10; ++i) {
+    for (NodeId j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(r->Similarity(i, j), r->Similarity(j, i));
+    }
+  }
+}
+
+TEST(PairGraphTest, MatchesDenseExactSimRank) {
+  // The pair-graph propagation is just a sparse reorganization of the
+  // Jeh-Widom power iteration; without pruning the two must agree.
+  const Graph g = GenerateRmat(50, 250, 3);
+  ExactSimRank::Options eo;
+  eo.iterations = 20;
+  auto dense = ExactSimRank::Compute(g, eo);
+  ASSERT_TRUE(dense.ok());
+  auto sparse = PairGraphSimRank::Compute(g, ExactOptions());
+  ASSERT_TRUE(sparse.ok());
+  double max_err = 0.0;
+  for (NodeId i = 0; i < g.num_nodes(); ++i) {
+    for (NodeId j = 0; j < g.num_nodes(); ++j) {
+      max_err = std::max(max_err, std::fabs(sparse->Similarity(i, j) -
+                                            dense->Similarity(i, j)));
+    }
+  }
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(PairGraphTest, PruningBoundsStateAndError) {
+  const Graph g = GenerateRmat(60, 360, 4);
+  auto exact = PairGraphSimRank::Compute(g, ExactOptions());
+  ASSERT_TRUE(exact.ok());
+  PairGraphSimRank::Options pruned = ExactOptions();
+  pruned.prune_threshold = 1e-2;
+  auto approx = PairGraphSimRank::Compute(g, pruned);
+  ASSERT_TRUE(approx.ok());
+  EXPECT_LE(approx->num_pairs(), exact->num_pairs());
+  double max_err = 0.0;
+  for (NodeId i = 0; i < 20; ++i) {
+    for (NodeId j = i + 1; j < 20; ++j) {
+      max_err = std::max(max_err, std::fabs(approx->Similarity(i, j) -
+                                            exact->Similarity(i, j)));
+    }
+  }
+  EXPECT_LT(max_err, 0.1);
+}
+
+TEST(PairGraphTest, RowMatchesPointQueries) {
+  const Graph g = GenerateRmat(40, 240, 5);
+  auto r = PairGraphSimRank::Compute(g, ExactOptions());
+  ASSERT_TRUE(r.ok());
+  const std::vector<double> row = r->Row(7);
+  ASSERT_EQ(row.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(row[v], r->Similarity(7, v));
+  }
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,86 @@
+#include "cluster/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cloudwalker {
+namespace {
+
+TEST(PartitionerTest, HashCoversAllWorkers) {
+  const Partitioner p(PartitionStrategy::kHash, 10000, 8);
+  std::vector<int> counts(8, 0);
+  for (NodeId v = 0; v < 10000; ++v) {
+    const int w = p.Owner(v);
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, 8);
+    ++counts[w];
+  }
+  // Hash partitioning should be balanced within ~20%.
+  for (int c : counts) {
+    EXPECT_GT(c, 1000);
+    EXPECT_LT(c, 1500);
+  }
+}
+
+TEST(PartitionerTest, HashIsDeterministic) {
+  const Partitioner a(PartitionStrategy::kHash, 1000, 4);
+  const Partitioner b(PartitionStrategy::kHash, 1000, 4);
+  for (NodeId v = 0; v < 1000; ++v) {
+    EXPECT_EQ(a.Owner(v), b.Owner(v));
+  }
+}
+
+TEST(PartitionerTest, RangeContiguous) {
+  const Partitioner p(PartitionStrategy::kRange, 100, 4);
+  int prev = 0;
+  for (NodeId v = 0; v < 100; ++v) {
+    const int w = p.Owner(v);
+    EXPECT_GE(w, prev);  // non-decreasing
+    prev = w;
+  }
+}
+
+TEST(PartitionerTest, RangeOwnedRangesPartitionNodes) {
+  const Partitioner p(PartitionStrategy::kRange, 103, 4);
+  NodeId covered = 0;
+  for (int w = 0; w < 4; ++w) {
+    NodeId b = 0, e = 0;
+    p.OwnedRange(w, &b, &e);
+    EXPECT_EQ(b, covered);
+    covered = e;
+    for (NodeId v = b; v < e; ++v) EXPECT_EQ(p.Owner(v), w);
+  }
+  EXPECT_EQ(covered, 103u);
+}
+
+TEST(PartitionerTest, SingleWorkerOwnsEverything) {
+  const Partitioner p(PartitionStrategy::kHash, 50, 1);
+  for (NodeId v = 0; v < 50; ++v) EXPECT_EQ(p.Owner(v), 0);
+}
+
+TEST(PartitionerTest, MoreWorkersThanNodes) {
+  const Partitioner p(PartitionStrategy::kRange, 3, 8);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_GE(p.Owner(v), 0);
+    EXPECT_LT(p.Owner(v), 8);
+  }
+  // All 8 ranges must still be valid (possibly empty).
+  NodeId total = 0;
+  for (int w = 0; w < 8; ++w) {
+    NodeId b = 0, e = 0;
+    p.OwnedRange(w, &b, &e);
+    EXPECT_LE(b, e);
+    total += e - b;
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(PartitionerDeathTest, OwnedRangeOnHashPartitionerAborts) {
+  const Partitioner p(PartitionStrategy::kHash, 10, 2);
+  NodeId b, e;
+  EXPECT_DEATH(p.OwnedRange(0, &b, &e), "range partitioner");
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,211 @@
+#include "cluster/sim_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+namespace cloudwalker {
+namespace {
+
+ClusterConfig SmallCluster() {
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.cores_per_worker = 2;
+  cfg.worker_memory_bytes = 1 << 20;
+  return cfg;
+}
+
+TEST(WorkMeterTest, SingleCoreSeconds) {
+  CostModel m;
+  m.seconds_per_walk_step = 1e-6;
+  m.seconds_per_edge_op = 1e-7;
+  m.seconds_per_flop = 1e-8;
+  WorkMeter meter;
+  meter.AddWalkSteps(100);
+  meter.AddEdgeOps(1000);
+  meter.AddFlops(10000);
+  EXPECT_NEAR(meter.SingleCoreSeconds(m), 1e-4 + 1e-4 + 1e-4, 1e-12);
+}
+
+TEST(SimClusterTest, RunStageExecutesEveryWorker) {
+  SimCluster cluster(SmallCluster(), CostModel::Default(), nullptr);
+  std::atomic<int> mask{0};
+  cluster.RunStage("test", [&mask](int w, WorkMeter&) {
+    mask.fetch_or(1 << w);
+  });
+  EXPECT_EQ(mask.load(), 0b1111);
+  EXPECT_EQ(cluster.report().num_stages, 1u);
+}
+
+TEST(SimClusterTest, StageOverheadAccumulates) {
+  CostModel cost;
+  cost.stage_overhead_seconds = 1.0;
+  cost.task_overhead_seconds = 0.0;
+  SimCluster cluster(SmallCluster(), cost, nullptr);
+  cluster.RunStage("a", [](int, WorkMeter&) {});
+  cluster.RunStage("b", [](int, WorkMeter&) {});
+  EXPECT_NEAR(cluster.report().overhead_seconds, 2.0, 1e-9);
+}
+
+TEST(SimClusterTest, ComputeIsCriticalPathOverWorkers) {
+  CostModel cost;
+  cost.stage_overhead_seconds = 0.0;
+  cost.task_overhead_seconds = 0.0;
+  cost.seconds_per_walk_step = 1.0;
+  ClusterConfig cfg = SmallCluster();
+  cfg.cores_per_worker = 2;
+  SimCluster cluster(cfg, cost, nullptr);
+  cluster.RunStage("skewed", [](int w, WorkMeter& meter) {
+    meter.AddWalkSteps(w == 2 ? 100 : 10);
+  });
+  // Slowest worker: 100 steps / 2 cores = 50 simulated seconds.
+  EXPECT_NEAR(cluster.report().compute_seconds, 50.0, 1e-9);
+}
+
+TEST(SimClusterTest, MoreCoresShrinkCompute) {
+  CostModel cost;
+  cost.stage_overhead_seconds = 0.0;
+  cost.seconds_per_walk_step = 1.0;
+  ClusterConfig a = SmallCluster();
+  a.cores_per_worker = 1;
+  ClusterConfig b = SmallCluster();
+  b.cores_per_worker = 8;
+  SimCluster ca(a, cost, nullptr), cb(b, cost, nullptr);
+  const auto body = [](int, WorkMeter& m) { m.AddWalkSteps(80); };
+  ca.RunStage("s", body);
+  cb.RunStage("s", body);
+  EXPECT_NEAR(ca.report().compute_seconds / cb.report().compute_seconds, 8.0,
+              1e-9);
+}
+
+TEST(SimClusterTest, BroadcastAccountsNetworkAndBytes) {
+  CostModel cost;
+  cost.network_latency_seconds = 0.001;
+  cost.network_bandwidth_bytes_per_sec = 1e6;
+  SimCluster cluster(SmallCluster(), cost, nullptr);
+  cluster.Broadcast(1000000);  // 1 second of wire time
+  EXPECT_GT(cluster.report().network_seconds, 1.0);
+  EXPECT_LT(cluster.report().network_seconds, 1.1);
+  EXPECT_EQ(cluster.report().bytes_broadcast, 4000000u);  // x workers
+}
+
+TEST(SimClusterTest, ShuffleAccountsVolume) {
+  SimCluster cluster(SmallCluster(), CostModel::Default(), nullptr);
+  cluster.Shuffle(12345);
+  cluster.Shuffle(5);
+  EXPECT_EQ(cluster.report().bytes_shuffled, 12350u);
+  EXPECT_GT(cluster.report().network_seconds, 0.0);
+}
+
+TEST(SimClusterTest, MemoryCheckPassesWithinCapacity) {
+  SimCluster cluster(SmallCluster(), CostModel::Default(), nullptr);
+  EXPECT_TRUE(cluster.CheckWorkerMemory(1 << 10, "small thing"));
+  EXPECT_TRUE(cluster.report().feasible);
+  EXPECT_EQ(cluster.report().peak_worker_memory_bytes, 1u << 10);
+}
+
+TEST(SimClusterTest, MemoryCheckFailsBeyondCapacity) {
+  SimCluster cluster(SmallCluster(), CostModel::Default(), nullptr);
+  EXPECT_FALSE(cluster.CheckWorkerMemory(2 << 20, "huge replica"));
+  EXPECT_FALSE(cluster.report().feasible);
+  EXPECT_NE(cluster.report().infeasible_reason.find("huge replica"),
+            std::string::npos);
+}
+
+TEST(SimClusterTest, FirstInfeasibleReasonIsKept) {
+  SimCluster cluster(SmallCluster(), CostModel::Default(), nullptr);
+  cluster.CheckWorkerMemory(2 << 20, "first");
+  cluster.CheckWorkerMemory(4 << 20, "second");
+  EXPECT_NE(cluster.report().infeasible_reason.find("first"),
+            std::string::npos);
+  EXPECT_EQ(cluster.report().peak_worker_memory_bytes, 4u << 20);
+}
+
+TEST(SimClusterTest, RunDriverHasNoStageOverhead) {
+  CostModel cost;
+  cost.stage_overhead_seconds = 100.0;
+  cost.seconds_per_walk_step = 1.0;
+  ClusterConfig cfg = SmallCluster();
+  cfg.cores_per_worker = 4;
+  SimCluster cluster(cfg, cost, nullptr);
+  cluster.RunDriver([](WorkMeter& m) { m.AddWalkSteps(8); });
+  EXPECT_NEAR(cluster.report().TotalSeconds(), 2.0, 1e-9);  // 8 / 4 cores
+  EXPECT_EQ(cluster.report().num_stages, 0u);
+}
+
+TEST(SimClusterTest, TotalSecondsIsSumOfParts) {
+  SimCostReport r;
+  r.compute_seconds = 1.0;
+  r.overhead_seconds = 2.0;
+  r.network_seconds = 3.0;
+  EXPECT_DOUBLE_EQ(r.TotalSeconds(), 6.0);
+}
+
+TEST(SimClusterTest, ParallelExecutionMatchesSerial) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum_parallel{0};
+  SimCluster cp(SmallCluster(), CostModel::Default(), &pool);
+  cp.RunStage("s", [&sum_parallel](int w, WorkMeter& m) {
+    sum_parallel.fetch_add(w + 1);
+    m.AddFlops(w);
+  });
+  SimCluster cs(SmallCluster(), CostModel::Default(), nullptr);
+  std::atomic<uint64_t> sum_serial{0};
+  cs.RunStage("s", [&sum_serial](int w, WorkMeter& m) {
+    sum_serial.fetch_add(w + 1);
+    m.AddFlops(w);
+  });
+  EXPECT_EQ(sum_parallel.load(), sum_serial.load());
+  EXPECT_DOUBLE_EQ(cp.report().compute_seconds, cs.report().compute_seconds);
+}
+
+TEST(SimClusterTest, StageRecordsKeepNamesAndOrder) {
+  SimCluster cluster(SmallCluster(), CostModel::Default(), nullptr);
+  cluster.RunStage("alpha", [](int, WorkMeter& m) { m.AddFlops(10); });
+  cluster.RunStage("beta", [](int, WorkMeter&) {});
+  const auto& stages = cluster.report().stages;
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].name, "alpha");
+  EXPECT_EQ(stages[1].name, "beta");
+  EXPECT_GT(stages[0].compute_seconds, 0.0);
+  EXPECT_EQ(stages[1].compute_seconds, 0.0);
+  EXPECT_GT(stages[0].overhead_seconds, 0.0);
+}
+
+TEST(SimClusterTest, StageRecordsSumToReportTotals) {
+  SimCluster cluster(SmallCluster(), CostModel::Default(), nullptr);
+  for (int s = 0; s < 5; ++s) {
+    cluster.RunStage("s", [s](int, WorkMeter& m) {
+      m.AddWalkSteps(100 * (s + 1));
+    });
+  }
+  double compute = 0.0, overhead = 0.0;
+  for (const StageRecord& r : cluster.report().stages) {
+    compute += r.compute_seconds;
+    overhead += r.overhead_seconds;
+  }
+  EXPECT_DOUBLE_EQ(compute, cluster.report().compute_seconds);
+  EXPECT_DOUBLE_EQ(overhead, cluster.report().overhead_seconds);
+}
+
+TEST(SimClusterTest, RecordWorkerMemoryTracksPeakWithoutFailing) {
+  SimCluster cluster(SmallCluster(), CostModel::Default(), nullptr);
+  cluster.RecordWorkerMemory(64ull << 20);  // above the 1 MiB capacity
+  EXPECT_TRUE(cluster.report().feasible);
+  EXPECT_EQ(cluster.report().peak_worker_memory_bytes, 64ull << 20);
+}
+
+TEST(SimClusterTest, TasksPerWorkerAddWaveOverhead) {
+  CostModel cost;
+  cost.stage_overhead_seconds = 0.0;
+  cost.task_overhead_seconds = 0.01;
+  ClusterConfig cfg = SmallCluster();
+  cfg.cores_per_worker = 2;
+  SimCluster cluster(cfg, cost, nullptr);
+  cluster.RunStage("s", [](int, WorkMeter&) {}, /*tasks_per_worker=*/8);
+  // 8 tasks over 2 cores = 4 waves.
+  EXPECT_NEAR(cluster.report().overhead_seconds, 0.04, 1e-9);
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudwalker {
+namespace {
+
+TEST(LoggingTest, MinSeverityRoundTrips) {
+  const LogSeverity old = GetMinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(GetMinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(old);
+}
+
+TEST(LoggingTest, LogBelowThresholdDoesNotCrash) {
+  const LogSeverity old = GetMinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  CW_LOG(INFO) << "suppressed " << 42;
+  CW_LOG(WARNING) << "also suppressed";
+  SetMinLogSeverity(old);
+}
+
+TEST(LoggingTest, LogAboveThresholdDoesNotCrash) {
+  CW_LOG(ERROR) << "visible error message for logging_test";
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  CW_CHECK(1 + 1 == 2) << "never shown";
+  CW_CHECK_EQ(3, 3);
+  CW_CHECK_NE(3, 4);
+  CW_CHECK_LT(3, 4);
+  CW_CHECK_LE(3, 3);
+  CW_CHECK_GT(4, 3);
+  CW_CHECK_GE(4, 4);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(CW_CHECK(false) << "boom", "Check failed");
+}
+
+TEST(CheckDeathTest, FailingCheckEqAborts) {
+  EXPECT_DEATH(CW_CHECK_EQ(1, 2), "Check failed");
+}
+
+TEST(CheckDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(CW_LOG(FATAL) << "fatal", "fatal");
+}
+
+TEST(CheckTest, DcheckCompilesWithStreaming) {
+  CW_DCHECK(true) << "streamed message " << 1;
+}
+
+TEST(CheckTest, CheckOkAcceptsOkStatus) {
+  struct Fake {
+    bool ok() const { return true; }
+  };
+  CW_CHECK_OK(Fake{});
+}
+
+}  // namespace
+}  // namespace cloudwalker

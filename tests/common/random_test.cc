@@ -1,0 +1,135 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace cloudwalker {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  uint64_t s1 = 123, s2 = 123;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SplitMix64Next(&s1), SplitMix64Next(&s2));
+  }
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t s = 0;
+  const uint64_t a = SplitMix64Next(&s);
+  const uint64_t b = SplitMix64Next(&s);
+  EXPECT_NE(a, b);
+}
+
+TEST(DeriveSeedTest, DistinctStreamsDiffer) {
+  std::set<uint64_t> seen;
+  for (uint64_t stream = 0; stream < 1000; ++stream) {
+    seen.insert(DeriveSeed(42, stream));
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(DeriveSeedTest, DistinctSeedsDiffer) {
+  EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));
+}
+
+TEST(DeriveSeedTest, Deterministic) {
+  EXPECT_EQ(DeriveSeed(7, 9), DeriveSeed(7, 9));
+}
+
+TEST(Xoshiro256Test, SameSeedSameSequence) {
+  Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleMeanIsHalf) {
+  Xoshiro256 rng(6);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, UniformIntZeroBoundIsZero) {
+  Xoshiro256 rng(7);
+  EXPECT_EQ(rng.UniformInt(0), 0u);
+  EXPECT_EQ(rng.UniformInt32(0), 0u);
+}
+
+TEST(Xoshiro256Test, UniformIntRespectsBound) {
+  Xoshiro256 rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+    EXPECT_LT(rng.UniformInt32(17), 17u);
+  }
+}
+
+TEST(Xoshiro256Test, UniformIntBoundOneAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+class UniformityTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(UniformityTest, ChiSquaredWithinBound) {
+  const uint32_t buckets = GetParam();
+  Xoshiro256 rng(1234 + buckets);
+  const int draws = 20000 * static_cast<int>(buckets);
+  std::vector<int> counts(buckets, 0);
+  for (int i = 0; i < draws; ++i) ++counts[rng.UniformInt32(buckets)];
+  const double expected = static_cast<double>(draws) / buckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // Very loose bound: chi2 should be near (buckets - 1); 4x is a paranoid
+  // threshold that a broken generator still fails decisively.
+  EXPECT_LT(chi2, 4.0 * buckets);
+}
+
+INSTANTIATE_TEST_SUITE_P(Buckets, UniformityTest,
+                         ::testing::Values(2u, 3u, 10u, 64u, 1000u));
+
+TEST(Xoshiro256Test, BernoulliExtremes) {
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro256Test, BernoulliFrequency) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256Test, DeriveMatchesManualConstruction) {
+  Xoshiro256 a = Xoshiro256::Derive(5, 6);
+  Xoshiro256 b(DeriveSeed(5, 6));
+  EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace cloudwalker

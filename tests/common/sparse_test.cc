@@ -1,0 +1,240 @@
+#include "common/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace cloudwalker {
+namespace {
+
+TEST(SparseVectorTest, EmptyByDefault) {
+  SparseVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.Sum(), 0.0);
+  EXPECT_EQ(v.Get(3), 0.0);
+}
+
+TEST(SparseVectorTest, FromUnsortedSortsByIndex) {
+  SparseVector v = SparseVector::FromUnsorted(
+      {{5, 1.0}, {1, 2.0}, {3, 3.0}});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].index, 1u);
+  EXPECT_EQ(v[1].index, 3u);
+  EXPECT_EQ(v[2].index, 5u);
+}
+
+TEST(SparseVectorTest, FromUnsortedMergesDuplicates) {
+  SparseVector v = SparseVector::FromUnsorted(
+      {{2, 1.0}, {2, 2.5}, {1, 1.0}, {2, 0.5}});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.Get(2), 4.0);
+  EXPECT_DOUBLE_EQ(v.Get(1), 1.0);
+}
+
+TEST(SparseVectorTest, GetMissingIsZero) {
+  SparseVector v = SparseVector::FromSorted({{1, 1.0}, {9, 2.0}});
+  EXPECT_EQ(v.Get(0), 0.0);
+  EXPECT_EQ(v.Get(5), 0.0);
+  EXPECT_EQ(v.Get(10), 0.0);
+  EXPECT_DOUBLE_EQ(v.Get(9), 2.0);
+}
+
+TEST(SparseVectorTest, SumAndSumSquares) {
+  SparseVector v = SparseVector::FromSorted({{0, 1.0}, {1, 2.0}, {2, 3.0}});
+  EXPECT_DOUBLE_EQ(v.Sum(), 6.0);
+  EXPECT_DOUBLE_EQ(v.SumSquares(), 14.0);
+}
+
+TEST(SparseVectorTest, NormalizeMakesSumOne) {
+  SparseVector v = SparseVector::FromSorted({{0, 1.0}, {1, 3.0}});
+  v.Normalize();
+  EXPECT_DOUBLE_EQ(v.Sum(), 1.0);
+  EXPECT_DOUBLE_EQ(v.Get(1), 0.75);
+}
+
+TEST(SparseVectorTest, NormalizeZeroVectorIsNoop) {
+  SparseVector v = SparseVector::FromSorted({{0, 0.0}});
+  v.Normalize();
+  EXPECT_EQ(v.Get(0), 0.0);
+}
+
+TEST(SparseVectorTest, Scale) {
+  SparseVector v = SparseVector::FromSorted({{0, 2.0}, {4, -1.0}});
+  v.Scale(0.5);
+  EXPECT_DOUBLE_EQ(v.Get(0), 1.0);
+  EXPECT_DOUBLE_EQ(v.Get(4), -0.5);
+}
+
+TEST(SparseVectorTest, PruneDropsSmallMagnitudes) {
+  SparseVector v =
+      SparseVector::FromSorted({{0, 0.001}, {1, -0.5}, {2, 0.0001}});
+  v.Prune(0.01);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.Get(1), -0.5);
+}
+
+TEST(SparseVectorTest, DotDisjointIsZero) {
+  SparseVector a = SparseVector::FromSorted({{0, 1.0}, {2, 1.0}});
+  SparseVector b = SparseVector::FromSorted({{1, 1.0}, {3, 1.0}});
+  EXPECT_EQ(SparseVector::Dot(a, b), 0.0);
+}
+
+TEST(SparseVectorTest, DotOverlapping) {
+  SparseVector a = SparseVector::FromSorted({{0, 1.0}, {2, 2.0}, {5, 3.0}});
+  SparseVector b = SparseVector::FromSorted({{2, 4.0}, {5, 1.0}, {7, 9.0}});
+  EXPECT_DOUBLE_EQ(SparseVector::Dot(a, b), 8.0 + 3.0);
+}
+
+TEST(SparseVectorTest, DotWeighted) {
+  SparseVector a = SparseVector::FromSorted({{0, 1.0}, {2, 2.0}});
+  SparseVector b = SparseVector::FromSorted({{0, 3.0}, {2, 5.0}});
+  const std::vector<double> diag = {2.0, 0.0, 0.5};
+  EXPECT_DOUBLE_EQ(SparseVector::DotWeighted(a, b, diag), 6.0 + 5.0);
+}
+
+TEST(SparseVectorTest, AxpyMergesAndScales) {
+  SparseVector a = SparseVector::FromSorted({{0, 1.0}, {2, 2.0}});
+  SparseVector b = SparseVector::FromSorted({{2, 1.0}, {3, 4.0}});
+  SparseVector r = SparseVector::Axpy(a, 0.5, b);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.Get(0), 1.0);
+  EXPECT_DOUBLE_EQ(r.Get(2), 2.5);
+  EXPECT_DOUBLE_EQ(r.Get(3), 2.0);
+}
+
+TEST(SparseVectorTest, AxpyWithEmpty) {
+  SparseVector a;
+  SparseVector b = SparseVector::FromSorted({{1, 2.0}});
+  SparseVector r = SparseVector::Axpy(a, 3.0, b);
+  EXPECT_DOUBLE_EQ(r.Get(1), 6.0);
+  SparseVector r2 = SparseVector::Axpy(b, 3.0, a);
+  EXPECT_DOUBLE_EQ(r2.Get(1), 2.0);
+}
+
+TEST(SparseAccumulatorTest, StartsEmpty) {
+  SparseAccumulator acc;
+  EXPECT_EQ(acc.size(), 0u);
+  EXPECT_EQ(acc.Get(0), 0.0);
+}
+
+TEST(SparseAccumulatorTest, AddAccumulates) {
+  SparseAccumulator acc;
+  acc.Add(7, 1.5);
+  acc.Add(7, 2.5);
+  acc.Add(3, 1.0);
+  EXPECT_EQ(acc.size(), 2u);
+  EXPECT_DOUBLE_EQ(acc.Get(7), 4.0);
+  EXPECT_DOUBLE_EQ(acc.Get(3), 1.0);
+}
+
+TEST(SparseAccumulatorTest, ClearKeepsCapacityDropsEntries) {
+  SparseAccumulator acc(4);
+  for (uint32_t i = 0; i < 100; ++i) acc.Add(i, 1.0);
+  EXPECT_EQ(acc.size(), 100u);
+  acc.Clear();
+  EXPECT_EQ(acc.size(), 0u);
+  EXPECT_EQ(acc.Get(50), 0.0);
+  acc.Add(5, 2.0);
+  EXPECT_DOUBLE_EQ(acc.Get(5), 2.0);
+}
+
+TEST(SparseAccumulatorTest, GrowsBeyondInitialCapacity) {
+  SparseAccumulator acc(2);
+  const uint32_t n = 10000;
+  for (uint32_t i = 0; i < n; ++i) acc.Add(i * 3, 1.0);
+  EXPECT_EQ(acc.size(), n);
+  for (uint32_t i = 0; i < n; i += 997) {
+    EXPECT_DOUBLE_EQ(acc.Get(i * 3), 1.0);
+  }
+}
+
+TEST(SparseAccumulatorTest, ToSortedVectorIsSortedAndComplete) {
+  SparseAccumulator acc;
+  Xoshiro256 rng(3);
+  std::vector<double> dense(500, 0.0);
+  for (int i = 0; i < 2000; ++i) {
+    const uint32_t idx = rng.UniformInt32(500);
+    acc.Add(idx, 0.25);
+    dense[idx] += 0.25;
+  }
+  const SparseVector v = acc.ToSortedVector();
+  EXPECT_EQ(v.size(), acc.size());
+  for (size_t i = 1; i < v.size(); ++i) {
+    EXPECT_LT(v[i - 1].index, v[i].index);
+  }
+  for (const SparseEntry& e : v) {
+    EXPECT_DOUBLE_EQ(e.value, dense[e.index]);
+  }
+}
+
+TEST(SparseAccumulatorTest, ForEachVisitsEveryEntryOnce) {
+  SparseAccumulator acc;
+  acc.Add(1, 1.0);
+  acc.Add(2, 2.0);
+  acc.Add(4, 4.0);
+  double sum = 0.0;
+  size_t count = 0;
+  acc.ForEach([&](uint32_t, double v) {
+    sum += v;
+    ++count;
+  });
+  EXPECT_EQ(count, 3u);
+  EXPECT_DOUBLE_EQ(sum, 7.0);
+}
+
+TEST(SparseAccumulatorTest, CollidingKeysStayDistinct) {
+  // Keys chosen to collide in a small table (same low bits).
+  SparseAccumulator acc(4);
+  acc.Add(0, 1.0);
+  acc.Add(16, 2.0);
+  acc.Add(32, 3.0);
+  acc.Add(48, 4.0);
+  EXPECT_DOUBLE_EQ(acc.Get(0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Get(16), 2.0);
+  EXPECT_DOUBLE_EQ(acc.Get(32), 3.0);
+  EXPECT_DOUBLE_EQ(acc.Get(48), 4.0);
+}
+
+TEST(SparseAccumulatorTest, NegativeValuesSupported) {
+  SparseAccumulator acc;
+  acc.Add(2, 5.0);
+  acc.Add(2, -3.0);
+  EXPECT_DOUBLE_EQ(acc.Get(2), 2.0);
+}
+
+// Property sweep: accumulator agrees with a dense reference across sizes.
+class SparseAccumulatorPropertyTest
+    : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SparseAccumulatorPropertyTest, MatchesDenseReference) {
+  const uint32_t universe = GetParam();
+  SparseAccumulator acc(8);
+  std::vector<double> dense(universe, 0.0);
+  Xoshiro256 rng(universe);
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t idx = rng.UniformInt32(universe);
+    const double val = rng.NextDouble() - 0.5;
+    acc.Add(idx, val);
+    dense[idx] += val;
+  }
+  size_t nonzero_entries = 0;
+  for (uint32_t i = 0; i < universe; ++i) {
+    EXPECT_NEAR(acc.Get(i), dense[i], 1e-12);
+    // Every touched key must be present (even if it sums to ~0).
+  }
+  acc.ForEach([&](uint32_t k, double v) {
+    EXPECT_LT(k, universe);
+    EXPECT_NEAR(v, dense[k], 1e-12);
+    ++nonzero_entries;
+  });
+  EXPECT_EQ(nonzero_entries, acc.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Universes, SparseAccumulatorPropertyTest,
+                         ::testing::Values(1u, 2u, 17u, 256u, 5000u));
+
+}  // namespace
+}  // namespace cloudwalker

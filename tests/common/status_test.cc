@@ -1,0 +1,125 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudwalker {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryOk) {
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+struct CodeCase {
+  Status status;
+  StatusCode code;
+  const char* name;
+};
+
+class StatusCodeTest : public ::testing::TestWithParam<CodeCase> {};
+
+TEST_P(StatusCodeTest, CodeMessageAndName) {
+  const CodeCase& c = GetParam();
+  EXPECT_FALSE(c.status.ok());
+  EXPECT_EQ(c.status.code(), c.code);
+  EXPECT_EQ(c.status.message(), "m");
+  EXPECT_EQ(c.status.ToString(), std::string(c.name) + ": m");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodes, StatusCodeTest,
+    ::testing::Values(
+        CodeCase{Status::InvalidArgument("m"), StatusCode::kInvalidArgument,
+                 "InvalidArgument"},
+        CodeCase{Status::NotFound("m"), StatusCode::kNotFound, "NotFound"},
+        CodeCase{Status::OutOfRange("m"), StatusCode::kOutOfRange,
+                 "OutOfRange"},
+        CodeCase{Status::FailedPrecondition("m"),
+                 StatusCode::kFailedPrecondition, "FailedPrecondition"},
+        CodeCase{Status::ResourceExhausted("m"),
+                 StatusCode::kResourceExhausted, "ResourceExhausted"},
+        CodeCase{Status::Unimplemented("m"), StatusCode::kUnimplemented,
+                 "Unimplemented"},
+        CodeCase{Status::IoError("m"), StatusCode::kIoError, "IoError"},
+        CodeCase{Status::Internal("m"), StatusCode::kInternal, "Internal"}));
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NotFound("missing"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, OkStatusBecomesInternalError) {
+  StatusOr<int> v(Status::Ok());
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v(std::string("abc"));
+  EXPECT_EQ(v->size(), 3u);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::Ok();
+}
+
+Status Caller(int x) {
+  CW_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(Caller(1).ok());
+  EXPECT_EQ(Caller(-1).code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> MaybeInt(bool ok) {
+  if (!ok) return Status::NotFound("no int");
+  return 5;
+}
+
+StatusOr<int> Doubler(bool ok) {
+  CW_ASSIGN_OR_RETURN(int v, MaybeInt(ok));
+  return v * 2;
+}
+
+TEST(StatusMacroTest, AssignOrReturn) {
+  auto good = Doubler(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 10);
+  auto bad = Doubler(false);
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cloudwalker

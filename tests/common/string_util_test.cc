@@ -1,0 +1,79 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudwalker {
+namespace {
+
+TEST(StrSplitTest, BasicSplit) {
+  const auto parts = StrSplit("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StrSplitTest, KeepsEmptyFields) {
+  const auto parts = StrSplit(",a,,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StrSplitTest, NoDelimiterYieldsWhole) {
+  const auto parts = StrSplit("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  a b \t\r\n"), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_FALSE(StartsWith("xfoo", "foo"));
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-2.5, 1), "-2.5");
+}
+
+TEST(HumanCountTest, MatchesPaperUnits) {
+  EXPECT_EQ(HumanCount(7115), "7.1K");
+  EXPECT_EQ(HumanCount(103689), "103.7K");
+  EXPECT_EQ(HumanCount(2400000), "2.4M");
+  EXPECT_EQ(HumanCount(1500000000), "1.5B");
+  EXPECT_EQ(HumanCount(42600000000ull), "42.6B");
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(0), "0");
+}
+
+TEST(HumanBytesTest, Units) {
+  EXPECT_EQ(HumanBytes(512), "512B");
+  EXPECT_EQ(HumanBytes(1024), "1.0KB");
+  EXPECT_EQ(HumanBytes(488243ull), "476.8KB");
+  EXPECT_EQ(HumanBytes(47815065ull), "45.6MB");
+  EXPECT_EQ(HumanBytes(12241076551ull), "11.4GB");
+}
+
+TEST(HumanSecondsTest, Units) {
+  EXPECT_EQ(HumanSeconds(7.0), "7.0s");
+  EXPECT_EQ(HumanSeconds(0.004), "4.0ms");
+  EXPECT_EQ(HumanSeconds(0.042), "42.0ms");
+  EXPECT_EQ(HumanSeconds(3323.0), "3323s");
+  EXPECT_EQ(HumanSeconds(110.2 * 3600), "110.2h");
+  EXPECT_EQ(HumanSeconds(2e-6), "2us");
+  EXPECT_EQ(HumanSeconds(0.0), "0s");
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,83 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cloudwalker {
+namespace {
+
+TEST(TablePrinterTest, TextRendering) {
+  TablePrinter t({"Dataset", "Nodes"});
+  t.AddRow({"wiki-vote", "7.1K"});
+  t.AddRow({"clue-web", "1B"});
+  std::ostringstream os;
+  t.RenderText(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Dataset"), std::string::npos);
+  EXPECT_NE(out.find("wiki-vote"), std::string::npos);
+  EXPECT_NE(out.find("clue-web"), std::string::npos);
+  // Header rule present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, MarkdownRendering) {
+  TablePrinter t({"A", "B"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.RenderMarkdown(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| A"), std::string::npos);
+  EXPECT_NE(out.find("| 1"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvRendering) {
+  TablePrinter t({"A", "B"});
+  t.AddRow({"1", "x,y"});
+  t.AddRow({"quo\"te", "z"});
+  std::ostringstream os;
+  t.RenderCsv(os);
+  EXPECT_EQ(os.str(), "A,B\n1,\"x,y\"\n\"quo\"\"te\",z\n");
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.RenderCsv(os);
+  EXPECT_EQ(os.str(), "A,B,C\nonly,,\n");
+}
+
+TEST(TablePrinterTest, ExtraCellsDropped) {
+  TablePrinter t({"A"});
+  t.AddRow({"1", "ignored"});
+  std::ostringstream os;
+  t.RenderCsv(os);
+  EXPECT_EQ(os.str(), "A\n1\n");
+}
+
+TEST(TablePrinterTest, NumRows) {
+  TablePrinter t({"A"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, ColumnsAlignInText) {
+  TablePrinter t({"H", "H2"});
+  t.AddRow({"longvalue", "x"});
+  std::ostringstream os;
+  t.RenderText(os);
+  // Each line should place the second column at the same offset.
+  std::istringstream is(os.str());
+  std::string header, rule, row;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row);
+  EXPECT_EQ(header.find("H2"), row.find("x"));
+}
+
+}  // namespace
+}  // namespace cloudwalker

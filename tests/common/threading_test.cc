@@ -1,0 +1,146 @@
+#include "common/threading.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace cloudwalker {
+namespace {
+
+TEST(ThreadPoolTest, DefaultPicksHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ExplicitThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&] {
+      const int cur = in_flight.fetch_add(1) + 1;
+      int seen = max_in_flight.load();
+      while (cur > seen && !max_in_flight.compare_exchange_weak(seen, cur)) {
+      }
+      // Busy-wait briefly so tasks overlap.
+      for (volatile int spin = 0; spin < 100000; spin = spin + 1) {
+      }
+      in_flight.fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_GT(max_in_flight.load(), 1);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, 7, [&hits](uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(5, 5, 1, [&calls](uint64_t, uint64_t) { calls++; });
+  pool.ParallelFor(7, 3, 1, [&calls](uint64_t, uint64_t) { calls++; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, AutoGrainCoversRange) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, 12345, 0, [&sum](uint64_t b, uint64_t e) {
+    uint64_t local = 0;
+    for (uint64_t i = b; i < e; ++i) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), 12345ull * 12344 / 2);
+}
+
+TEST(ParallelForTest, ChunkBoundariesRespectGrain) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, uint64_t>> chunks;
+  pool.ParallelFor(0, 103, 10, [&](uint64_t b, uint64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  for (const auto& [b, e] : chunks) {
+    EXPECT_EQ(b % 10, 0u);  // boundaries depend only on grain
+    EXPECT_LE(e - b, 10u);
+  }
+  uint64_t total = 0;
+  for (const auto& [b, e] : chunks) total += e - b;
+  EXPECT_EQ(total, 103u);
+}
+
+TEST(ParallelForTest, NullPoolRunsSerially) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(nullptr, 0, 100, 8, [&hits](uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, NullPoolEmptyRange) {
+  int calls = 0;
+  ParallelFor(nullptr, 3, 3, 1, [&calls](uint64_t, uint64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, FreeFunctionDelegatesToPool) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  ParallelFor(&pool, 0, 50, 5, [&count](uint64_t b, uint64_t e) {
+    count.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelForTest, SingleThreadPoolStillCorrect) {
+  ThreadPool pool(1);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(10, 20, 3, [&sum](uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + ... + 19
+}
+
+TEST(ParallelForTest, ReentrantSequentialCalls) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(0, 100, 9, [&count](uint64_t b, uint64_t e) {
+      count.fetch_add(static_cast<int>(e - b));
+    });
+    ASSERT_EQ(count.load(), 100);
+  }
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,205 @@
+#include "core/cloudwalker.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+IndexingOptions FastIndex() {
+  IndexingOptions o;
+  o.num_walkers = 300;
+  o.jacobi_iterations = 4;
+  o.seed = 2;
+  return o;
+}
+
+QueryOptions FastQuery() {
+  QueryOptions q;
+  q.num_walkers = 3000;
+  q.seed = 3;
+  return q;
+}
+
+TEST(CloudWalkerTest, BuildRejectsNullGraph) {
+  auto cw = CloudWalker::Build(nullptr, FastIndex());
+  EXPECT_FALSE(cw.ok());
+  EXPECT_EQ(cw.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CloudWalkerTest, BuildRejectsInvalidOptions) {
+  const Graph g = GenerateCycle(10);
+  IndexingOptions o = FastIndex();
+  o.params.decay = 1.5;
+  EXPECT_FALSE(CloudWalker::Build(&g, o).ok());
+}
+
+TEST(CloudWalkerTest, BuildProducesQueryableIndex) {
+  const Graph g = GenerateRmat(100, 700, 1);
+  ThreadPool pool(4);
+  auto cw = CloudWalker::Build(&g, FastIndex(), &pool);
+  ASSERT_TRUE(cw.ok()) << cw.status().ToString();
+  EXPECT_EQ(cw->index().num_nodes(), g.num_nodes());
+  EXPECT_GT(cw->indexing_stats().walk_steps, 0u);
+  EXPECT_EQ(&cw->graph(), &g);
+}
+
+TEST(CloudWalkerTest, SinglePairSelfIsOne) {
+  const Graph g = GenerateCycle(12);
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  auto s = cw->SinglePair(4, 4, FastQuery());
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s.value(), 1.0);
+}
+
+TEST(CloudWalkerTest, SinglePairClampedToUnitInterval) {
+  const Graph g = GenerateRmat(80, 560, 4);
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  for (NodeId i = 0; i < 10; ++i) {
+    for (NodeId j = 0; j < 10; ++j) {
+      auto s = cw->SinglePair(i, j, FastQuery());
+      ASSERT_TRUE(s.ok());
+      EXPECT_GE(s.value(), 0.0);
+      EXPECT_LE(s.value(), 1.0);
+    }
+  }
+}
+
+TEST(CloudWalkerTest, SinglePairOutOfRangeFails) {
+  const Graph g = GenerateCycle(5);
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  EXPECT_EQ(cw->SinglePair(0, 99, FastQuery()).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(cw->SinglePair(99, 0, FastQuery()).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(CloudWalkerTest, SinglePairInvalidOptionsFail) {
+  const Graph g = GenerateCycle(5);
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  QueryOptions q;
+  q.num_walkers = 0;
+  EXPECT_EQ(cw->SinglePair(0, 1, q).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CloudWalkerTest, SingleSourcePinsSelfToOne) {
+  const Graph g = GenerateRmat(60, 420, 5);
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  auto s = cw->SingleSource(7, FastQuery());
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->Get(7), 1.0);
+  for (const SparseEntry& e : *s) {
+    EXPECT_GE(e.value, 0.0);
+    EXPECT_LE(e.value, 1.0);
+  }
+}
+
+TEST(CloudWalkerTest, SingleSourceIsolatedNodeStillHasSelf) {
+  // Node with no edges at all: the sparse result must still pin self = 1.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  const Graph g = std::move(b.Build()).value();
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  auto s = cw->SingleSource(2, FastQuery());
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->Get(2), 1.0);
+}
+
+TEST(CloudWalkerTest, SingleSourceTopKExcludesSelf) {
+  const Graph g = GenerateRmat(60, 420, 6);
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  auto top = cw->SingleSourceTopK(3, 5, FastQuery());
+  ASSERT_TRUE(top.ok());
+  EXPECT_LE(top->size(), 5u);
+  for (const ScoredNode& sn : *top) {
+    EXPECT_NE(sn.node, 3u);
+    EXPECT_GE(sn.score, 0.0);
+    EXPECT_LE(sn.score, 1.0);
+  }
+}
+
+TEST(CloudWalkerTest, AllPairsCoversEverySource) {
+  const Graph g = GenerateRmat(40, 280, 7);
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  QueryOptions q = FastQuery();
+  q.num_walkers = 400;
+  ThreadPool pool(4);
+  auto all = cw->AllPairs(3, q, &pool);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), g.num_nodes());
+}
+
+TEST(CloudWalkerTest, SaveAndReloadIndex) {
+  const Graph g = GenerateRmat(50, 300, 8);
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  const std::string path = TempPath("cw_facade_index.idx");
+  ASSERT_TRUE(cw->SaveIndex(path).ok());
+
+  auto loaded = DiagonalIndex::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  auto cw2 = CloudWalker::FromIndex(&g, std::move(loaded).value());
+  ASSERT_TRUE(cw2.ok());
+  // Identical index + identical seeds -> identical query answers.
+  auto a = cw->SinglePair(1, 2, FastQuery());
+  auto b = cw2->SinglePair(1, 2, FastQuery());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a.value(), b.value());
+  std::remove(path.c_str());
+}
+
+TEST(CloudWalkerTest, FromIndexRejectsMismatchedSizes) {
+  const Graph g = GenerateCycle(10);
+  DiagonalIndex idx(SimRankParams{}, std::vector<double>(5, 0.4));
+  auto cw = CloudWalker::FromIndex(&g, std::move(idx));
+  EXPECT_EQ(cw.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CloudWalkerTest, FromIndexRejectsNullGraph) {
+  DiagonalIndex idx(SimRankParams{}, std::vector<double>(5, 0.4));
+  EXPECT_FALSE(CloudWalker::FromIndex(nullptr, std::move(idx)).ok());
+}
+
+TEST(CloudWalkerTest, QueriesAreThreadSafe) {
+  const Graph g = GenerateRmat(80, 560, 9);
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  ThreadPool pool(8);
+  std::vector<double> results(64, -1.0);
+  pool.ParallelFor(0, 64, 1, [&](uint64_t b, uint64_t e) {
+    for (uint64_t i = b; i < e; ++i) {
+      auto s = cw->SinglePair(static_cast<NodeId>(i % 40),
+                              static_cast<NodeId>((i * 7) % 80), FastQuery());
+      ASSERT_TRUE(s.ok());
+      results[i] = s.value();
+    }
+  });
+  // Re-run serially and compare: concurrent execution must not perturb
+  // deterministic per-query results.
+  for (uint64_t i = 0; i < 64; ++i) {
+    auto s = cw->SinglePair(static_cast<NodeId>(i % 40),
+                            static_cast<NodeId>((i * 7) % 80), FastQuery());
+    ASSERT_TRUE(s.ok());
+    EXPECT_DOUBLE_EQ(results[i], s.value()) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cloudwalker

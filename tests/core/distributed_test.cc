@@ -1,0 +1,252 @@
+#include "core/distributed.h"
+
+#include <gtest/gtest.h>
+
+#include "core/indexer.h"
+#include "core/queries.h"
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace {
+
+ClusterConfig TestCluster(uint64_t memory = 64ull << 20) {
+  ClusterConfig cfg;
+  cfg.num_workers = 4;
+  cfg.cores_per_worker = 4;
+  cfg.worker_memory_bytes = memory;
+  return cfg;
+}
+
+IndexingOptions FastIndex() {
+  IndexingOptions o;
+  o.num_walkers = 150;
+  o.jacobi_iterations = 3;
+  o.seed = 9;
+  return o;
+}
+
+QueryOptions FastQuery() {
+  QueryOptions q;
+  q.num_walkers = 2000;
+  q.seed = 10;
+  return q;
+}
+
+TEST(ExecutionModelTest, Names) {
+  EXPECT_STREQ(ExecutionModelName(ExecutionModel::kBroadcasting),
+               "Broadcasting");
+  EXPECT_STREQ(ExecutionModelName(ExecutionModel::kRdd), "RDD");
+}
+
+TEST(DistributedIndexTest, BothModelsProduceIdenticalIndexes) {
+  const Graph g = GenerateRmat(200, 1400, 1);
+  ThreadPool pool(4);
+  auto broadcast = DistributedBuildIndex(
+      g, FastIndex(), ExecutionModel::kBroadcasting, TestCluster(),
+      CostModel::Default(), &pool);
+  auto rdd = DistributedBuildIndex(g, FastIndex(), ExecutionModel::kRdd,
+                                   TestCluster(), CostModel::Default(),
+                                   &pool);
+  ASSERT_TRUE(broadcast.ok() && rdd.ok());
+  ASSERT_TRUE(broadcast->cost.feasible);
+  ASSERT_TRUE(rdd->cost.feasible);
+  ASSERT_EQ(broadcast->index.num_nodes(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(broadcast->index[v], rdd->index[v]) << "node " << v;
+  }
+}
+
+TEST(DistributedIndexTest, MatchesLocalIndexer) {
+  const Graph g = GenerateRmat(150, 1050, 2);
+  auto local = BuildDiagonalIndex(g, FastIndex(), nullptr);
+  ASSERT_TRUE(local.ok());
+  auto dist = DistributedBuildIndex(
+      g, FastIndex(), ExecutionModel::kBroadcasting, TestCluster(),
+      CostModel::Default(), nullptr);
+  ASSERT_TRUE(dist.ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ((*local)[v], dist->index[v]) << "node " << v;
+  }
+}
+
+TEST(DistributedIndexTest, BroadcastInfeasibleOnHugeGraph) {
+  const Graph g = GenerateRmat(5000, 50000, 3);
+  // Tiny worker memory: the full replica cannot fit.
+  auto result = DistributedBuildIndex(
+      g, FastIndex(), ExecutionModel::kBroadcasting,
+      TestCluster(/*memory=*/64 << 10), CostModel::Default(), nullptr);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->cost.feasible);
+  EXPECT_EQ(result->index.num_nodes(), 0u);
+  EXPECT_FALSE(result->cost.infeasible_reason.empty());
+}
+
+TEST(DistributedIndexTest, RddFeasibleWhereBroadcastIsNot) {
+  // A graph whose CSR (~1.7 MB) exceeds one worker's memory but whose
+  // 1/W partition plus walker state fits — the paper's clue-web situation.
+  const Graph g = GenerateErdosRenyi(5000, 200000, 3);
+  IndexingOptions o = FastIndex();
+  o.num_walkers = 10;
+  const ClusterConfig cfg = TestCluster(/*memory=*/1 << 20);
+  auto broadcast = DistributedBuildIndex(
+      g, o, ExecutionModel::kBroadcasting, cfg, CostModel::Default(),
+      nullptr);
+  auto rdd = DistributedBuildIndex(g, o, ExecutionModel::kRdd, cfg,
+                                   CostModel::Default(), nullptr);
+  ASSERT_TRUE(broadcast.ok() && rdd.ok());
+  EXPECT_FALSE(broadcast->cost.feasible);
+  EXPECT_TRUE(rdd->cost.feasible) << rdd->cost.infeasible_reason;
+  EXPECT_EQ(rdd->index.num_nodes(), g.num_nodes());
+}
+
+TEST(DistributedIndexTest, RddPaysMoreOverheadThanBroadcast) {
+  const Graph g = GenerateRmat(300, 2100, 4);
+  auto broadcast = DistributedBuildIndex(
+      g, FastIndex(), ExecutionModel::kBroadcasting, TestCluster(),
+      CostModel::Default(), nullptr);
+  auto rdd = DistributedBuildIndex(g, FastIndex(), ExecutionModel::kRdd,
+                                   TestCluster(), CostModel::Default(),
+                                   nullptr);
+  ASSERT_TRUE(broadcast.ok() && rdd.ok());
+  // RDD runs one stage per walk superstep; Broadcasting runs one walk stage.
+  EXPECT_GT(rdd->cost.num_stages, broadcast->cost.num_stages);
+  EXPECT_GT(rdd->cost.overhead_seconds, broadcast->cost.overhead_seconds);
+}
+
+TEST(DistributedIndexTest, RddShufflesWalkerTraffic) {
+  const Graph g = GenerateRmat(300, 2100, 4);
+  auto rdd = DistributedBuildIndex(g, FastIndex(), ExecutionModel::kRdd,
+                                   TestCluster(), CostModel::Default(),
+                                   nullptr);
+  ASSERT_TRUE(rdd.ok());
+  EXPECT_GT(rdd->cost.bytes_shuffled, 0u);
+}
+
+TEST(DistributedIndexTest, BroadcastsDiagonalEachJacobiRound) {
+  const Graph g = GenerateRmat(300, 2100, 4);
+  IndexingOptions o = FastIndex();
+  o.jacobi_iterations = 5;
+  auto result = DistributedBuildIndex(
+      g, o, ExecutionModel::kBroadcasting, TestCluster(),
+      CostModel::Default(), nullptr);
+  ASSERT_TRUE(result.ok());
+  const uint64_t per_round =
+      static_cast<uint64_t>(g.num_nodes()) * sizeof(double) * 4;  // 4 workers
+  EXPECT_EQ(result->cost.bytes_broadcast, 5 * per_round);
+}
+
+TEST(DistributedIndexTest, InvalidOptionsFail) {
+  const Graph g = GenerateCycle(10);
+  IndexingOptions o = FastIndex();
+  o.num_walkers = 0;
+  EXPECT_FALSE(DistributedBuildIndex(g, o, ExecutionModel::kRdd,
+                                     TestCluster(), CostModel::Default(),
+                                     nullptr)
+                   .ok());
+}
+
+TEST(DistributedIndexTest, EmptyGraphFails) {
+  EXPECT_FALSE(DistributedBuildIndex(Graph(), FastIndex(),
+                                     ExecutionModel::kRdd, TestCluster(),
+                                     CostModel::Default(), nullptr)
+                   .ok());
+}
+
+class DistributedQueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new Graph(GenerateRmat(150, 1050, 5));
+    auto idx = BuildDiagonalIndex(*graph_, FastIndex(), nullptr);
+    ASSERT_TRUE(idx.ok());
+    index_ = new DiagonalIndex(std::move(idx).value());
+  }
+  static void TearDownTestSuite() {
+    delete graph_;
+    delete index_;
+  }
+  static Graph* graph_;
+  static DiagonalIndex* index_;
+};
+Graph* DistributedQueryTest::graph_ = nullptr;
+DiagonalIndex* DistributedQueryTest::index_ = nullptr;
+
+TEST_F(DistributedQueryTest, PairValueMatchesLocalInBothModels) {
+  const double local =
+      SinglePairQuery(*graph_, *index_, 3, 9, FastQuery());
+  for (ExecutionModel model :
+       {ExecutionModel::kBroadcasting, ExecutionModel::kRdd}) {
+    auto result = DistributedSinglePair(*graph_, *index_, 3, 9, FastQuery(),
+                                        model, TestCluster(),
+                                        CostModel::Default(), nullptr);
+    ASSERT_TRUE(result.ok());
+    EXPECT_DOUBLE_EQ(result->value, local)
+        << ExecutionModelName(model);
+  }
+}
+
+TEST_F(DistributedQueryTest, SourceScoresMatchLocalInBothModels) {
+  const SparseVector local =
+      SingleSourceQuery(*graph_, *index_, 4, FastQuery());
+  for (ExecutionModel model :
+       {ExecutionModel::kBroadcasting, ExecutionModel::kRdd}) {
+    auto result = DistributedSingleSource(*graph_, *index_, 4, FastQuery(),
+                                          model, TestCluster(),
+                                          CostModel::Default(), nullptr);
+    ASSERT_TRUE(result.ok()) << ExecutionModelName(model);
+    ASSERT_EQ(result->scores.size(), local.size());
+    for (size_t i = 0; i < local.size(); ++i) {
+      EXPECT_EQ(result->scores[i], local[i]);
+    }
+  }
+}
+
+TEST_F(DistributedQueryTest, RddQueriesPayStageOverheadBroadcastDoesNot) {
+  auto b = DistributedSinglePair(*graph_, *index_, 1, 2, FastQuery(),
+                                 ExecutionModel::kBroadcasting, TestCluster(),
+                                 CostModel::Default(), nullptr);
+  auto r = DistributedSinglePair(*graph_, *index_, 1, 2, FastQuery(),
+                                 ExecutionModel::kRdd, TestCluster(),
+                                 CostModel::Default(), nullptr);
+  ASSERT_TRUE(b.ok() && r.ok());
+  EXPECT_EQ(b->cost.num_stages, 0u);
+  EXPECT_GT(r->cost.num_stages, 0u);
+  // The paper's headline: broadcast queries are milliseconds, RDD queries
+  // are seconds (stage scheduling dominates).
+  EXPECT_LT(b->cost.TotalSeconds(), 0.1);
+  EXPECT_GT(r->cost.TotalSeconds(), 1.0);
+}
+
+TEST_F(DistributedQueryTest, SourceQueryCostOrdering) {
+  auto b = DistributedSingleSource(*graph_, *index_, 1, FastQuery(),
+                                   ExecutionModel::kBroadcasting,
+                                   TestCluster(), CostModel::Default(),
+                                   nullptr);
+  auto r = DistributedSingleSource(*graph_, *index_, 1, FastQuery(),
+                                   ExecutionModel::kRdd, TestCluster(),
+                                   CostModel::Default(), nullptr);
+  ASSERT_TRUE(b.ok() && r.ok());
+  EXPECT_LT(b->cost.TotalSeconds(), r->cost.TotalSeconds());
+}
+
+TEST_F(DistributedQueryTest, OutOfRangeNodeFails) {
+  auto result = DistributedSinglePair(*graph_, *index_, 0, 100000,
+                                      FastQuery(), ExecutionModel::kRdd,
+                                      TestCluster(), CostModel::Default(),
+                                      nullptr);
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfRange);
+  auto src = DistributedSingleSource(*graph_, *index_, 100000, FastQuery(),
+                                     ExecutionModel::kRdd, TestCluster(),
+                                     CostModel::Default(), nullptr);
+  EXPECT_EQ(src.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(DistributedQueryTest, MismatchedIndexFails) {
+  DiagonalIndex small(SimRankParams{}, std::vector<double>(3, 0.4));
+  auto result = DistributedSinglePair(*graph_, small, 0, 1, FastQuery(),
+                                      ExecutionModel::kRdd, TestCluster(),
+                                      CostModel::Default(), nullptr);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,189 @@
+#include "core/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace {
+
+IndexingOptions FastOptions() {
+  IndexingOptions o;
+  o.num_walkers = 200;
+  o.jacobi_iterations = 5;
+  o.seed = 8;
+  return o;
+}
+
+/// Rebuilds `graph` with the update batch applied.
+Graph ApplyToGraph(const Graph& graph, const std::vector<EdgeUpdate>& ups) {
+  GraphBuilder b(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    for (const NodeId t : graph.OutNeighbors(v)) {
+      bool removed = false;
+      for (const EdgeUpdate& u : ups) {
+        if (!u.insert && u.from == v && u.to == t) removed = true;
+      }
+      if (!removed) b.AddEdge(v, t);
+    }
+  }
+  for (const EdgeUpdate& u : ups) {
+    if (u.insert) b.AddEdge(u.from, u.to);
+  }
+  return std::move(b.Build()).value();
+}
+
+TEST(IncrementalTest, InitializeMatchesFullIndexer) {
+  const Graph g = GenerateRmat(150, 1050, 1);
+  IncrementalIndexer inc(FastOptions());
+  auto state = inc.Initialize(g, nullptr);
+  ASSERT_TRUE(state.ok());
+  auto full = BuildDiagonalIndex(g, FastOptions(), nullptr);
+  ASSERT_TRUE(full.ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(state->index[v], (*full)[v]);
+  }
+}
+
+TEST(IncrementalTest, DirtySetCoversForwardNeighborhood) {
+  // Path 0 -> 1 -> 2 -> 3 -> 4; inserting an edge into node 1 dirties the
+  // nodes whose reverse walks can visit 1: {1, 2, 3, ...} up to T-1 hops.
+  const Graph g = GeneratePath(8);
+  IndexingOptions o = FastOptions();
+  o.params.num_steps = 3;
+  IncrementalIndexer inc(o);
+  const std::vector<NodeId> dirty =
+      inc.DirtyNodes(g, {{/*from=*/5, /*to=*/1, /*insert=*/true}});
+  // Forward BFS from 1 within 2 hops: {1, 2, 3}.
+  EXPECT_EQ(dirty, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(IncrementalTest, InsertMatchesFullRebuildRows) {
+  const Graph before = GenerateRmat(120, 840, 2);
+  const std::vector<EdgeUpdate> ups = {{3, 77, true}, {50, 9, true}};
+  const Graph after = ApplyToGraph(before, ups);
+
+  IncrementalIndexer inc(FastOptions());
+  auto state = inc.Initialize(before, nullptr);
+  ASSERT_TRUE(state.ok());
+  auto updated = inc.ApplyUpdates(after, ups, std::move(state).value(),
+                                  nullptr);
+  ASSERT_TRUE(updated.ok());
+  EXPECT_GT(updated->last_dirty_count, 0u);
+  EXPECT_LE(updated->last_dirty_count, after.num_nodes());
+
+  // The maintained row matrix must equal a from-scratch build on `after`.
+  const IndexRows fresh = BuildIndexRows(after, FastOptions(), nullptr);
+  for (NodeId k = 0; k < after.num_nodes(); ++k) {
+    ASSERT_EQ(updated->rows[k].size(), fresh.rows[k].size()) << "row " << k;
+    for (size_t i = 0; i < fresh.rows[k].size(); ++i) {
+      EXPECT_EQ(updated->rows[k][i], fresh.rows[k][i]) << "row " << k;
+    }
+  }
+}
+
+TEST(IncrementalTest, DiagonalConvergesToFullRebuild) {
+  const Graph before = GenerateRmat(150, 1050, 3);
+  NodeId src = 0;
+  while (before.OutDegree(src) == 0) ++src;
+  const std::vector<EdgeUpdate> ups = {{1, 2, true},
+                                       {10, 20, true},
+                                       {before.OutNeighbor(src, 0), src,
+                                        true}};
+  const Graph after = ApplyToGraph(before, ups);
+
+  IncrementalIndexer inc(FastOptions());
+  auto state = inc.Initialize(before, nullptr);
+  ASSERT_TRUE(state.ok());
+  auto updated = inc.ApplyUpdates(after, ups, std::move(state).value(),
+                                  nullptr);
+  ASSERT_TRUE(updated.ok());
+
+  auto full = BuildDiagonalIndex(after, FastOptions(), nullptr);
+  ASSERT_TRUE(full.ok());
+  // Same row matrix, warm-started solve: agreement up to Jacobi residual.
+  for (NodeId v = 0; v < after.num_nodes(); ++v) {
+    EXPECT_NEAR(updated->index[v], (*full)[v], 5e-3) << "node " << v;
+  }
+}
+
+TEST(IncrementalTest, RemovalHandled) {
+  const Graph before = GenerateRmat(100, 800, 4);
+  // Remove an existing edge.
+  ASSERT_GT(before.OutDegree(7), 0u);
+  const NodeId target = before.OutNeighbor(7, 0);
+  const std::vector<EdgeUpdate> ups = {{7, target, /*insert=*/false}};
+  const Graph after = ApplyToGraph(before, ups);
+  ASSERT_EQ(after.num_edges(), before.num_edges() - 1);
+
+  IncrementalIndexer inc(FastOptions());
+  auto state = inc.Initialize(before, nullptr);
+  ASSERT_TRUE(state.ok());
+  auto updated = inc.ApplyUpdates(after, ups, std::move(state).value(),
+                                  nullptr);
+  ASSERT_TRUE(updated.ok());
+  const IndexRows fresh = BuildIndexRows(after, FastOptions(), nullptr);
+  for (NodeId k = 0; k < after.num_nodes(); ++k) {
+    ASSERT_EQ(updated->rows[k].size(), fresh.rows[k].size()) << "row " << k;
+  }
+}
+
+TEST(IncrementalTest, SmallBatchTouchesFewNodesOnHighDiameterGraph) {
+  // One edge dirties only the head's (T-1)-hop out-neighborhood — tiny on
+  // a high-diameter graph. (On small-world graphs that neighborhood can
+  // approach the whole graph within T = 10 hops; the saving is inherently
+  // a function of graph diameter.)
+  const Graph before = GenerateCycle(5000);
+  const std::vector<EdgeUpdate> ups = {{1, 2500, true}};
+  const Graph after = ApplyToGraph(before, ups);
+  IncrementalIndexer inc(FastOptions());
+  auto state = inc.Initialize(before, nullptr);
+  ASSERT_TRUE(state.ok());
+  auto updated = inc.ApplyUpdates(after, ups, std::move(state).value(),
+                                  nullptr);
+  ASSERT_TRUE(updated.ok());
+  // Forward BFS from node 2500 within T-1 = 9 hops on a cycle: 10 nodes.
+  EXPECT_EQ(updated->last_dirty_count, 10u);
+}
+
+TEST(IncrementalTest, DirtyFractionGrowsWithWalkLength) {
+  const Graph before = GenerateRmat(3000, 15000, 6);
+  const std::vector<EdgeUpdate> ups = {{1, 2, true}};
+  const Graph after = ApplyToGraph(before, ups);
+  uint64_t prev = 0;
+  for (uint32_t steps : {1u, 2u, 4u, 8u}) {
+    IndexingOptions options = FastOptions();
+    options.params.num_steps = steps;
+    IncrementalIndexer inc(options);
+    const size_t dirty = inc.DirtyNodes(after, ups).size();
+    EXPECT_GE(dirty, prev) << "T=" << steps;
+    prev = dirty;
+  }
+}
+
+TEST(IncrementalTest, NodeCountMismatchFails) {
+  const Graph small = GenerateCycle(10);
+  const Graph big = GenerateCycle(20);
+  IncrementalIndexer inc(FastOptions());
+  auto state = inc.Initialize(small, nullptr);
+  ASSERT_TRUE(state.ok());
+  auto updated =
+      inc.ApplyUpdates(big, {{0, 1, true}}, std::move(state).value(),
+                       nullptr);
+  EXPECT_EQ(updated.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IncrementalTest, OutOfRangeUpdateFails) {
+  const Graph g = GenerateCycle(10);
+  IncrementalIndexer inc(FastOptions());
+  auto state = inc.Initialize(g, nullptr);
+  ASSERT_TRUE(state.ok());
+  auto updated = inc.ApplyUpdates(g, {{0, 99, true}},
+                                  std::move(state).value(), nullptr);
+  EXPECT_EQ(updated.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,291 @@
+#include "engine/walk.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace {
+
+TEST(StepReverseTest, DeterministicSingleInNeighbor) {
+  const Graph g = GenerateCycle(5);
+  Xoshiro256 rng(1);
+  // On a cycle, the only in-neighbor of v is v-1.
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(StepReverse(g, v, rng), (v + 4) % 5);
+  }
+}
+
+TEST(StepReverseTest, DanglingDiesByDefault) {
+  const Graph g = GeneratePath(3);  // node 0 has no in-neighbors
+  Xoshiro256 rng(2);
+  EXPECT_EQ(StepReverse(g, 0, rng), kInvalidNode);
+}
+
+TEST(StepReverseTest, DanglingSelfLoopPolicy) {
+  const Graph g = GeneratePath(3);
+  Xoshiro256 rng(3);
+  EXPECT_EQ(StepReverse(g, 0, rng, DanglingPolicy::kSelfLoop), 0u);
+}
+
+TEST(WalkDistributionsTest, LevelZeroIsSource) {
+  const Graph g = GenerateCycle(8);
+  WalkConfig cfg;
+  cfg.num_steps = 4;
+  cfg.num_walkers = 10;
+  const WalkDistributions d = SimulateWalkDistributions(g, 3, cfg);
+  ASSERT_EQ(d.num_levels(), 5u);
+  ASSERT_EQ(d.levels[0].size(), 1u);
+  EXPECT_EQ(d.levels[0][0].index, 3u);
+  EXPECT_DOUBLE_EQ(d.levels[0][0].value, 1.0);
+}
+
+TEST(WalkDistributionsTest, CycleIsDeterministic) {
+  // On a cycle every walker moves deterministically: level t = e_{s-t}.
+  const Graph g = GenerateCycle(10);
+  WalkConfig cfg;
+  cfg.num_steps = 6;
+  cfg.num_walkers = 25;
+  const WalkDistributions d = SimulateWalkDistributions(g, 0, cfg);
+  for (uint32_t t = 1; t <= 6; ++t) {
+    ASSERT_EQ(d.levels[t].size(), 1u) << "level " << t;
+    EXPECT_EQ(d.levels[t][0].index, (10 - t) % 10);
+    EXPECT_DOUBLE_EQ(d.levels[t][0].value, 1.0);
+  }
+}
+
+TEST(WalkDistributionsTest, MassConservedWithoutDanglingNodes) {
+  const Graph g = GenerateErdosRenyi(200, 4000, /*seed=*/5);
+  WalkConfig cfg;
+  cfg.num_steps = 8;
+  cfg.num_walkers = 64;
+  // Check several sources; dense ER(200, 4000) has no dangling nodes whp —
+  // verify and skip the assertion if one exists.
+  bool has_dangling = false;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.InDegree(v) == 0) has_dangling = true;
+  }
+  ASSERT_FALSE(has_dangling) << "unlucky seed produced a dangling node";
+  for (NodeId s : {0u, 17u, 99u}) {
+    const WalkDistributions d = SimulateWalkDistributions(g, s, cfg);
+    for (uint32_t t = 0; t <= 8; ++t) {
+      EXPECT_NEAR(d.levels[t].Sum(), 1.0, 1e-9)
+          << "source " << s << " level " << t;
+    }
+  }
+}
+
+TEST(WalkDistributionsTest, MassDiesAtDanglingNodes) {
+  const Graph g = GeneratePath(4);  // walks towards node 0, then die
+  WalkConfig cfg;
+  cfg.num_steps = 5;
+  cfg.num_walkers = 16;
+  const WalkDistributions d = SimulateWalkDistributions(g, 3, cfg);
+  // From node 3 every walk reaches node 0 in 3 steps and dies at step 4.
+  EXPECT_DOUBLE_EQ(d.levels[3].Sum(), 1.0);
+  EXPECT_EQ(d.levels[3][0].index, 0u);
+  EXPECT_DOUBLE_EQ(d.levels[4].Sum(), 0.0);
+  EXPECT_DOUBLE_EQ(d.levels[5].Sum(), 0.0);
+}
+
+TEST(WalkDistributionsTest, SelfLoopPolicyKeepsMass) {
+  const Graph g = GeneratePath(4);
+  WalkConfig cfg;
+  cfg.num_steps = 5;
+  cfg.num_walkers = 16;
+  cfg.dangling = DanglingPolicy::kSelfLoop;
+  const WalkDistributions d = SimulateWalkDistributions(g, 3, cfg);
+  EXPECT_NEAR(d.levels[5].Sum(), 1.0, 1e-9);
+  EXPECT_EQ(d.levels[5][0].index, 0u);  // parked at the dangling node
+}
+
+TEST(WalkDistributionsTest, DeterministicPerSeed) {
+  const Graph g = GenerateRmat(256, 2048, 6);
+  WalkConfig cfg;
+  cfg.num_steps = 5;
+  cfg.num_walkers = 32;
+  cfg.seed = 99;
+  const WalkDistributions a = SimulateWalkDistributions(g, 7, cfg);
+  const WalkDistributions b = SimulateWalkDistributions(g, 7, cfg);
+  ASSERT_EQ(a.num_levels(), b.num_levels());
+  for (size_t t = 0; t < a.num_levels(); ++t) {
+    ASSERT_EQ(a.levels[t].size(), b.levels[t].size());
+    for (size_t i = 0; i < a.levels[t].size(); ++i) {
+      EXPECT_EQ(a.levels[t][i], b.levels[t][i]);
+    }
+  }
+}
+
+TEST(WalkDistributionsTest, DifferentSourcesDifferentStreams) {
+  const Graph g = GenerateErdosRenyi(100, 1500, 7);
+  WalkConfig cfg;
+  cfg.num_steps = 3;
+  cfg.num_walkers = 50;
+  const WalkDistributions a = SimulateWalkDistributions(g, 0, cfg);
+  const WalkDistributions b = SimulateWalkDistributions(g, 1, cfg);
+  // Level-1 distributions from different sources should differ (different
+  // in-neighborhoods and different RNG streams).
+  bool differ = a.levels[1].size() != b.levels[1].size();
+  if (!differ && !a.levels[1].empty()) {
+    differ = !(a.levels[1][0] == b.levels[1][0]);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(WalkDistributionsTest, ConvergesToUniformOnCompleteGraph) {
+  // On K_n (minus self loops), one step from s spreads nearly uniformly.
+  const Graph g = GenerateComplete(20);
+  WalkConfig cfg;
+  cfg.num_steps = 2;
+  cfg.num_walkers = 20000;
+  const WalkDistributions d = SimulateWalkDistributions(g, 0, cfg);
+  for (const SparseEntry& e : d.levels[2]) {
+    EXPECT_NEAR(e.value, 1.0 / 19.0, 0.01);  // ~uniform over the others
+  }
+}
+
+TEST(WalkDistributionsTest, StatsCountSteps) {
+  const Graph g = GenerateCycle(6);
+  WalkConfig cfg;
+  cfg.num_steps = 4;
+  cfg.num_walkers = 10;
+  WalkStats stats;
+  SimulateWalkDistributions(g, 0, cfg, nullptr, nullptr, &stats);
+  EXPECT_EQ(stats.steps, 40u);  // no deaths on a cycle
+  EXPECT_EQ(stats.partition_crossings, 0u);  // no owner fn supplied
+}
+
+TEST(WalkDistributionsTest, StatsCountCrossings) {
+  const Graph g = GenerateCycle(6);
+  WalkConfig cfg;
+  cfg.num_steps = 1;
+  cfg.num_walkers = 5;
+  // Owner = node parity; every cycle step flips parity -> all steps cross.
+  const NodeOwnerFn owner = [](NodeId v) { return static_cast<int>(v % 2); };
+  WalkStats stats;
+  SimulateWalkDistributions(g, 0, cfg, nullptr, &owner, &stats);
+  EXPECT_EQ(stats.steps, 5u);
+  EXPECT_EQ(stats.partition_crossings, 5u);
+}
+
+TEST(SimulateAllSourcesTest, VisitsEverySourceOnce) {
+  const Graph g = GenerateErdosRenyi(300, 3000, 8);
+  WalkConfig cfg;
+  cfg.num_steps = 3;
+  cfg.num_walkers = 8;
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(g.num_nodes());
+  SimulateAllSources(g, cfg, &pool,
+                     [&visits](NodeId s, const WalkDistributions& d) {
+                       EXPECT_EQ(d.levels[0][0].index, s);
+                       visits[s].fetch_add(1);
+                     });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(SimulateAllSourcesTest, SerialAndParallelAgree) {
+  const Graph g = GenerateRmat(128, 1024, 9);
+  WalkConfig cfg;
+  cfg.num_steps = 4;
+  cfg.num_walkers = 16;
+  std::vector<double> serial_sums(g.num_nodes());
+  SimulateAllSources(g, cfg, nullptr,
+                     [&](NodeId s, const WalkDistributions& d) {
+                       double sum = 0;
+                       for (const auto& lvl : d.levels) sum += lvl.Sum();
+                       serial_sums[s] = sum;
+                     });
+  ThreadPool pool(8);
+  std::vector<double> parallel_sums(g.num_nodes());
+  SimulateAllSources(g, cfg, &pool,
+                     [&](NodeId s, const WalkDistributions& d) {
+                       double sum = 0;
+                       for (const auto& lvl : d.levels) sum += lvl.Sum();
+                       parallel_sums[s] = sum;
+                     });
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_DOUBLE_EQ(serial_sums[v], parallel_sums[v]) << "node " << v;
+  }
+}
+
+TEST(SimulateTrajectoryTest, StartsAtSourceAndFollowsInLinks) {
+  const Graph g = GenerateCycle(7);
+  Xoshiro256 rng(10);
+  const auto traj = SimulateTrajectory(g, 3, 5, rng);
+  ASSERT_EQ(traj.size(), 6u);
+  EXPECT_EQ(traj[0], 3u);
+  for (uint32_t t = 1; t <= 5; ++t) {
+    EXPECT_EQ(traj[t], (3 + 7 - t) % 7);
+  }
+}
+
+TEST(SimulateTrajectoryTest, DiesAtDanglingNode) {
+  const Graph g = GeneratePath(3);
+  Xoshiro256 rng(11);
+  const auto traj = SimulateTrajectory(g, 2, 5, rng);
+  EXPECT_EQ(traj[0], 2u);
+  EXPECT_EQ(traj[1], 1u);
+  EXPECT_EQ(traj[2], 0u);
+  EXPECT_EQ(traj[3], kInvalidNode);
+  EXPECT_EQ(traj[4], kInvalidNode);
+}
+
+TEST(ExactWalkDistributionsTest, MatchesCycle) {
+  const Graph g = GenerateCycle(9);
+  const WalkDistributions d = ExactWalkDistributions(g, 4, 5);
+  for (uint32_t t = 0; t <= 5; ++t) {
+    ASSERT_EQ(d.levels[t].size(), 1u);
+    EXPECT_EQ(d.levels[t][0].index, (4 + 9 - t) % 9);
+    EXPECT_DOUBLE_EQ(d.levels[t][0].value, 1.0);
+  }
+}
+
+TEST(ExactWalkDistributionsTest, MassConservation) {
+  const Graph g = GenerateErdosRenyi(150, 3000, 12);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_GT(g.InDegree(v), 0u) << "need no dangling nodes for this test";
+  }
+  const WalkDistributions d = ExactWalkDistributions(g, 0, 6);
+  for (uint32_t t = 0; t <= 6; ++t) {
+    EXPECT_NEAR(d.levels[t].Sum(), 1.0, 1e-9);
+  }
+}
+
+TEST(ExactWalkDistributionsTest, MonteCarloConvergesToExact) {
+  const Graph g = GenerateRmat(64, 512, 13);
+  const WalkDistributions exact = ExactWalkDistributions(g, 5, 3);
+  WalkConfig cfg;
+  cfg.num_steps = 3;
+  cfg.num_walkers = 200000;
+  cfg.seed = 21;
+  const WalkDistributions mc = SimulateWalkDistributions(g, 5, cfg);
+  for (uint32_t t = 1; t <= 3; ++t) {
+    for (const SparseEntry& e : exact.levels[t]) {
+      EXPECT_NEAR(mc.levels[t].Get(e.index), e.value, 0.01)
+          << "level " << t << " node " << e.index;
+    }
+  }
+}
+
+TEST(ExactWalkDistributionsTest, PruningDropsSmallEntries) {
+  const Graph g = GenerateRmat(1024, 8192, 14);
+  const WalkDistributions full = ExactWalkDistributions(g, 0, 6, 0.0);
+  const WalkDistributions pruned = ExactWalkDistributions(g, 0, 6, 0.01);
+  EXPECT_LE(pruned.levels[6].size(), full.levels[6].size());
+  for (const SparseEntry& e : pruned.levels[6]) {
+    EXPECT_GE(e.value, 0.01);
+  }
+}
+
+TEST(ExactWalkDistributionsTest, CountsEdgeOps) {
+  const Graph g = GenerateCycle(5);
+  uint64_t ops = 0;
+  ExactWalkDistributions(g, 0, 4, 0.0, &ops);
+  EXPECT_EQ(ops, 4u);  // one in-edge traversed per level
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,105 @@
+#include "eval/correlation.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudwalker {
+namespace {
+
+TEST(PearsonTest, SizeMismatchFails) {
+  EXPECT_FALSE(PearsonCorrelation({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(PearsonTest, TooFewElementsFails) {
+  EXPECT_FALSE(PearsonCorrelation({1.0}, {2.0}).ok());
+}
+
+TEST(PearsonTest, ConstantVectorFails) {
+  auto r = PearsonCorrelation({1.0, 1.0, 1.0}, {1.0, 2.0, 3.0});
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PearsonTest, PerfectPositive) {
+  auto r = PearsonCorrelation({1, 2, 3, 4}, {10, 20, 30, 40});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectNegative) {
+  auto r = PearsonCorrelation({1, 2, 3}, {3, 2, 1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, -1.0, 1e-12);
+}
+
+TEST(PearsonTest, KnownValue) {
+  // Hand-computed: cov = 2.5, sd_a = sqrt(2.5), sd_b = sqrt(3.3).
+  auto r = PearsonCorrelation({1, 2, 3, 4, 5}, {2, 1, 4, 3, 5});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 0.8, 1e-9);
+}
+
+TEST(SpearmanTest, MonotoneNonlinearIsOne) {
+  // Spearman sees only ranks: x vs x^3 correlates perfectly.
+  auto r = SpearmanCorrelation({1, 2, 3, 4}, {1, 8, 27, 64});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, ReversedIsMinusOne) {
+  auto r = SpearmanCorrelation({1, 2, 3, 4}, {9, 7, 5, 3.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, TiesGetMidRanks) {
+  // a = {1, 1, 2}: ranks {1.5, 1.5, 3}; b = {5, 5, 9}: same ranks -> 1.
+  auto r = SpearmanCorrelation({1, 1, 2}, {5, 5, 9});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 1.0, 1e-12);
+}
+
+TEST(KendallTest, PerfectAgreement) {
+  auto r = KendallTau({1, 2, 3, 4}, {2, 4, 6, 8});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 1.0, 1e-12);
+}
+
+TEST(KendallTest, PerfectDisagreement) {
+  auto r = KendallTau({1, 2, 3}, {3, 2, 1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, -1.0, 1e-12);
+}
+
+TEST(KendallTest, KnownMixedValue) {
+  // Pairs: (1,2)C (1,3)C (2,3)D -> (2 - 1) / 3.
+  auto r = KendallTau({1, 2, 3}, {1, 3, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(*r, 1.0 / 3.0, 1e-12);
+}
+
+TEST(KendallTest, AllTiedReturnsZero) {
+  auto r = KendallTau({1, 1, 1}, {2, 2, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 0.0);
+}
+
+TEST(KendallTest, TauBHandlesPartialTies) {
+  auto r = KendallTau({1, 1, 2, 3}, {1, 2, 3, 4});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(*r, 0.5);
+  EXPECT_LT(*r, 1.0);
+}
+
+TEST(CorrelationConsistencyTest, AllThreeAgreeOnDirection) {
+  const std::vector<double> a = {0.1, 0.9, 0.3, 0.7, 0.5, 0.2};
+  const std::vector<double> b = {0.2, 0.8, 0.35, 0.6, 0.55, 0.15};
+  auto p = PearsonCorrelation(a, b);
+  auto s = SpearmanCorrelation(a, b);
+  auto k = KendallTau(a, b);
+  ASSERT_TRUE(p.ok() && s.ok() && k.ok());
+  EXPECT_GT(*p, 0.8);
+  EXPECT_GT(*s, 0.8);
+  EXPECT_GT(*k, 0.6);
+}
+
+}  // namespace
+}  // namespace cloudwalker

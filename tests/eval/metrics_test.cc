@@ -1,0 +1,128 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/dense.h"
+
+namespace cloudwalker {
+namespace {
+
+TEST(ErrorStatsTest, SizeMismatchFails) {
+  EXPECT_FALSE(ComputeErrorStats({1.0}, {1.0, 2.0}).ok());
+}
+
+TEST(ErrorStatsTest, EmptyFails) {
+  EXPECT_FALSE(ComputeErrorStats({}, {}).ok());
+}
+
+TEST(ErrorStatsTest, ZeroErrorForIdenticalVectors) {
+  auto s = ComputeErrorStats({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->max_abs, 0.0);
+  EXPECT_DOUBLE_EQ(s->mean_abs, 0.0);
+  EXPECT_DOUBLE_EQ(s->rmse, 0.0);
+}
+
+TEST(ErrorStatsTest, HandComputed) {
+  auto s = ComputeErrorStats({1.0, 0.0}, {0.0, 0.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->max_abs, 1.0);
+  EXPECT_DOUBLE_EQ(s->mean_abs, 0.5);
+  EXPECT_NEAR(s->rmse, std::sqrt(0.5), 1e-12);
+}
+
+TEST(PrecisionAtKTest, PerfectMatch) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3}, {3, 2, 1}, 3), 1.0);
+}
+
+TEST(PrecisionAtKTest, NoOverlap) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2}, {3, 4}, 2), 0.0);
+}
+
+TEST(PrecisionAtKTest, PartialOverlap) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1, 2, 3, 4}, {3, 4, 5, 6}, 4), 0.5);
+}
+
+TEST(PrecisionAtKTest, KZeroIsZero) {
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1}, {1}, 0), 0.0);
+}
+
+TEST(PrecisionAtKTest, OnlyFirstKOfTruthCount) {
+  // k = 1: truth top-1 is {9}; estimate top-1 is {7} -> precision 0.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({7, 9}, {9, 7}, 1), 0.0);
+}
+
+TEST(PrecisionAtKTest, ShortListsPenalized) {
+  // Estimated list shorter than k counts misses for the absent slots.
+  EXPECT_DOUBLE_EQ(PrecisionAtK({1}, {1, 2}, 2), 0.5);
+}
+
+TEST(NdcgTest, PerfectRankingScoresOne) {
+  const std::vector<double> truth = {0.1, 0.9, 0.5};
+  EXPECT_NEAR(NdcgAtK({1, 2, 0}, truth, 3), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, WorstRankingBelowOne) {
+  const std::vector<double> truth = {0.9, 0.1, 0.0};
+  const double ndcg = NdcgAtK({2, 1, 0}, truth, 3);
+  EXPECT_LT(ndcg, 1.0);
+  EXPECT_GT(ndcg, 0.0);
+}
+
+TEST(NdcgTest, AllZeroTruthIsZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({0, 1}, {0.0, 0.0}, 2), 0.0);
+}
+
+TEST(NdcgTest, KZeroIsZero) {
+  EXPECT_DOUBLE_EQ(NdcgAtK({0}, {1.0}, 0), 0.0);
+}
+
+TEST(TopKIndicesTest, OrdersByScore) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
+  const auto top = TopKIndices(scores, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+}
+
+TEST(TopKIndicesTest, TieBrokenByIndex) {
+  const std::vector<double> scores = {0.5, 0.5, 0.9};
+  const auto top = TopKIndices(scores, 3);
+  EXPECT_EQ(top[0], 2u);
+  EXPECT_EQ(top[1], 0u);
+  EXPECT_EQ(top[2], 1u);
+}
+
+TEST(TopKIndicesTest, ExcludeRemovesNode) {
+  const std::vector<double> scores = {0.9, 0.5};
+  const auto top = TopKIndices(scores, 2, /*exclude=*/0);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 1u);
+}
+
+TEST(TopKIndicesTest, KLargerThanVector) {
+  const std::vector<double> scores = {0.1};
+  EXPECT_EQ(TopKIndices(scores, 10).size(), 1u);
+}
+
+TEST(ToDenseTest, ExpandsSparse) {
+  const SparseVector v = SparseVector::FromSorted({{1, 0.5}, {3, 0.25}});
+  const std::vector<double> d = ToDense(v, 5);
+  ASSERT_EQ(d.size(), 5u);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.5);
+  EXPECT_DOUBLE_EQ(d[3], 0.25);
+  EXPECT_DOUBLE_EQ(d[4], 0.0);
+}
+
+TEST(ToDenseTest, IgnoresOutOfRangeEntries) {
+  const SparseVector v = SparseVector::FromSorted({{1, 0.5}, {9, 1.0}});
+  const std::vector<double> d = ToDense(v, 3);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[1], 0.5);
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,177 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace cloudwalker {
+namespace {
+
+TEST(ErdosRenyiTest, NodeAndApproxEdgeCount) {
+  const Graph g = GenerateErdosRenyi(1000, 5000, /*seed=*/1);
+  EXPECT_EQ(g.num_nodes(), 1000u);
+  // Dedup + self-loop removal lose a few edges at this density.
+  EXPECT_GT(g.num_edges(), 4800u);
+  EXPECT_LE(g.num_edges(), 5000u);
+}
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  const Graph a = GenerateErdosRenyi(100, 400, 7);
+  const Graph b = GenerateErdosRenyi(100, 400, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.OutDegree(v), b.OutDegree(v));
+  }
+}
+
+TEST(ErdosRenyiTest, DifferentSeedsDiffer) {
+  const Graph a = GenerateErdosRenyi(100, 400, 7);
+  const Graph b = GenerateErdosRenyi(100, 400, 8);
+  bool any_diff = a.num_edges() != b.num_edges();
+  for (NodeId v = 0; !any_diff && v < a.num_nodes(); ++v) {
+    any_diff = a.OutDegree(v) != b.OutDegree(v);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RmatTest, PowerLawInDegree) {
+  const Graph g = GenerateRmat(4096, 40960, /*seed=*/2);
+  EXPECT_EQ(g.num_nodes(), 4096u);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  // Skewed: the max in-degree far exceeds the average.
+  EXPECT_GT(stats.max_in_degree, 8 * stats.avg_degree);
+}
+
+TEST(RmatTest, NonPowerOfTwoNodeCount) {
+  const Graph g = GenerateRmat(3000, 9000, /*seed=*/3);
+  EXPECT_EQ(g.num_nodes(), 3000u);
+  EXPECT_GT(g.num_edges(), 0u);
+}
+
+TEST(RmatTest, Deterministic) {
+  const Graph a = GenerateRmat(512, 2048, 11);
+  const Graph b = GenerateRmat(512, 2048, 11);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    ASSERT_EQ(a.InDegree(v), b.InDegree(v));
+  }
+}
+
+TEST(BarabasiAlbertTest, HubsEmerge) {
+  const Graph g = GenerateBarabasiAlbert(2000, 3, /*seed=*/4);
+  EXPECT_EQ(g.num_nodes(), 2000u);
+  const DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_GT(stats.max_in_degree, 30u);  // preferential attachment -> hubs
+  // Every non-seed node links to min(attach, v) targets (pre-dedup).
+  EXPECT_LE(g.num_edges(), 3u * 2000u);
+  EXPECT_GT(g.num_edges(), 2u * 1900u);
+}
+
+TEST(CycleTest, Structure) {
+  const Graph g = GenerateCycle(5);
+  EXPECT_EQ(g.num_edges(), 5u);
+  for (NodeId v = 0; v < 5; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 1u);
+    EXPECT_EQ(g.InDegree(v), 1u);
+    EXPECT_TRUE(g.HasEdge(v, (v + 1) % 5));
+  }
+}
+
+TEST(PathTest, Structure) {
+  const Graph g = GeneratePath(4);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+}
+
+TEST(StarTest, AllLeavesPointAtHub) {
+  const Graph g = GenerateStarInward(10);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.InDegree(0), 9u);
+  for (NodeId v = 1; v < 10; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 1u);
+    EXPECT_EQ(g.InDegree(v), 0u);
+  }
+}
+
+TEST(CompleteTest, AllPairsConnected) {
+  const Graph g = GenerateComplete(6);
+  EXPECT_EQ(g.num_edges(), 30u);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      EXPECT_EQ(g.HasEdge(u, v), u != v);
+    }
+  }
+}
+
+TEST(BipartiteTest, EdgesOnlyLeftToRight) {
+  const Graph g = GenerateBipartite(20, 30, 4, /*seed=*/5);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  for (NodeId u = 0; u < 20; ++u) {
+    for (NodeId t : g.OutNeighbors(u)) {
+      EXPECT_GE(t, 20u);
+      EXPECT_LT(t, 50u);
+    }
+  }
+  for (NodeId v = 20; v < 50; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 0u);
+  }
+}
+
+TEST(PaperDatasetTest, AllFiveGenerate) {
+  for (PaperDataset d : AllPaperDatasets()) {
+    const PaperDatasetInstance inst =
+        MakePaperDataset(d, /*seed=*/1, /*scale=*/0.02);
+    EXPECT_FALSE(inst.name.empty());
+    EXPECT_GT(inst.graph.num_nodes(), 0u);
+    EXPECT_GT(inst.graph.num_edges(), 0u);
+    EXPECT_GT(inst.paper_nodes, 0u);
+    EXPECT_GT(inst.paper_edges, inst.paper_nodes);
+  }
+}
+
+TEST(PaperDatasetTest, OrderingOfSizesPreserved) {
+  // At full scale the stand-ins keep the paper's dataset ordering by nodes.
+  uint64_t prev_nodes = 0;
+  for (PaperDataset d : AllPaperDatasets()) {
+    const PaperDatasetInstance inst = MakePaperDataset(d, 1, 0.05);
+    EXPECT_GE(inst.graph.num_nodes(), prev_nodes)
+        << inst.name << " breaks the node-count ordering";
+    prev_nodes = inst.graph.num_nodes();
+  }
+}
+
+TEST(PaperDatasetTest, AverageDegreePreserved) {
+  const PaperDatasetInstance tw =
+      MakePaperDataset(PaperDataset::kTwitter2010, 1, 0.05);
+  const double paper_avg = static_cast<double>(tw.paper_edges) /
+                           static_cast<double>(tw.paper_nodes);
+  const double got_avg = static_cast<double>(tw.graph.num_edges()) /
+                         static_cast<double>(tw.graph.num_nodes());
+  // Dedup trims some duplicates, so allow a modest relative gap.
+  EXPECT_GT(got_avg, 0.6 * paper_avg);
+  EXPECT_LE(got_avg, 1.1 * paper_avg);
+}
+
+TEST(PaperDatasetTest, WikiVoteKeptAtFullSize) {
+  const PaperDatasetInstance wv =
+      MakePaperDataset(PaperDataset::kWikiVote, 1, 1.0);
+  EXPECT_EQ(wv.graph.num_nodes(), 7115u);
+  EXPECT_EQ(wv.paper_nodes, 7115u);
+  EXPECT_EQ(wv.paper_size, "476.8KB");
+}
+
+TEST(PaperDatasetTest, ScaleShrinks) {
+  const PaperDatasetInstance big =
+      MakePaperDataset(PaperDataset::kWikiTalk, 1, 1.0);
+  const PaperDatasetInstance small =
+      MakePaperDataset(PaperDataset::kWikiTalk, 1, 0.1);
+  EXPECT_GT(big.graph.num_nodes(), small.graph.num_nodes());
+  EXPECT_NEAR(static_cast<double>(small.graph.num_nodes()),
+              0.1 * big.graph.num_nodes(), 2.0);
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,140 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/serialize.h"
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(EdgeListTextTest, ParsesSimpleFile) {
+  const std::string path = TempPath("cw_io_simple.txt");
+  WriteFile(path, "# comment\n0 1\n1 2\n\n2 0\n");
+  auto g = LoadEdgeListText(path);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 3u);
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_TRUE(g->HasEdge(2, 0));
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTextTest, NumNodesHintExtendsGraph) {
+  const std::string path = TempPath("cw_io_hint.txt");
+  WriteFile(path, "0 1\n");
+  auto g = LoadEdgeListText(path, {}, /*num_nodes_hint=*/10);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTextTest, MalformedLineFails) {
+  const std::string path = TempPath("cw_io_bad.txt");
+  WriteFile(path, "0 1\nnot numbers\n");
+  auto g = LoadEdgeListText(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTextTest, MissingFileFails) {
+  auto g = LoadEdgeListText("/nonexistent/edges.txt");
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kIoError);
+}
+
+TEST(EdgeListTextTest, EmptyFileYieldsEmptyGraph) {
+  const std::string path = TempPath("cw_io_empty.txt");
+  WriteFile(path, "# nothing\n");
+  auto g = LoadEdgeListText(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTextTest, HugeIdFails) {
+  const std::string path = TempPath("cw_io_huge.txt");
+  WriteFile(path, "0 4294967295\n");
+  auto g = LoadEdgeListText(path);
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kOutOfRange);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTextTest, SaveLoadRoundTrip) {
+  const Graph original = GenerateErdosRenyi(50, 200, /*seed=*/1);
+  const std::string path = TempPath("cw_io_roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeListText(original, path).ok());
+  auto loaded = LoadEdgeListText(path, {}, original.num_nodes());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    ASSERT_EQ(loaded->OutDegree(v), original.OutDegree(v));
+    const auto a = original.OutNeighbors(v);
+    const auto b = loaded->OutNeighbors(v);
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphBinaryTest, SaveLoadRoundTrip) {
+  const Graph original = GenerateRmat(200, 1500, /*seed=*/3);
+  const std::string path = TempPath("cw_io_bin.graph");
+  ASSERT_TRUE(SaveGraphBinary(original, path).ok());
+  Graph loaded;
+  ASSERT_TRUE(LoadGraphBinary(path, &loaded).ok());
+  EXPECT_EQ(loaded.num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    ASSERT_EQ(loaded.OutDegree(v), original.OutDegree(v));
+    ASSERT_EQ(loaded.InDegree(v), original.InDegree(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphBinaryTest, RejectsGarbageFile) {
+  const std::string path = TempPath("cw_io_garbage.graph");
+  WriteFile(path, "this is not a graph file at all, not even close......");
+  Graph g;
+  const Status s = LoadGraphBinary(path, &g);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(GraphBinaryTest, RejectsTruncatedFile) {
+  const Graph original = GenerateErdosRenyi(30, 60, /*seed=*/4);
+  const std::string path = TempPath("cw_io_trunc.graph");
+  ASSERT_TRUE(SaveGraphBinary(original, path).ok());
+  // Truncate the file to half its size.
+  std::string buffer;
+  ASSERT_TRUE(BinaryReader::LoadFile(path, &buffer).ok());
+  WriteFile(path, buffer.substr(0, buffer.size() / 2));
+  Graph g;
+  EXPECT_FALSE(LoadGraphBinary(path, &g).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphBinaryTest, MissingFileFails) {
+  Graph g;
+  EXPECT_EQ(LoadGraphBinary("/nonexistent/file.graph", &g).code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,166 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace cloudwalker {
+namespace {
+
+Graph Build(NodeId n, std::vector<std::pair<NodeId, NodeId>> edges,
+            GraphBuildOptions options = {}) {
+  GraphBuilder b(n);
+  for (auto [f, t] : edges) b.AddEdge(f, t);
+  auto g = b.Build(options);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphTest, NoEdges) {
+  Graph g = Build(3, {});
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_EQ(g.OutDegree(v), 0u);
+    EXPECT_EQ(g.InDegree(v), 0u);
+    EXPECT_TRUE(g.OutNeighbors(v).empty());
+    EXPECT_TRUE(g.InNeighbors(v).empty());
+  }
+}
+
+TEST(GraphTest, SingleEdge) {
+  Graph g = Build(2, {{0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(1), 1u);
+  EXPECT_EQ(g.OutNeighbor(0, 0), 1u);
+  EXPECT_EQ(g.InNeighbor(1, 0), 0u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_FALSE(g.HasEdge(1, 0));
+}
+
+TEST(GraphTest, AdjacencyIsSorted) {
+  Graph g = Build(5, {{0, 4}, {0, 1}, {0, 3}, {2, 0}, {1, 0}});
+  const auto out = g.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  const auto in = g.InNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+}
+
+TEST(GraphTest, DedupRemovesParallelEdges) {
+  Graph g = Build(2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(GraphTest, DedupDisabledKeepsParallelEdges) {
+  GraphBuildOptions options;
+  options.dedup = false;
+  Graph g = Build(2, {{0, 1}, {0, 1}}, options);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 2u);
+}
+
+TEST(GraphTest, SelfLoopsRemovedByDefault) {
+  Graph g = Build(2, {{0, 0}, {0, 1}, {1, 1}});
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, SelfLoopsKeptWhenRequested) {
+  GraphBuildOptions options;
+  options.remove_self_loops = false;
+  Graph g = Build(2, {{0, 0}, {0, 1}}, options);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(GraphTest, OutOfRangeEdgeFailsBuild) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 2);
+  auto g = b.Build();
+  EXPECT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphTest, InOutConsistency) {
+  // Every out-edge must appear exactly once as an in-edge.
+  Xoshiro256 rng(77);
+  GraphBuilder b(50);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (int i = 0; i < 400; ++i) {
+    NodeId f = rng.UniformInt32(50), t = rng.UniformInt32(50);
+    b.AddEdge(f, t);
+  }
+  auto built = b.Build();
+  ASSERT_TRUE(built.ok());
+  const Graph& g = *built;
+
+  uint64_t in_total = 0, out_total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    in_total += g.InDegree(v);
+    out_total += g.OutDegree(v);
+    for (NodeId t : g.OutNeighbors(v)) {
+      const auto in = g.InNeighbors(t);
+      EXPECT_TRUE(std::binary_search(in.begin(), in.end(), v))
+          << "edge " << v << "->" << t << " missing from in-adjacency";
+    }
+  }
+  EXPECT_EQ(in_total, out_total);
+  EXPECT_EQ(out_total, g.num_edges());
+}
+
+TEST(GraphTest, HasEdgeOutOfRangeIsFalse) {
+  Graph g = Build(2, {{0, 1}});
+  EXPECT_FALSE(g.HasEdge(5, 0));
+  EXPECT_FALSE(g.HasEdge(0, 5));
+}
+
+TEST(GraphTest, MemoryBytesGrowsWithEdges) {
+  Graph small = Build(10, {{0, 1}});
+  GraphBuilder b(10);
+  for (NodeId i = 0; i < 9; ++i) b.AddEdge(i, i + 1);
+  Graph big = std::move(b.Build()).value();
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+TEST(GraphTest, ReversedSwapsDirections) {
+  Graph g = Build(3, {{0, 1}, {1, 2}});
+  Graph r = g.Reversed();
+  EXPECT_EQ(r.num_edges(), 2u);
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_TRUE(r.HasEdge(2, 1));
+  EXPECT_FALSE(r.HasEdge(0, 1));
+  EXPECT_EQ(r.InDegree(0), 1u);
+  EXPECT_EQ(r.OutDegree(2), 1u);
+}
+
+TEST(GraphTest, BuilderEmptiesAfterBuild) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1);
+  EXPECT_EQ(b.num_pending_edges(), 1u);
+  ASSERT_TRUE(b.Build().ok());
+  EXPECT_EQ(b.num_pending_edges(), 0u);
+}
+
+TEST(GraphTest, LargeStarDegrees) {
+  GraphBuilder b(1001);
+  for (NodeId v = 1; v <= 1000; ++v) b.AddEdge(v, 0);
+  Graph g = std::move(b.Build()).value();
+  EXPECT_EQ(g.InDegree(0), 1000u);
+  EXPECT_EQ(g.OutDegree(0), 0u);
+  EXPECT_EQ(g.num_edges(), 1000u);
+}
+
+}  // namespace
+}  // namespace cloudwalker

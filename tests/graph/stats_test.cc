@@ -1,0 +1,73 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace {
+
+TEST(DegreeStatsTest, Cycle) {
+  const DegreeStats s = ComputeDegreeStats(GenerateCycle(10));
+  EXPECT_EQ(s.num_nodes, 10u);
+  EXPECT_EQ(s.num_edges, 10u);
+  EXPECT_EQ(s.max_in_degree, 1u);
+  EXPECT_EQ(s.max_out_degree, 1u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 1.0);
+  EXPECT_EQ(s.dangling_in, 0u);
+  EXPECT_EQ(s.dangling_out, 0u);
+}
+
+TEST(DegreeStatsTest, Star) {
+  const DegreeStats s = ComputeDegreeStats(GenerateStarInward(11));
+  EXPECT_EQ(s.max_in_degree, 10u);
+  EXPECT_EQ(s.max_out_degree, 1u);
+  EXPECT_EQ(s.dangling_in, 10u);   // all leaves
+  EXPECT_EQ(s.dangling_out, 1u);   // the hub
+}
+
+TEST(DegreeStatsTest, Path) {
+  const DegreeStats s = ComputeDegreeStats(GeneratePath(5));
+  EXPECT_EQ(s.dangling_in, 1u);
+  EXPECT_EQ(s.dangling_out, 1u);
+  EXPECT_EQ(s.num_edges, 4u);
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  const DegreeStats s = ComputeDegreeStats(Graph());
+  EXPECT_EQ(s.num_nodes, 0u);
+  EXPECT_EQ(s.avg_degree, 0.0);
+}
+
+TEST(DegreeHistogramTest, Star) {
+  const DegreeHistogram h = ComputeInDegreeHistogram(GenerateStarInward(11));
+  EXPECT_EQ(h.zero, 10u);
+  // Hub has in-degree 10 -> bucket 3 ([8, 16)).
+  ASSERT_GE(h.buckets.size(), 4u);
+  EXPECT_EQ(h.buckets[3], 1u);
+}
+
+TEST(DegreeHistogramTest, Cycle) {
+  const DegreeHistogram h = ComputeInDegreeHistogram(GenerateCycle(7));
+  EXPECT_EQ(h.zero, 0u);
+  ASSERT_GE(h.buckets.size(), 1u);
+  EXPECT_EQ(h.buckets[0], 7u);  // all in-degree 1 -> bucket [1, 2)
+}
+
+TEST(DegreeHistogramTest, BucketsSumToNodes) {
+  const Graph g = GenerateRmat(1024, 8192, 9);
+  const DegreeHistogram h = ComputeInDegreeHistogram(g);
+  uint64_t sum = h.zero;
+  for (uint64_t b : h.buckets) sum += b;
+  EXPECT_EQ(sum, g.num_nodes());
+}
+
+TEST(DegreeHistogramTest, RmatIsHeavyTailed) {
+  const Graph g = GenerateRmat(4096, 40960, 10);
+  const DegreeHistogram h = ComputeInDegreeHistogram(g);
+  // A heavy-tailed in-degree distribution occupies many octave buckets.
+  EXPECT_GE(h.buckets.size(), 6u);
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,230 @@
+// cloudwalker — command-line front end for the library.
+//
+//   cloudwalker generate --type=rmat --nodes=100000
+//       --edges=1500000 --seed=1 --out=web.graph
+//   cloudwalker stats    --graph=web.graph
+//   cloudwalker index    --graph=web.graph --out=web.cwidx [--walkers=100]
+//       [--steps=10] [--decay=0.6] [--iterations=3] [--regenerate]
+//   cloudwalker pair     --graph=web.graph --index=web.cwidx --i=1 --j=2
+//   cloudwalker source   --graph=web.graph --index=web.cwidx --node=1
+//       [--topk=10]
+//
+// Graphs are loaded from the binary snapshot format (SaveGraphBinary) or,
+// when the path ends in .txt, from a whitespace edge list.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/cloudwalker.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "graph/stats.h"
+
+using namespace cloudwalker;
+
+namespace {
+
+// Minimal --key=value parser; bare "--flag" stores "true".
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int a = first; a < argc; ++a) {
+    std::string arg = argv[a];
+    if (!StartsWith(arg, "--")) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      flags[arg] = "true";
+    } else {
+      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string GetFlag(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& def = "") {
+  auto it = flags.find(key);
+  return it == flags.end() ? def : it->second;
+}
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+StatusOr<Graph> LoadGraph(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".txt") {
+    return LoadEdgeListText(path);
+  }
+  Graph g;
+  CW_RETURN_IF_ERROR(LoadGraphBinary(path, &g));
+  return g;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const std::string type = GetFlag(flags, "type", "rmat");
+  const NodeId nodes =
+      static_cast<NodeId>(std::stoull(GetFlag(flags, "nodes", "100000")));
+  const uint64_t edges =
+      std::stoull(GetFlag(flags, "edges", std::to_string(nodes * 15ull)));
+  const uint64_t seed = std::stoull(GetFlag(flags, "seed", "1"));
+  const std::string out = GetFlag(flags, "out");
+  if (out.empty()) return Fail("generate requires --out=PATH");
+
+  ThreadPool pool;
+  Graph graph;
+  if (type == "rmat") {
+    graph = GenerateRmat(nodes, edges, seed, RmatOptions(), &pool);
+  } else if (type == "er") {
+    graph = GenerateErdosRenyi(nodes, edges, seed);
+  } else if (type == "ba") {
+    graph = GenerateBarabasiAlbert(
+        nodes, static_cast<uint32_t>(std::stoul(GetFlag(flags, "attach",
+                                                        "8"))),
+        seed);
+  } else {
+    return Fail("unknown --type (rmat | er | ba)");
+  }
+  const Status s = SaveGraphBinary(graph, out);
+  if (!s.ok()) return Fail(s.ToString());
+  std::cout << "wrote " << out << ": " << HumanCount(graph.num_nodes())
+            << " nodes, " << HumanCount(graph.num_edges()) << " edges\n";
+  return 0;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  auto graph = LoadGraph(GetFlag(flags, "graph"));
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const DegreeStats s = ComputeDegreeStats(*graph);
+  std::cout << "nodes:        " << HumanCount(s.num_nodes) << "\n"
+            << "edges:        " << HumanCount(s.num_edges) << "\n"
+            << "avg degree:   " << FormatDouble(s.avg_degree, 2) << "\n"
+            << "max in-deg:   " << HumanCount(s.max_in_degree) << "\n"
+            << "max out-deg:  " << HumanCount(s.max_out_degree) << "\n"
+            << "dangling in:  " << HumanCount(s.dangling_in) << "\n"
+            << "dangling out: " << HumanCount(s.dangling_out) << "\n"
+            << "CSR memory:   " << HumanBytes(graph->MemoryBytes()) << "\n";
+  return 0;
+}
+
+int CmdIndex(const std::map<std::string, std::string>& flags) {
+  auto graph = LoadGraph(GetFlag(flags, "graph"));
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const std::string out = GetFlag(flags, "out");
+  if (out.empty()) return Fail("index requires --out=PATH");
+
+  IndexingOptions o;
+  o.num_walkers =
+      static_cast<uint32_t>(std::stoul(GetFlag(flags, "walkers", "100")));
+  o.params.num_steps =
+      static_cast<uint32_t>(std::stoul(GetFlag(flags, "steps", "10")));
+  o.params.decay = std::stod(GetFlag(flags, "decay", "0.6"));
+  o.jacobi_iterations = static_cast<uint32_t>(
+      std::stoul(GetFlag(flags, "iterations", "3")));
+  o.seed = std::stoull(GetFlag(flags, "seed", "1"));
+  if (GetFlag(flags, "regenerate") == "true") {
+    o.row_mode = RowMode::kRegenerate;
+  }
+
+  ThreadPool pool;
+  auto cw = CloudWalker::Build(&*graph, o, &pool);
+  if (!cw.ok()) return Fail(cw.status().ToString());
+  const Status s = cw->SaveIndex(out);
+  if (!s.ok()) return Fail(s.ToString());
+  const IndexingStats& stats = cw->indexing_stats();
+  std::cout << "indexed " << HumanCount(graph->num_nodes()) << " nodes ("
+            << HumanCount(stats.walk_steps) << " walk steps, "
+            << HumanSeconds(stats.walk_seconds + stats.solve_seconds)
+            << "); wrote " << out << "\n";
+  return 0;
+}
+
+StatusOr<CloudWalker> LoadFacade(
+    const Graph* graph, const std::map<std::string, std::string>& flags) {
+  CW_ASSIGN_OR_RETURN(DiagonalIndex index,
+                      DiagonalIndex::Load(GetFlag(flags, "index")));
+  return CloudWalker::FromIndex(graph, std::move(index));
+}
+
+QueryOptions QueryFlags(const std::map<std::string, std::string>& flags) {
+  QueryOptions q;
+  q.num_walkers =
+      static_cast<uint32_t>(std::stoul(GetFlag(flags, "walkers", "10000")));
+  q.seed = std::stoull(GetFlag(flags, "seed", "97"));
+  if (GetFlag(flags, "exact-push") == "true") {
+    q.push = PushStrategy::kExact;
+    q.prune_threshold = 1e-6;
+  }
+  return q;
+}
+
+int CmdPair(const std::map<std::string, std::string>& flags) {
+  auto graph = LoadGraph(GetFlag(flags, "graph"));
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  auto cw = LoadFacade(&*graph, flags);
+  if (!cw.ok()) return Fail(cw.status().ToString());
+  const NodeId i =
+      static_cast<NodeId>(std::stoull(GetFlag(flags, "i", "0")));
+  const NodeId j =
+      static_cast<NodeId>(std::stoull(GetFlag(flags, "j", "0")));
+  auto s = cw->SinglePair(i, j, QueryFlags(flags));
+  if (!s.ok()) return Fail(s.status().ToString());
+  std::cout << "s(" << i << ", " << j << ") = " << FormatDouble(*s, 6)
+            << "\n";
+  return 0;
+}
+
+int CmdSource(const std::map<std::string, std::string>& flags) {
+  auto graph = LoadGraph(GetFlag(flags, "graph"));
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  auto cw = LoadFacade(&*graph, flags);
+  if (!cw.ok()) return Fail(cw.status().ToString());
+  const NodeId q =
+      static_cast<NodeId>(std::stoull(GetFlag(flags, "node", "0")));
+  const size_t k = std::stoull(GetFlag(flags, "topk", "10"));
+  auto top = cw->SingleSourceTopK(q, k, QueryFlags(flags));
+  if (!top.ok()) return Fail(top.status().ToString());
+  for (const ScoredNode& sn : *top) {
+    std::cout << sn.node << "\t" << FormatDouble(sn.score, 6) << "\n";
+  }
+  return 0;
+}
+
+void Usage() {
+  std::cout <<
+      "cloudwalker <command> [--flags]\n"
+      "commands:\n"
+      "  generate  --type=rmat|er|ba --nodes=N [--edges=M] [--seed=S] "
+      "--out=PATH\n"
+      "  stats     --graph=PATH\n"
+      "  index     --graph=PATH --out=PATH [--walkers --steps --decay "
+      "--iterations --seed --regenerate]\n"
+      "  pair      --graph=PATH --index=PATH --i=A --j=B [--walkers "
+      "--exact-push]\n"
+      "  source    --graph=PATH --index=PATH --node=Q [--topk=K] "
+      "[--walkers --exact-push]\n"
+      "graph paths ending in .txt are parsed as 'from to' edge lists.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "index") return CmdIndex(flags);
+  if (cmd == "pair") return CmdPair(flags);
+  if (cmd == "source") return CmdSource(flags);
+  Usage();
+  return 1;
+}
