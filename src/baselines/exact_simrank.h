@@ -5,7 +5,9 @@
 #ifndef CLOUDWALKER_BASELINES_EXACT_SIMRANK_H_
 #define CLOUDWALKER_BASELINES_EXACT_SIMRANK_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"

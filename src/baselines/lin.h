@@ -13,6 +13,7 @@
 #define CLOUDWALKER_BASELINES_LIN_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"

@@ -7,6 +7,7 @@
 #ifndef CLOUDWALKER_COMMON_SERIALIZE_H_
 #define CLOUDWALKER_COMMON_SERIALIZE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <string>

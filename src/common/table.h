@@ -4,6 +4,7 @@
 #ifndef CLOUDWALKER_COMMON_TABLE_H_
 #define CLOUDWALKER_COMMON_TABLE_H_
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 #include <vector>

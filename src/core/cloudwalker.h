@@ -15,7 +15,9 @@
 #ifndef CLOUDWALKER_CORE_CLOUDWALKER_H_
 #define CLOUDWALKER_CORE_CLOUDWALKER_H_
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"

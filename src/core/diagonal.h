@@ -6,6 +6,7 @@
 #define CLOUDWALKER_CORE_DIAGONAL_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"

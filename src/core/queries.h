@@ -11,6 +11,7 @@
 #ifndef CLOUDWALKER_CORE_QUERIES_H_
 #define CLOUDWALKER_CORE_QUERIES_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

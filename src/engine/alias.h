@@ -5,6 +5,7 @@
 #ifndef CLOUDWALKER_ENGINE_ALIAS_H_
 #define CLOUDWALKER_ENGINE_ALIAS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -12,6 +12,7 @@
 #ifndef CLOUDWALKER_ENGINE_WALK_H_
 #define CLOUDWALKER_ENGINE_WALK_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>

@@ -4,6 +4,7 @@
 #ifndef CLOUDWALKER_EVAL_METRICS_H_
 #define CLOUDWALKER_EVAL_METRICS_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -5,6 +5,7 @@
 #ifndef CLOUDWALKER_GRAPH_GRAPH_H_
 #define CLOUDWALKER_GRAPH_GRAPH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -36,22 +39,27 @@ TEST(ThreadPoolTest, WaitOnIdlePoolReturns) {
 
 TEST(ThreadPoolTest, TasksRunConcurrently) {
   ThreadPool pool(4);
-  std::atomic<int> in_flight{0};
-  std::atomic<int> max_in_flight{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  int in_flight = 0;
+  int max_in_flight = 0;
   for (int i = 0; i < 32; ++i) {
     pool.Submit([&] {
-      const int cur = in_flight.fetch_add(1) + 1;
-      int seen = max_in_flight.load();
-      while (cur > seen && !max_in_flight.compare_exchange_weak(seen, cur)) {
-      }
-      // Busy-wait briefly so tasks overlap.
-      for (volatile int spin = 0; spin < 100000; spin = spin + 1) {
-      }
-      in_flight.fetch_sub(1);
+      std::unique_lock<std::mutex> lock(mu);
+      ++in_flight;
+      max_in_flight = std::max(max_in_flight, in_flight);
+      cv.notify_all();
+      // Each task holds until a second task has been observed in flight,
+      // so overlap is guaranteed rather than raced for on a timing window.
+      // The deadline only matters for a broken single-threaded pool, where
+      // the final EXPECT fails instead of the test hanging.
+      cv.wait_for(lock, std::chrono::seconds(2),
+                  [&] { return max_in_flight >= 2; });
+      --in_flight;
     });
   }
   pool.Wait();
-  EXPECT_GT(max_in_flight.load(), 1);
+  EXPECT_GT(max_in_flight, 1);
 }
 
 TEST(ParallelForTest, CoversRangeExactlyOnce) {

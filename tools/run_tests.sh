@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full CTest suite — the tier-1 verify in one
+# command. Usage:
+#
+#   tools/run_tests.sh              # build + ctest
+#   tools/run_tests.sh --repeat 3   # additionally gate on 3 clean repeats
+#   BUILD_DIR=out tools/run_tests.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+repeat=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --repeat) repeat="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "${jobs}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+
+if [[ "${repeat}" -gt 0 ]]; then
+  ctest --test-dir "${build_dir}" --output-on-failure \
+    --repeat "until-fail:${repeat}" -j "${jobs}"
+fi
