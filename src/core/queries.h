@@ -64,6 +64,8 @@ SparseVector SingleSourceQuery(const Graph& graph, const DiagonalIndex& index,
 struct ScoredNode {
   NodeId node = kInvalidNode;
   double score = 0.0;
+
+  bool operator==(const ScoredNode&) const = default;
 };
 
 /// Extracts the k highest-scoring entries of `scores` (excluding `exclude`,

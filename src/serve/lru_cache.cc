@@ -1,0 +1,93 @@
+#include "serve/lru_cache.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace cloudwalker {
+namespace {
+
+// Packed (source, k) keys are highly structured, so mix before choosing a
+// shard to spread hot sources across shards.
+uint64_t MixKey(uint64_t x) {
+  return SplitMix64Next(&x);
+}
+
+}  // namespace
+
+ShardedLruCache::ShardedLruCache(size_t capacity, int num_shards)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  const size_t n = std::clamp<size_t>(
+      num_shards < 1 ? 1 : static_cast<size_t>(num_shards), 1, capacity_);
+  shards_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute the remainder so shard capacities sum to capacity_ exactly.
+    shard->capacity = capacity_ / n + (s < capacity_ % n ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+int ShardedLruCache::ShardIndex(uint64_t key) const {
+  return static_cast<int>(MixKey(key) % shards_.size());
+}
+
+ShardedLruCache::Value ShardedLruCache::Get(uint64_t key) {
+  Shard& shard = *shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
+void ShardedLruCache::Put(uint64_t key, Value value) {
+  Shard& shard = *shards_[ShardIndex(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= shard.capacity) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.emplace_front(key, std::move(value));
+  shard.index[key] = shard.lru.begin();
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ShardedLruCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+size_t ShardedLruCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+ShardedLruCache::Counters ShardedLruCache::counters() const {
+  Counters c;
+  c.hits = hits_.load(std::memory_order_relaxed);
+  c.misses = misses_.load(std::memory_order_relaxed);
+  c.evictions = evictions_.load(std::memory_order_relaxed);
+  c.insertions = insertions_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace cloudwalker

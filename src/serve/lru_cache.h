@@ -1,0 +1,104 @@
+// Sharded LRU cache for single-source top-k answers.
+//
+// The key is a caller-packed 64-bit id (the serving layer packs
+// (source, k) via PackTopKKey); the value is a shared, immutable top-k
+// list so a cached answer can be fanned out to any number of concurrent
+// readers without copying. Sharding bounds lock contention: a key maps
+// to exactly one shard (by a SplitMix64-mixed hash), each shard holds an
+// independent mutex + recency list, and the total capacity is divided
+// across shards at construction (see DESIGN.md section 6.2).
+
+#ifndef CLOUDWALKER_SERVE_LRU_CACHE_H_
+#define CLOUDWALKER_SERVE_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/queries.h"
+
+namespace cloudwalker {
+
+/// Packs a top-k cache key: the source node in the high 32 bits, k in the
+/// low 32. Distinct (source, k) pairs never collide.
+inline uint64_t PackTopKKey(NodeId source, uint32_t k) {
+  return (static_cast<uint64_t>(source) << 32) | static_cast<uint64_t>(k);
+}
+
+/// Thread-safe LRU cache, sharded by key hash. Capacity is a hard bound on
+/// the total number of resident entries (divided across shards, so one
+/// shard's working set cannot starve the others).
+class ShardedLruCache {
+ public:
+  /// Cached answers are shared and immutable.
+  using Value = std::shared_ptr<const std::vector<ScoredNode>>;
+
+  /// Monotonic counters, aggregated over all shards.
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t insertions = 0;
+  };
+
+  /// `capacity` = max resident entries in total (>= 1); `num_shards` is
+  /// clamped to [1, capacity] so every shard can hold at least one entry.
+  explicit ShardedLruCache(size_t capacity, int num_shards = 8);
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Returns the cached value (promoting it to most-recently-used) or
+  /// nullptr on miss.
+  Value Get(uint64_t key);
+
+  /// Inserts or overwrites `key`, evicting the shard's least-recently-used
+  /// entry when the shard is full.
+  void Put(uint64_t key, Value value);
+
+  /// Drops every entry (counters are preserved).
+  void Clear();
+
+  /// Current number of resident entries (sums shard sizes; approximate
+  /// under concurrent mutation).
+  size_t size() const;
+
+  /// Total configured capacity.
+  size_t capacity() const { return capacity_; }
+
+  /// Number of shards actually in use.
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// The shard a key maps to (exposed for tests).
+  int ShardIndex(uint64_t key) const;
+
+  /// Counter snapshot.
+  Counters counters() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used. The map points into the list.
+    std::list<std::pair<uint64_t, Value>> lru;
+    std::unordered_map<uint64_t, std::list<std::pair<uint64_t, Value>>::iterator>
+        index;
+    size_t capacity = 0;
+  };
+
+  size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> insertions_{0};
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_SERVE_LRU_CACHE_H_

@@ -1,0 +1,168 @@
+#include "serve/query_service.h"
+
+#include <utility>
+
+namespace cloudwalker {
+
+QueryService::QueryService(const CloudWalker* cloudwalker,
+                           const ServeOptions& options, ThreadPool* pool)
+    : cloudwalker_(cloudwalker), options_(options), pool_(pool) {
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<ShardedLruCache>(options_.cache_capacity,
+                                               options_.cache_shards);
+  }
+}
+
+ServeResponse QueryService::Pair(NodeId i, NodeId j) {
+  WallTimer timer;
+  ServeResponse response;
+  auto score = cloudwalker_->SinglePair(i, j, options_.query);
+  computed_.fetch_add(1, std::memory_order_relaxed);
+  if (score.ok()) {
+    response.score = *score;
+  } else {
+    response.status = score.status();
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  response.latency_seconds = timer.Seconds();
+  latencies_.Record(response.latency_seconds);
+  pair_queries_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+ServeResponse QueryService::SourceTopK(NodeId source, uint32_t k) {
+  WallTimer timer;
+  ServeResponse response;
+  AnswerTopK(source, k, &response);
+  if (!response.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
+  response.latency_seconds = timer.Seconds();
+  latencies_.Record(response.latency_seconds);
+  topk_queries_.fetch_add(1, std::memory_order_relaxed);
+  return response;
+}
+
+void QueryService::AnswerTopK(NodeId source, uint32_t k,
+                              ServeResponse* response) {
+  const uint64_t key = PackTopKKey(source, k);
+  if (cache_ != nullptr) {
+    if (ShardedLruCache::Value hit = cache_->Get(key)) {
+      response->topk = std::move(hit);
+      response->cache_hit = true;
+      return;
+    }
+  }
+
+  std::shared_ptr<InFlight> state;
+  if (options_.dedup_in_flight) {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      state = it->second;  // follower: someone else is computing this key
+    } else {
+      inflight_.emplace(key, std::make_shared<InFlight>());
+    }
+  }
+  if (state != nullptr) {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->done; });
+    response->status = state->status;
+    response->topk = state->result;
+    response->deduped = true;
+    dedup_shared_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  // Leader (or dedup disabled): run the kernel.
+  auto top = cloudwalker_->SingleSourceTopK(source, k, options_.query);
+  computed_.fetch_add(1, std::memory_order_relaxed);
+  if (top.ok()) {
+    response->topk = std::make_shared<const std::vector<ScoredNode>>(
+        std::move(top).value());
+    if (cache_ != nullptr) cache_->Put(key, response->topk);
+  } else {
+    response->status = top.status();
+  }
+
+  if (options_.dedup_in_flight) {
+    std::shared_ptr<InFlight> own;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      auto it = inflight_.find(key);
+      own = std::move(it->second);
+      inflight_.erase(it);
+    }
+    std::lock_guard<std::mutex> lock(own->mu);
+    own->done = true;
+    own->status = response->status;
+    own->result = response->topk;
+    own->cv.notify_all();
+  }
+}
+
+ServeResponse QueryService::Execute(const ServeRequest& request) {
+  switch (request.type) {
+    case ServeRequestType::kPair:
+      return Pair(request.a, request.b);
+    case ServeRequestType::kSourceTopK:
+      return SourceTopK(request.a, request.k);
+  }
+  ServeResponse response;
+  response.status = Status::InvalidArgument("unknown request type");
+  return response;
+}
+
+std::vector<ServeResponse> QueryService::ExecuteBatch(
+    const std::vector<ServeRequest>& requests) {
+  std::vector<ServeResponse> responses(requests.size());
+  // grain == 1: every request is an independently claimed unit of work, so
+  // identical sources landing on different threads overlap and dedup.
+  ParallelFor(pool_, 0, requests.size(), /*grain=*/1,
+              [&](uint64_t begin, uint64_t end) {
+                for (uint64_t r = begin; r < end; ++r) {
+                  responses[r] = Execute(requests[r]);
+                }
+              });
+  return responses;
+}
+
+ServeStats QueryService::Stats() const {
+  ServeStats s;
+  s.pair_queries = pair_queries_.load(std::memory_order_relaxed);
+  s.topk_queries = topk_queries_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.computed = computed_.load(std::memory_order_relaxed);
+  s.dedup_shared = dedup_shared_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (cache_ != nullptr) {
+      const ShardedLruCache::Counters c = cache_->counters();
+      s.cache_hits = c.hits - cache_baseline_.hits;
+      s.cache_misses = c.misses - cache_baseline_.misses;
+      s.cache_evictions = c.evictions - cache_baseline_.evictions;
+      s.cache_entries = cache_->size();
+    }
+    s.elapsed_seconds = window_.Seconds();
+  }
+  if (s.elapsed_seconds > 0.0) {
+    s.qps = static_cast<double>(s.total_queries()) / s.elapsed_seconds;
+  }
+  s.p50_ms = latencies_.Quantile(0.50) * 1e3;
+  s.p95_ms = latencies_.Quantile(0.95) * 1e3;
+  s.p99_ms = latencies_.Quantile(0.99) * 1e3;
+  s.mean_ms = latencies_.Mean() * 1e3;
+  return s;
+}
+
+void QueryService::ResetStats() {
+  pair_queries_.store(0, std::memory_order_relaxed);
+  topk_queries_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+  computed_.store(0, std::memory_order_relaxed);
+  dedup_shared_.store(0, std::memory_order_relaxed);
+  latencies_.Reset();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (cache_ != nullptr) cache_baseline_ = cache_->counters();
+  window_.Restart();
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,170 @@
+// QueryService — the concurrent query-serving layer (DESIGN.md section 6).
+//
+// A QueryService wraps a shared immutable CloudWalker (graph + diagonal
+// index) and executes streams of typed requests on a ThreadPool:
+//
+//   CloudWalker cw = ...;            // indexed, immutable
+//   ThreadPool pool;
+//   QueryService service(&cw, ServeOptions{}, &pool);
+//   ServeResponse r = service.SourceTopK(42, 10);        // one request
+//   auto batch = service.ExecuteBatch(requests);         // many, parallel
+//   ServeStats s = service.Stats();                      // p50/p95/p99, QPS
+//
+// Three mechanisms make it serve-fast without touching the kernels:
+//   1. a sharded LRU cache over single-source top-k answers,
+//   2. in-flight deduplication: concurrent identical (source, k) requests
+//      are computed once and fanned out to every waiter,
+//   3. wait-free latency/throughput accounting (ServeStats).
+//
+// Determinism contract: query options are fixed per service, every cache
+// entry is keyed by (source, k), and the kernels derive their randomness
+// from (options.seed, source) — so every response is bit-identical to the
+// equivalent direct CloudWalker::SinglePair / SingleSourceTopK call,
+// regardless of thread count, cache state, or request interleaving.
+
+#ifndef CLOUDWALKER_SERVE_QUERY_SERVICE_H_
+#define CLOUDWALKER_SERVE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/threading.h"
+#include "common/timer.h"
+#include "core/cloudwalker.h"
+#include "serve/lru_cache.h"
+#include "serve/stats.h"
+
+namespace cloudwalker {
+
+/// The two online request types the service answers.
+enum class ServeRequestType : uint8_t {
+  kPair = 0,        // MCSP: s(a, b)
+  kSourceTopK = 1,  // MCSS + top-k: the k nodes most similar to a
+};
+
+/// One typed request. Use the factory helpers; `b`/`k` are only meaningful
+/// for the matching type.
+struct ServeRequest {
+  ServeRequestType type = ServeRequestType::kPair;
+  NodeId a = 0;    // pair: i; top-k: the source node
+  NodeId b = 0;    // pair: j
+  uint32_t k = 0;  // top-k: result size
+
+  static ServeRequest Pair(NodeId i, NodeId j) {
+    return ServeRequest{ServeRequestType::kPair, i, j, 0};
+  }
+  static ServeRequest TopK(NodeId source, uint32_t k) {
+    return ServeRequest{ServeRequestType::kSourceTopK, source, 0, k};
+  }
+
+  bool operator==(const ServeRequest&) const = default;
+};
+
+/// One answered request. Exactly one of `score` / `topk` is meaningful,
+/// per the request type; both are unset when `status` is not OK.
+struct ServeResponse {
+  Status status;
+  double score = 0.0;                                   // kPair
+  std::shared_ptr<const std::vector<ScoredNode>> topk;  // kSourceTopK
+  bool cache_hit = false;  // answered straight from the result cache
+  bool deduped = false;    // joined a concurrent identical computation
+  double latency_seconds = 0.0;  // wall time inside the service
+};
+
+/// Serving-layer configuration. `query` is fixed for the lifetime of the
+/// service — it implicitly keys the result cache, so changing options
+/// requires a new QueryService (by design: one service = one reproducible
+/// answer per (source, k)).
+struct ServeOptions {
+  /// Max resident entries in the top-k result cache; 0 disables caching.
+  size_t cache_capacity = 1 << 14;
+  /// Lock shards in the cache (clamped to [1, cache_capacity]).
+  int cache_shards = 8;
+  /// Compute concurrent identical (source, k) requests once, fanning the
+  /// answer out to every waiter.
+  bool dedup_in_flight = true;
+  /// Query options applied to every request.
+  QueryOptions query;
+};
+
+/// Thread-safe facade serving MCSP / MCSS-top-k requests over a shared
+/// immutable CloudWalker. All methods may be called from any thread.
+class QueryService {
+ public:
+  /// `cloudwalker` is borrowed and must outlive the service. `pool` (also
+  /// borrowed, may be null for serial batches) runs ExecuteBatch requests.
+  QueryService(const CloudWalker* cloudwalker,
+               const ServeOptions& options = {}, ThreadPool* pool = nullptr);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// MCSP s(i, j) on the calling thread (never cached — pair answers are
+  /// cheap relative to their key-space size).
+  ServeResponse Pair(NodeId i, NodeId j);
+
+  /// Top-k most similar to `source`, on the calling thread, via cache and
+  /// in-flight dedup.
+  ServeResponse SourceTopK(NodeId source, uint32_t k);
+
+  /// Dispatches one typed request on the calling thread.
+  ServeResponse Execute(const ServeRequest& request);
+
+  /// Executes a mixed batch on the pool (one request per chunk, so
+  /// identical concurrent sources can dedup); responses align with
+  /// `requests` by index. Serial when the pool is null.
+  std::vector<ServeResponse> ExecuteBatch(
+      const std::vector<ServeRequest>& requests);
+
+  /// Aggregate metrics since construction / the last ResetStats().
+  ServeStats Stats() const;
+
+  /// Zeroes counters, the latency histogram, and the QPS window (cached
+  /// results stay resident).
+  void ResetStats();
+
+  /// The effective serving configuration.
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  // Shared completion state for one in-flight top-k computation.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    std::shared_ptr<const std::vector<ScoredNode>> result;
+  };
+
+  // Computes (or joins) the top-k answer; fills everything but latency.
+  void AnswerTopK(NodeId source, uint32_t k, ServeResponse* response);
+
+  const CloudWalker* cloudwalker_;
+  ServeOptions options_;
+  ThreadPool* pool_;
+  std::unique_ptr<ShardedLruCache> cache_;  // null when caching is off
+
+  std::mutex inflight_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;
+
+  LatencyHistogram latencies_;
+  mutable std::mutex stats_mu_;  // guards window_ and cache_baseline_
+  WallTimer window_;             // QPS window start
+  std::atomic<uint64_t> pair_queries_{0};
+  std::atomic<uint64_t> topk_queries_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> computed_{0};
+  std::atomic<uint64_t> dedup_shared_{0};
+  ShardedLruCache::Counters cache_baseline_;  // counters at last ResetStats
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_SERVE_QUERY_SERVICE_H_

@@ -1,0 +1,60 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloudwalker {
+
+int LatencyHistogram::BucketFor(double seconds) {
+  if (!(seconds > kMinSeconds)) return 0;
+  const int b = static_cast<int>(std::log(seconds / kMinSeconds) /
+                                 std::log(kGrowth));
+  return std::clamp(b, 0, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketMidpoint(int bucket) {
+  // Geometric midpoint of [lo, lo * kGrowth).
+  return kMinSeconds * std::pow(kGrowth, bucket + 0.5);
+}
+
+void LatencyHistogram::Record(double seconds) {
+  buckets_[BucketFor(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_seconds_.fetch_add(seconds, std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  std::array<uint64_t, kNumBuckets> snap;
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0.0;
+  const double target = std::clamp(q, 0.0, 1.0) * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += snap[i];
+    if (static_cast<double>(seen) >= target) return BucketMidpoint(i);
+  }
+  return BucketMidpoint(kNumBuckets - 1);
+}
+
+double LatencyHistogram::Mean() const {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  return sum_seconds_.load(std::memory_order_relaxed) /
+         static_cast<double>(n);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_seconds_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,87 @@
+// Serving-side metrics: a lock-free latency histogram and the aggregate
+// ServeStats snapshot (p50/p95/p99, QPS, cache hit rate) reported by
+// QueryService. See DESIGN.md section 6.4.
+
+#ifndef CLOUDWALKER_SERVE_STATS_H_
+#define CLOUDWALKER_SERVE_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace cloudwalker {
+
+/// Concurrent latency histogram with geometric buckets spanning
+/// [1 us, ~100 s). Record() is wait-free (one relaxed atomic increment);
+/// quantiles are read from a snapshot of the buckets and are accurate to
+/// within one bucket width (~34% relative — plenty for p50/p95/p99
+/// reporting; recorded latencies are wall-clock and inherently noisy).
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+
+  /// Records one latency observation (in seconds; clamped into range).
+  void Record(double seconds);
+
+  /// Number of recorded observations.
+  uint64_t count() const;
+
+  /// The q-quantile (q in [0, 1]) in seconds: the geometric midpoint of
+  /// the bucket holding the q-th observation. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  /// Arithmetic mean of the recorded observations, in seconds.
+  double Mean() const;
+
+  /// Zeroes every bucket.
+  void Reset();
+
+ private:
+  static constexpr int kNumBuckets = 64;
+  static constexpr double kMinSeconds = 1e-6;
+  // Bucket i covers [kMinSeconds * kGrowth^i, kMinSeconds * kGrowth^(i+1));
+  // kGrowth^64 ~ 1e8, so the top bucket ends near 100 s.
+  static constexpr double kGrowth = 1.3372;
+
+  static int BucketFor(double seconds);
+  static double BucketMidpoint(int bucket);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_seconds_{0.0};
+};
+
+/// Point-in-time aggregate serving metrics (returned by
+/// QueryService::Stats).
+struct ServeStats {
+  uint64_t pair_queries = 0;     // completed single-pair requests
+  uint64_t topk_queries = 0;     // completed source-top-k requests
+  uint64_t errors = 0;           // requests that returned a non-OK status
+  uint64_t computed = 0;         // requests that ran a query kernel
+  uint64_t dedup_shared = 0;     // requests that joined an in-flight twin
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_entries = 0;    // resident entries at snapshot time
+  double elapsed_seconds = 0.0;  // since construction / ResetStats
+  double qps = 0.0;              // completed requests / elapsed_seconds
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+
+  /// Completed requests of either type.
+  uint64_t total_queries() const { return pair_queries + topk_queries; }
+
+  /// Hits / (hits + misses), or 0 when the cache saw no lookups.
+  double CacheHitRate() const {
+    const uint64_t lookups = cache_hits + cache_misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(cache_hits) /
+                              static_cast<double>(lookups);
+  }
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_SERVE_STATS_H_

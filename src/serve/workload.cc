@@ -1,0 +1,131 @@
+#include "serve/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cloudwalker {
+
+Status WorkloadSpec::Validate() const {
+  if (num_requests < 1) {
+    return Status::InvalidArgument("workload needs num_requests >= 1");
+  }
+  if (pair_fraction < 0.0 || pair_fraction > 1.0) {
+    return Status::InvalidArgument("pair_fraction must be in [0, 1]");
+  }
+  if (skew == WorkloadSkew::kZipf && !(zipf_theta > 0.0)) {
+    return Status::InvalidArgument("zipf_theta must be > 0");
+  }
+  return Status::Ok();
+}
+
+ZipfSampler::ZipfSampler(NodeId num_nodes, double theta) {
+  cdf_.resize(std::max<NodeId>(num_nodes, 1));
+  double total = 0.0;
+  for (size_t r = 0; r < cdf_.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+NodeId ZipfSampler::Sample(Xoshiro256& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<NodeId>(it - cdf_.begin());
+}
+
+StatusOr<std::vector<ServeRequest>> GenerateWorkload(
+    NodeId num_nodes, const WorkloadSpec& spec) {
+  CW_RETURN_IF_ERROR(spec.Validate());
+  if (num_nodes == 0) {
+    return Status::InvalidArgument("workload needs a non-empty graph");
+  }
+
+  // Independent streams for node choice and request-type choice, so e.g.
+  // changing pair_fraction does not reshuffle which sources are hot.
+  Xoshiro256 node_rng = Xoshiro256::Derive(spec.seed, /*stream=*/1);
+  Xoshiro256 type_rng = Xoshiro256::Derive(spec.seed, /*stream=*/2);
+  std::optional<ZipfSampler> zipf;  // the O(n) CDF only when actually used
+  if (spec.skew == WorkloadSkew::kZipf) zipf.emplace(num_nodes, spec.zipf_theta);
+  const auto draw_node = [&]() -> NodeId {
+    return zipf.has_value()
+               ? zipf->Sample(node_rng)
+               : static_cast<NodeId>(node_rng.UniformInt32(num_nodes));
+  };
+
+  std::vector<ServeRequest> requests;
+  requests.reserve(spec.num_requests);
+  for (uint64_t r = 0; r < spec.num_requests; ++r) {
+    if (type_rng.Bernoulli(spec.pair_fraction)) {
+      requests.push_back(ServeRequest::Pair(draw_node(), draw_node()));
+    } else {
+      requests.push_back(ServeRequest::TopK(draw_node(), spec.topk));
+    }
+  }
+  return requests;
+}
+
+Status SaveWorkloadText(const std::vector<ServeRequest>& requests,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "# cloudwalker workload: " << requests.size() << " requests\n";
+  for (const ServeRequest& r : requests) {
+    if (r.type == ServeRequestType::kPair) {
+      out << "pair " << r.a << " " << r.b << "\n";
+    } else {
+      out << "topk " << r.a << " " << r.k << "\n";
+    }
+  }
+  if (!out) return Status::IoError("write failed on " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<ServeRequest>> LoadWorkloadText(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<ServeRequest> requests;
+  std::string line;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    std::string verb;
+    uint64_t x = 0, y = 0;
+    fields >> verb >> x >> y;
+    if (fields.fail()) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": expected '<verb> <a> <b>'");
+    }
+    if (x > 0xffffffffull || y > 0xffffffffull) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": value exceeds 32 bits");
+    }
+    std::string extra;
+    if (fields >> extra) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": trailing content '" + extra + "'");
+    }
+    if (verb == "pair") {
+      requests.push_back(ServeRequest::Pair(static_cast<NodeId>(x),
+                                            static_cast<NodeId>(y)));
+    } else if (verb == "topk") {
+      requests.push_back(ServeRequest::TopK(static_cast<NodeId>(x),
+                                            static_cast<uint32_t>(y)));
+    } else {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": unknown verb '" + verb + "'");
+    }
+  }
+  return requests;
+}
+
+}  // namespace cloudwalker

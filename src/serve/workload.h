@@ -1,0 +1,85 @@
+// Serving workload generation and replay files.
+//
+// A workload is an ordered stream of ServeRequests. Generated workloads
+// draw their query nodes from a uniform or zipfian source distribution
+// (zipfian models the heavy skew of real query traffic, where a small set
+// of hot entities receives most requests — the regime the serving cache
+// is built for; DESIGN.md section 6.5). Generation is fully deterministic
+// in the spec: same spec, same node count, same requests.
+//
+// The on-disk format is line-oriented text, one request per line:
+//
+//   # comment / blank lines ignored
+//   pair <i> <j>
+//   topk <source> <k>
+
+#ifndef CLOUDWALKER_SERVE_WORKLOAD_H_
+#define CLOUDWALKER_SERVE_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "serve/query_service.h"
+
+namespace cloudwalker {
+
+/// Source-node skew of a generated workload.
+enum class WorkloadSkew {
+  kUniform = 0,  // every node equally likely
+  kZipf = 1,     // node r with probability proportional to 1 / (r+1)^theta
+};
+
+/// Parameters of GenerateWorkload. Defaults model a read-heavy top-k
+/// service with zipfian skew.
+struct WorkloadSpec {
+  /// Total number of requests.
+  uint64_t num_requests = 1000;
+  /// Fraction of requests that are single-pair (the rest are top-k).
+  double pair_fraction = 0.2;
+  /// k of every top-k request.
+  uint32_t topk = 10;
+  /// Source-node skew.
+  WorkloadSkew skew = WorkloadSkew::kZipf;
+  /// Zipf exponent theta (> 0); ~0.99 matches classic web/YCSB traffic.
+  double zipf_theta = 0.99;
+  /// Master seed for the request stream.
+  uint64_t seed = 42;
+
+  /// InvalidArgument unless num_requests >= 1, pair_fraction in [0, 1]
+  /// and zipf_theta > 0.
+  Status Validate() const;
+};
+
+/// Draws node ids with Zipf(theta) probabilities over [0, num_nodes) by
+/// inverting a precomputed CDF (O(n) setup, O(log n) per sample). Rank r
+/// maps to node id r, so low ids are the hot set.
+class ZipfSampler {
+ public:
+  ZipfSampler(NodeId num_nodes, double theta);
+
+  /// One sample from the configured distribution.
+  NodeId Sample(Xoshiro256& rng) const;
+
+ private:
+  std::vector<double> cdf_;  // cdf_[r] = P(rank <= r), cdf_.back() == 1
+};
+
+/// Generates `spec.num_requests` requests over node ids [0, num_nodes).
+/// Pair endpoints and top-k sources follow the configured skew; the pair /
+/// top-k interleaving is an independent deterministic stream.
+StatusOr<std::vector<ServeRequest>> GenerateWorkload(NodeId num_nodes,
+                                                     const WorkloadSpec& spec);
+
+/// Writes the workload in the text format above.
+Status SaveWorkloadText(const std::vector<ServeRequest>& requests,
+                        const std::string& path);
+
+/// Reads a workload written by SaveWorkloadText (or by hand).
+StatusOr<std::vector<ServeRequest>> LoadWorkloadText(const std::string& path);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_SERVE_WORKLOAD_H_

@@ -1,0 +1,313 @@
+#include "serve/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "serve/workload.h"
+
+namespace cloudwalker {
+namespace {
+
+// Shared fixture: a small indexed R-MAT graph behind a CloudWalker facade.
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    graph_ = new Graph(GenerateRmat(150, 1050, /*seed=*/11));
+    IndexingOptions o;
+    o.num_walkers = 60;
+    o.seed = 12;
+    ThreadPool pool(4);
+    auto cw = CloudWalker::Build(graph_, o, &pool);
+    ASSERT_TRUE(cw.ok());
+    cloudwalker_ = new CloudWalker(std::move(cw).value());
+  }
+  static void TearDownTestSuite() {
+    delete cloudwalker_;
+    delete graph_;
+    cloudwalker_ = nullptr;
+    graph_ = nullptr;
+  }
+
+  // Modest R' keeps each kernel run cheap; the seed pins every answer.
+  static ServeOptions Options() {
+    ServeOptions options;
+    options.query.num_walkers = 300;
+    options.query.seed = 17;
+    return options;
+  }
+
+  static Graph* graph_;
+  static CloudWalker* cloudwalker_;
+};
+
+Graph* QueryServiceTest::graph_ = nullptr;
+CloudWalker* QueryServiceTest::cloudwalker_ = nullptr;
+
+TEST_F(QueryServiceTest, PairBitIdenticalToDirectCall) {
+  QueryService service(cloudwalker_, Options());
+  for (auto [i, j] : std::vector<std::pair<NodeId, NodeId>>{
+           {0, 1}, {5, 77}, {33, 33}, {149, 2}}) {
+    const ServeResponse r = service.Pair(i, j);
+    ASSERT_TRUE(r.status.ok());
+    const auto direct = cloudwalker_->SinglePair(i, j, Options().query);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_EQ(r.score, *direct);  // exact, not approximate
+  }
+}
+
+TEST_F(QueryServiceTest, TopKBitIdenticalToDirectCall) {
+  QueryService service(cloudwalker_, Options());
+  for (NodeId source : {0u, 7u, 42u, 149u}) {
+    const ServeResponse r = service.SourceTopK(source, 8);
+    ASSERT_TRUE(r.status.ok());
+    const auto direct =
+        cloudwalker_->SingleSourceTopK(source, 8, Options().query);
+    ASSERT_TRUE(direct.ok());
+    ASSERT_EQ(r.topk->size(), direct->size());
+    for (size_t p = 0; p < direct->size(); ++p) {
+      EXPECT_EQ((*r.topk)[p].node, (*direct)[p].node);
+      EXPECT_EQ((*r.topk)[p].score, (*direct)[p].score);  // bit-identical
+    }
+  }
+}
+
+TEST_F(QueryServiceTest, CacheHitReturnsTheSharedResult) {
+  QueryService service(cloudwalker_, Options());
+  const ServeResponse first = service.SourceTopK(3, 5);
+  ASSERT_TRUE(first.status.ok());
+  EXPECT_FALSE(first.cache_hit);
+  const ServeResponse second = service.SourceTopK(3, 5);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.topk, first.topk);  // same object, fanned out
+  // A different k is a different cache entry.
+  const ServeResponse other_k = service.SourceTopK(3, 6);
+  EXPECT_FALSE(other_k.cache_hit);
+  const ServeStats s = service.Stats();
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 2u);
+  EXPECT_EQ(s.computed, 2u);
+}
+
+TEST_F(QueryServiceTest, CacheDisabledRecomputesEveryRequest) {
+  ServeOptions options = Options();
+  options.cache_capacity = 0;
+  QueryService service(cloudwalker_, options);
+  const ServeResponse a = service.SourceTopK(3, 5);
+  const ServeResponse b = service.SourceTopK(3, 5);
+  EXPECT_FALSE(b.cache_hit);
+  EXPECT_EQ(service.Stats().computed, 2u);
+  // Recomputation is still deterministic.
+  ASSERT_EQ(a.topk->size(), b.topk->size());
+  EXPECT_EQ(*a.topk, *b.topk);
+}
+
+TEST_F(QueryServiceTest, ConcurrentBatchBitIdenticalToDirectCalls) {
+  ThreadPool pool(4);
+  QueryService service(cloudwalker_, Options(), &pool);
+  std::vector<ServeRequest> requests;
+  for (NodeId v = 0; v < 40; ++v) {
+    requests.push_back(ServeRequest::TopK(v % 13, 7));  // repeats included
+    requests.push_back(ServeRequest::Pair(v, (v * 31 + 1) % 150));
+  }
+  const std::vector<ServeResponse> responses = service.ExecuteBatch(requests);
+  ASSERT_EQ(responses.size(), requests.size());
+  for (size_t r = 0; r < requests.size(); ++r) {
+    ASSERT_TRUE(responses[r].status.ok()) << responses[r].status.ToString();
+    if (requests[r].type == ServeRequestType::kPair) {
+      const auto direct = cloudwalker_->SinglePair(
+          requests[r].a, requests[r].b, Options().query);
+      EXPECT_EQ(responses[r].score, *direct);
+    } else {
+      const auto direct = cloudwalker_->SingleSourceTopK(
+          requests[r].a, requests[r].k, Options().query);
+      EXPECT_EQ(*responses[r].topk, *direct);
+    }
+  }
+  // Replaying the whole batch yields the same answers again.
+  const std::vector<ServeResponse> replay = service.ExecuteBatch(requests);
+  for (size_t r = 0; r < requests.size(); ++r) {
+    if (requests[r].type == ServeRequestType::kPair) {
+      EXPECT_EQ(replay[r].score, responses[r].score);
+    } else {
+      EXPECT_EQ(*replay[r].topk, *responses[r].topk);
+    }
+  }
+}
+
+TEST_F(QueryServiceTest, DedupComputesOnceAndFansOut) {
+  // Cache off isolates dedup: every request either runs the kernel or
+  // joins an in-flight twin — those two counters must partition the batch
+  // regardless of scheduling.
+  ThreadPool pool(4);
+  ServeOptions options = Options();
+  options.cache_capacity = 0;
+  QueryService service(cloudwalker_, options, &pool);
+  const std::vector<ServeRequest> storm(64, ServeRequest::TopK(9, 6));
+  const std::vector<ServeResponse> responses = service.ExecuteBatch(storm);
+  const ServeStats s = service.Stats();
+  EXPECT_EQ(s.topk_queries, 64u);
+  EXPECT_EQ(s.computed + s.dedup_shared, 64u);
+  EXPECT_GE(s.computed, 1u);
+  const auto direct = cloudwalker_->SingleSourceTopK(9, 6, options.query);
+  for (const ServeResponse& r : responses) {
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(*r.topk, *direct);  // fanned-out answers are bit-identical
+  }
+}
+
+TEST_F(QueryServiceTest, DedupDisabledComputesEveryRequest) {
+  ThreadPool pool(4);
+  ServeOptions options = Options();
+  options.cache_capacity = 0;
+  options.dedup_in_flight = false;
+  QueryService service(cloudwalker_, options, &pool);
+  const std::vector<ServeRequest> storm(16, ServeRequest::TopK(9, 6));
+  service.ExecuteBatch(storm);
+  const ServeStats s = service.Stats();
+  EXPECT_EQ(s.computed, 16u);
+  EXPECT_EQ(s.dedup_shared, 0u);
+}
+
+TEST_F(QueryServiceTest, StatsCountersAndLatencies) {
+  QueryService service(cloudwalker_, Options());
+  service.Pair(0, 1);
+  service.Pair(1, 2);
+  for (NodeId source : {4u, 4u, 4u, 8u, 8u}) service.SourceTopK(source, 5);
+  const ServeStats s = service.Stats();
+  EXPECT_EQ(s.pair_queries, 2u);
+  EXPECT_EQ(s.topk_queries, 5u);
+  EXPECT_EQ(s.total_queries(), 7u);
+  EXPECT_EQ(s.cache_hits, 3u);    // 2x source 4, 1x source 8
+  EXPECT_EQ(s.cache_misses, 2u);
+  EXPECT_DOUBLE_EQ(s.CacheHitRate(), 3.0 / 5.0);
+  EXPECT_EQ(s.computed, 4u);      // 2 pair + 2 distinct top-k
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_EQ(s.cache_entries, 2u);
+  EXPECT_GT(s.elapsed_seconds, 0.0);
+  EXPECT_GT(s.qps, 0.0);
+  EXPECT_GT(s.p50_ms, 0.0);
+  EXPECT_LE(s.p50_ms, s.p95_ms);
+  EXPECT_LE(s.p95_ms, s.p99_ms);
+}
+
+TEST_F(QueryServiceTest, ResetStatsZeroesTheWindow) {
+  QueryService service(cloudwalker_, Options());
+  service.SourceTopK(2, 5);
+  service.ResetStats();
+  ServeStats s = service.Stats();
+  EXPECT_EQ(s.total_queries(), 0u);
+  EXPECT_EQ(s.cache_misses, 0u);
+  EXPECT_EQ(s.p99_ms, 0.0);
+  // The cache itself survives the reset: the replay is a hit.
+  const ServeResponse r = service.SourceTopK(2, 5);
+  EXPECT_TRUE(r.cache_hit);
+  EXPECT_EQ(service.Stats().cache_hits, 1u);
+}
+
+TEST_F(QueryServiceTest, OutOfRangeRequestsReportErrors) {
+  QueryService service(cloudwalker_, Options());
+  const ServeResponse pair = service.Pair(0, 100000);
+  EXPECT_FALSE(pair.status.ok());
+  const ServeResponse topk = service.SourceTopK(100000, 5);
+  EXPECT_FALSE(topk.status.ok());
+  EXPECT_EQ(topk.topk, nullptr);
+  EXPECT_EQ(service.Stats().errors, 2u);
+}
+
+// --- Workload generation and replay files. -------------------------------
+
+TEST(WorkloadTest, GenerationIsDeterministic) {
+  WorkloadSpec spec;
+  spec.num_requests = 200;
+  auto a = GenerateWorkload(500, spec);
+  auto b = GenerateWorkload(500, spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  spec.seed = 43;
+  auto c = GenerateWorkload(500, spec);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(*a, *c);
+}
+
+TEST(WorkloadTest, RespectsSpecShape) {
+  WorkloadSpec spec;
+  spec.num_requests = 400;
+  spec.pair_fraction = 0.0;
+  spec.topk = 12;
+  auto requests = GenerateWorkload(100, spec);
+  ASSERT_TRUE(requests.ok());
+  ASSERT_EQ(requests->size(), 400u);
+  for (const ServeRequest& r : *requests) {
+    EXPECT_EQ(r.type, ServeRequestType::kSourceTopK);
+    EXPECT_EQ(r.k, 12u);
+    EXPECT_LT(r.a, 100u);
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewsTowardLowRanks) {
+  WorkloadSpec spec;
+  spec.num_requests = 2000;
+  spec.pair_fraction = 0.0;
+  spec.skew = WorkloadSkew::kZipf;
+  auto requests = GenerateWorkload(1000, spec);
+  ASSERT_TRUE(requests.ok());
+  std::map<NodeId, int> counts;
+  for (const ServeRequest& r : *requests) ++counts[r.a];
+  // The hottest decile must dominate the coldest decile decisively.
+  int hot = 0, cold = 0;
+  for (const auto& [node, n] : counts) {
+    if (node < 100) hot += n;
+    if (node >= 900) cold += n;
+  }
+  EXPECT_GT(hot, 10 * std::max(cold, 1));
+}
+
+TEST(WorkloadTest, SaveLoadRoundTrip) {
+  WorkloadSpec spec;
+  spec.num_requests = 50;
+  spec.pair_fraction = 0.5;
+  auto requests = GenerateWorkload(64, spec);
+  ASSERT_TRUE(requests.ok());
+  const std::string path = ::testing::TempDir() + "workload_roundtrip.txt";
+  ASSERT_TRUE(SaveWorkloadText(*requests, path).ok());
+  auto loaded = LoadWorkloadText(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, *requests);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTest, LoadRejectsMalformedLines) {
+  const std::string path = ::testing::TempDir() + "workload_bad.txt";
+  for (const char* body : {"# fine\npair 1 2\nfetch 3 4\n",
+                           "topk 4294967296 10\n"}) {  // id wider than 32 bits
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(body, f);
+    std::fclose(f);
+    auto loaded = LoadWorkloadText(path);
+    EXPECT_FALSE(loaded.ok()) << body;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTest, ValidatesSpec) {
+  WorkloadSpec spec;
+  spec.pair_fraction = 1.5;
+  EXPECT_FALSE(GenerateWorkload(10, spec).ok());
+  spec = WorkloadSpec{};
+  spec.num_requests = 0;
+  EXPECT_FALSE(GenerateWorkload(10, spec).ok());
+  spec = WorkloadSpec{};
+  EXPECT_FALSE(GenerateWorkload(0, spec).ok());
+}
+
+}  // namespace
+}  // namespace cloudwalker

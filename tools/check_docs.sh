@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Docs-consistency check: every "DESIGN.md section N[.M]" citation in the
+# sources (and PAPER.md) must resolve to a numbered heading in DESIGN.md.
+# Run from anywhere; CI runs it on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -f DESIGN.md ]; then
+  echo "FAIL: DESIGN.md does not exist"
+  exit 1
+fi
+
+# Citations look like "DESIGN.md section N", "DESIGN.md N.M", or the
+# markdown-flavored "`DESIGN.md` section N". This script excludes itself
+# so its own pattern text can never satisfy (or pollute) the check.
+refs=$(grep -rhoE --exclude=check_docs.sh \
+         'DESIGN\.md`?,?( section)? [0-9]+(\.[0-9]+)?' \
+         src tests bench tools examples PAPER.md 2>/dev/null |
+       grep -oE '[0-9]+(\.[0-9]+)?$' | sort -uV || true)
+
+if [ -z "$refs" ]; then
+  echo "FAIL: found no DESIGN.md section references (pattern drift?)"
+  exit 1
+fi
+
+fail=0
+for ref in $refs; do
+  # Section N is "## N. Title"; subsection N.M is "### N.M Title".
+  if ! grep -qE "^#{2,3} ${ref//./\\.}[. ]" DESIGN.md; then
+    echo "FAIL: DESIGN.md has no heading for cited section $ref"
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "docs-consistency OK: sections $(echo "$refs" | tr '\n' ' ')all resolve"
+fi
+exit $fail

@@ -8,13 +8,19 @@
 //   cloudwalker pair     --graph=web.graph --index=web.cwidx --i=1 --j=2
 //   cloudwalker source   --graph=web.graph --index=web.cwidx --node=1
 //       [--topk=10]
+//   cloudwalker serve    --graph=web.graph --index=web.cwidx
+//       [--workload=reqs.txt | --requests=1000 --skew=zipf]
 //
 // Graphs are loaded from the binary snapshot format (SaveGraphBinary) or,
-// when the path ends in .txt, from a whitespace edge list.
+// when the path ends in .txt, from a whitespace edge list. `--threads=N`
+// sizes the worker pool of the parallel commands (generate, index, serve);
+// 0 or absent selects the hardware concurrency.
 
 #include <cstdlib>
+#include <exception>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -23,6 +29,8 @@
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/stats.h"
+#include "serve/query_service.h"
+#include "serve/workload.h"
 
 using namespace cloudwalker;
 
@@ -52,6 +60,34 @@ std::string GetFlag(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? def : it->second;
 }
 
+// Non-negative integer flag. std::stoull alone would accept "-1" by
+// wrapping to 2^64-1; reject it (and any other malformed value) with a
+// diagnostic naming the flag, surfaced by the handler in main.
+uint64_t ParseU64(const std::map<std::string, std::string>& flags,
+                  const std::string& key, const std::string& def) {
+  const std::string v = GetFlag(flags, key, def);
+  size_t used = 0;
+  uint64_t out = 0;
+  try {
+    if (v.empty() || v[0] == '-') throw std::invalid_argument(v);
+    out = std::stoull(v, &used);
+  } catch (const std::invalid_argument&) {
+    throw std::invalid_argument("--" + key + "=" + v +
+                                " is not a non-negative integer");
+  }
+  if (used != v.size()) {
+    throw std::invalid_argument("--" + key + "=" + v +
+                                " is not a non-negative integer");
+  }
+  return out;
+}
+
+// Worker-pool size from --threads (0 / absent = hardware concurrency).
+// std::stoi so malformed values reach the invalid-flag handler in main.
+int GetThreads(const std::map<std::string, std::string>& flags) {
+  return std::stoi(GetFlag(flags, "threads", "0"));
+}
+
 int Fail(const std::string& message) {
   std::cerr << "error: " << message << "\n";
   return 1;
@@ -69,14 +105,14 @@ StatusOr<Graph> LoadGraph(const std::string& path) {
 int CmdGenerate(const std::map<std::string, std::string>& flags) {
   const std::string type = GetFlag(flags, "type", "rmat");
   const NodeId nodes =
-      static_cast<NodeId>(std::stoull(GetFlag(flags, "nodes", "100000")));
+      static_cast<NodeId>(ParseU64(flags, "nodes", "100000"));
   const uint64_t edges =
-      std::stoull(GetFlag(flags, "edges", std::to_string(nodes * 15ull)));
-  const uint64_t seed = std::stoull(GetFlag(flags, "seed", "1"));
+      ParseU64(flags, "edges", std::to_string(nodes * 15ull));
+  const uint64_t seed = ParseU64(flags, "seed", "1");
   const std::string out = GetFlag(flags, "out");
   if (out.empty()) return Fail("generate requires --out=PATH");
 
-  ThreadPool pool;
+  ThreadPool pool(GetThreads(flags));
   Graph graph;
   if (type == "rmat") {
     graph = GenerateRmat(nodes, edges, seed, RmatOptions(), &pool);
@@ -84,9 +120,7 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
     graph = GenerateErdosRenyi(nodes, edges, seed);
   } else if (type == "ba") {
     graph = GenerateBarabasiAlbert(
-        nodes, static_cast<uint32_t>(std::stoul(GetFlag(flags, "attach",
-                                                        "8"))),
-        seed);
+        nodes, static_cast<uint32_t>(ParseU64(flags, "attach", "8")), seed);
   } else {
     return Fail("unknown --type (rmat | er | ba)");
   }
@@ -120,18 +154,18 @@ int CmdIndex(const std::map<std::string, std::string>& flags) {
 
   IndexingOptions o;
   o.num_walkers =
-      static_cast<uint32_t>(std::stoul(GetFlag(flags, "walkers", "100")));
+      static_cast<uint32_t>(ParseU64(flags, "walkers", "100"));
   o.params.num_steps =
-      static_cast<uint32_t>(std::stoul(GetFlag(flags, "steps", "10")));
+      static_cast<uint32_t>(ParseU64(flags, "steps", "10"));
   o.params.decay = std::stod(GetFlag(flags, "decay", "0.6"));
   o.jacobi_iterations = static_cast<uint32_t>(
-      std::stoul(GetFlag(flags, "iterations", "3")));
-  o.seed = std::stoull(GetFlag(flags, "seed", "1"));
+      ParseU64(flags, "iterations", "3"));
+  o.seed = ParseU64(flags, "seed", "1");
   if (GetFlag(flags, "regenerate") == "true") {
     o.row_mode = RowMode::kRegenerate;
   }
 
-  ThreadPool pool;
+  ThreadPool pool(GetThreads(flags));
   auto cw = CloudWalker::Build(&*graph, o, &pool);
   if (!cw.ok()) return Fail(cw.status().ToString());
   const Status s = cw->SaveIndex(out);
@@ -154,8 +188,8 @@ StatusOr<CloudWalker> LoadFacade(
 QueryOptions QueryFlags(const std::map<std::string, std::string>& flags) {
   QueryOptions q;
   q.num_walkers =
-      static_cast<uint32_t>(std::stoul(GetFlag(flags, "walkers", "10000")));
-  q.seed = std::stoull(GetFlag(flags, "seed", "97"));
+      static_cast<uint32_t>(ParseU64(flags, "walkers", "10000"));
+  q.seed = ParseU64(flags, "seed", "97");
   if (GetFlag(flags, "exact-push") == "true") {
     q.push = PushStrategy::kExact;
     q.prune_threshold = 1e-6;
@@ -169,9 +203,9 @@ int CmdPair(const std::map<std::string, std::string>& flags) {
   auto cw = LoadFacade(&*graph, flags);
   if (!cw.ok()) return Fail(cw.status().ToString());
   const NodeId i =
-      static_cast<NodeId>(std::stoull(GetFlag(flags, "i", "0")));
+      static_cast<NodeId>(ParseU64(flags, "i", "0"));
   const NodeId j =
-      static_cast<NodeId>(std::stoull(GetFlag(flags, "j", "0")));
+      static_cast<NodeId>(ParseU64(flags, "j", "0"));
   auto s = cw->SinglePair(i, j, QueryFlags(flags));
   if (!s.ok()) return Fail(s.status().ToString());
   std::cout << "s(" << i << ", " << j << ") = " << FormatDouble(*s, 6)
@@ -185,8 +219,8 @@ int CmdSource(const std::map<std::string, std::string>& flags) {
   auto cw = LoadFacade(&*graph, flags);
   if (!cw.ok()) return Fail(cw.status().ToString());
   const NodeId q =
-      static_cast<NodeId>(std::stoull(GetFlag(flags, "node", "0")));
-  const size_t k = std::stoull(GetFlag(flags, "topk", "10"));
+      static_cast<NodeId>(ParseU64(flags, "node", "0"));
+  const size_t k = ParseU64(flags, "topk", "10");
   auto top = cw->SingleSourceTopK(q, k, QueryFlags(flags));
   if (!top.ok()) return Fail(top.status().ToString());
   for (const ScoredNode& sn : *top) {
@@ -195,20 +229,122 @@ int CmdSource(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  auto graph = LoadGraph(GetFlag(flags, "graph"));
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  auto cw = LoadFacade(&*graph, flags);
+  if (!cw.ok()) return Fail(cw.status().ToString());
+
+  // Obtain the request stream: replay a file or generate one.
+  std::vector<ServeRequest> requests;
+  const std::string workload_path = GetFlag(flags, "workload");
+  if (!workload_path.empty()) {
+    auto loaded = LoadWorkloadText(workload_path);
+    if (!loaded.ok()) return Fail(loaded.status().ToString());
+    requests = std::move(loaded).value();
+  } else {
+    WorkloadSpec spec;
+    spec.num_requests = ParseU64(flags, "requests", "1000");
+    spec.pair_fraction = std::stod(GetFlag(flags, "pair-frac", "0.2"));
+    spec.topk =
+        static_cast<uint32_t>(ParseU64(flags, "topk", "10"));
+    const std::string skew = GetFlag(flags, "skew", "zipf");
+    if (skew == "zipf") {
+      spec.skew = WorkloadSkew::kZipf;
+    } else if (skew == "uniform") {
+      spec.skew = WorkloadSkew::kUniform;
+    } else {
+      return Fail("unknown --skew (zipf | uniform)");
+    }
+    spec.zipf_theta = std::stod(GetFlag(flags, "theta", "0.99"));
+    spec.seed = ParseU64(flags, "wseed", "42");
+    auto generated = GenerateWorkload(graph->num_nodes(), spec);
+    if (!generated.ok()) return Fail(generated.status().ToString());
+    requests = std::move(generated).value();
+  }
+  const std::string save_path = GetFlag(flags, "save-workload");
+  if (!save_path.empty()) {
+    const Status s = SaveWorkloadText(requests, save_path);
+    if (!s.ok()) return Fail(s.ToString());
+    std::cout << "saved workload (" << requests.size() << " requests) to "
+              << save_path << "\n";
+  }
+
+  ServeOptions options;
+  options.cache_capacity = ParseU64(flags, "cache", "16384");
+  options.cache_shards = std::stoi(GetFlag(flags, "shards", "8"));
+  options.dedup_in_flight = GetFlag(flags, "no-dedup") != "true";
+  options.query = QueryFlags(flags);
+
+  ThreadPool pool(GetThreads(flags));
+  QueryService service(&*cw, options, &pool);
+  service.ExecuteBatch(requests);
+
+  const ServeStats stats = service.Stats();
+  std::cout << "served " << stats.total_queries() << " requests ("
+            << stats.pair_queries << " pair, " << stats.topk_queries
+            << " topk, " << stats.errors << " errors) on "
+            << pool.num_threads()
+            << " threads in " << HumanSeconds(stats.elapsed_seconds) << "\n"
+            << "throughput:     " << FormatDouble(stats.qps, 1) << " QPS\n"
+            << "latency:        p50 " << FormatDouble(stats.p50_ms, 2)
+            << "ms  p95 " << FormatDouble(stats.p95_ms, 2) << "ms  p99 "
+            << FormatDouble(stats.p99_ms, 2) << "ms\n"
+            << "cache:          "
+            << FormatDouble(100.0 * stats.CacheHitRate(), 1) << "% hit rate ("
+            << stats.cache_hits << " hits, " << stats.cache_misses
+            << " misses, " << stats.cache_evictions << " evictions, "
+            << stats.cache_entries << " resident)\n"
+            << "dedup:          " << stats.dedup_shared
+            << " requests joined an in-flight computation\n"
+            << "kernel runs:    " << stats.computed << "\n";
+  if (stats.errors != 0) {
+    return Fail(std::to_string(stats.errors) +
+                " of " + std::to_string(stats.total_queries()) +
+                " requests failed (out-of-range nodes in the workload?)");
+  }
+  return 0;
+}
+
 void Usage() {
   std::cout <<
       "cloudwalker <command> [--flags]\n"
+      "\n"
       "commands:\n"
-      "  generate  --type=rmat|er|ba --nodes=N [--edges=M] [--seed=S] "
-      "--out=PATH\n"
-      "  stats     --graph=PATH\n"
-      "  index     --graph=PATH --out=PATH [--walkers --steps --decay "
-      "--iterations --seed --regenerate]\n"
-      "  pair      --graph=PATH --index=PATH --i=A --j=B [--walkers "
-      "--exact-push]\n"
-      "  source    --graph=PATH --index=PATH --node=Q [--topk=K] "
-      "[--walkers --exact-push]\n"
-      "graph paths ending in .txt are parsed as 'from to' edge lists.\n";
+      "  generate  Write a synthetic graph snapshot.\n"
+      "            --out=PATH (required), --type=rmat|er|ba (rmat),\n"
+      "            --nodes=N (100000), --edges=M (15*nodes), --seed=S (1),\n"
+      "            --attach=K (8, ba only), --threads=N\n"
+      "  stats     Print degree/memory statistics of a graph.\n"
+      "            --graph=PATH (required)\n"
+      "  index     Run offline indexing (estimate diag(D)) and save it.\n"
+      "            --graph=PATH --out=PATH (required), --walkers=R (100),\n"
+      "            --steps=T (10), --decay=c (0.6), --iterations=L (3),\n"
+      "            --seed=S (1), --regenerate (row regeneration mode),\n"
+      "            --threads=N\n"
+      "  pair      MCSP: estimate s(i, j).\n"
+      "            --graph=PATH --index=PATH (required), --i=A --j=B (0),\n"
+      "            --walkers=R' (10000), --seed=S (97), --exact-push\n"
+      "  source    MCSS: the k nodes most similar to one node.\n"
+      "            --graph=PATH --index=PATH (required), --node=Q (0),\n"
+      "            --topk=K (10), --walkers=R' (10000), --seed=S (97),\n"
+      "            --exact-push\n"
+      "  serve     Replay a request workload through the concurrent\n"
+      "            QueryService and report QPS / latency / cache stats.\n"
+      "            --graph=PATH --index=PATH (required);\n"
+      "            workload: --workload=PATH to replay a file, else\n"
+      "            generated from --requests=N (1000), --skew=zipf|uniform\n"
+      "            (zipf), --theta=T (0.99), --pair-frac=F (0.2),\n"
+      "            --topk=K (10), --wseed=S (42); --save-workload=PATH\n"
+      "            writes the generated stream for replay;\n"
+      "            serving: --threads=N (hardware), --cache=ENTRIES\n"
+      "            (16384, 0 disables), --shards=S (8), --no-dedup,\n"
+      "            --walkers=R' (10000), --seed=S (97), --exact-push\n"
+      "  help      Show this message (also --help).\n"
+      "\n"
+      "--threads=N sizes the worker pool (0 = hardware concurrency).\n"
+      "graph paths ending in .txt are parsed as 'from to' edge lists.\n"
+      "workload files are text: one 'pair I J' or 'topk Q K' per line.\n";
 }
 
 }  // namespace
@@ -219,12 +355,30 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    Usage();
+    return 0;
+  }
   const auto flags = ParseFlags(argc, argv, 2);
-  if (cmd == "generate") return CmdGenerate(flags);
-  if (cmd == "stats") return CmdStats(flags);
-  if (cmd == "index") return CmdIndex(flags);
-  if (cmd == "pair") return CmdPair(flags);
-  if (cmd == "source") return CmdSource(flags);
+  // Numeric flags parse with std::stoull/std::stod, which throw on
+  // malformed values ("--requests=abc", bare "--cache"); keep the
+  // "error: ... / exit 1" contract instead of aborting.
+  try {
+    if (cmd == "generate") return CmdGenerate(flags);
+    if (cmd == "stats") return CmdStats(flags);
+    if (cmd == "index") return CmdIndex(flags);
+    if (cmd == "pair") return CmdPair(flags);
+    if (cmd == "source") return CmdSource(flags);
+    if (cmd == "serve") return CmdServe(flags);
+  } catch (const std::invalid_argument& e) {
+    return Fail(std::string("invalid flag value (") + e.what() +
+                "); see 'cloudwalker_cli --help'");
+  } catch (const std::out_of_range& e) {
+    return Fail(std::string("flag value out of range (") + e.what() +
+                "); see 'cloudwalker_cli --help'");
+  } catch (const std::exception& e) {
+    return Fail(e.what());
+  }
   Usage();
   return 1;
 }
