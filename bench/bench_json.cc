@@ -1,0 +1,113 @@
+#include "bench_json.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace cloudwalker {
+namespace bench {
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string NumberJson(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonReporter::JsonReporter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void JsonReporter::AddContext(const std::string& key,
+                              const std::string& value) {
+  context_.emplace_back(key, value);
+}
+
+void JsonReporter::AddMetric(const BenchMetric& metric) {
+  metrics_.push_back(metric);
+}
+
+std::string JsonReporter::Render() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"cloudwalker-bench-v1\",\n";
+  out << "  \"bench\": \"" << EscapeJson(bench_name_) << "\",\n";
+  out << "  \"context\": {";
+  for (size_t i = 0; i < context_.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << EscapeJson(context_[i].first) << "\": \""
+        << EscapeJson(context_[i].second) << "\"";
+  }
+  out << "\n  },\n";
+  out << "  \"metrics\": [";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    const BenchMetric& m = metrics_[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \""
+        << EscapeJson(m.name) << "\", \"value\": " << NumberJson(m.value)
+        << ", \"unit\": \"" << EscapeJson(m.unit) << "\""
+        << ", \"higher_is_better\": " << (m.higher_is_better ? "true" : "false")
+        << ", \"gate\": " << (m.gate ? "true" : "false");
+    if (m.min >= 0.0) out << ", \"min\": " << NumberJson(m.min);
+    out << "}";
+  }
+  out << "\n  ]\n";
+  out << "}\n";
+  return out.str();
+}
+
+bool JsonReporter::FloorsPass() const {
+  for (const BenchMetric& m : metrics_) {
+    if (m.min >= 0.0 && m.value < m.min) return false;
+  }
+  return true;
+}
+
+bool JsonReporter::WriteIfRequested() const {
+  const char* path = std::getenv("CW_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "[bench] cannot write CW_BENCH_JSON=%s\n", path);
+    return false;
+  }
+  out << Render();
+  out.close();
+  std::fprintf(stderr, "[bench] wrote %s\n", path);
+  return out.good();
+}
+
+}  // namespace bench
+}  // namespace cloudwalker

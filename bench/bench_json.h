@@ -1,0 +1,66 @@
+// Machine-readable benchmark reporting (DESIGN.md section 8).
+//
+// A bench builds a JsonReporter, adds context strings and metrics, prints
+// its human tables as usual, and finally calls WriteIfRequested(): when the
+// CW_BENCH_JSON environment variable names a path, the JSON report is
+// written there for tools/check_bench.py to diff against the committed
+// BENCH_*.json baselines (the repo's tracked perf trajectory).
+
+#ifndef CLOUDWALKER_BENCH_BENCH_JSON_H_
+#define CLOUDWALKER_BENCH_BENCH_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cloudwalker {
+namespace bench {
+
+/// One reported measurement.
+///
+/// `gate == true` marks the metric as regression-checked: CI fails when it
+/// moves more than the checker's tolerance in the losing direction against
+/// the committed baseline. Gate only machine-portable metrics (speedups,
+/// ratios, bytes-per-edge) — absolute throughputs vary across hosts and are
+/// reported for context. `min >= 0` is an absolute floor, enforced both by
+/// the bench process itself (exit code) and by the checker.
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  bool higher_is_better = true;
+  bool gate = false;
+  double min = -1.0;
+};
+
+/// Collects context strings and metrics; renders cloudwalker-bench-v1 JSON.
+class JsonReporter {
+ public:
+  explicit JsonReporter(std::string bench_name);
+
+  /// Adds a free-form context string (hardware threads, scale, ...).
+  void AddContext(const std::string& key, const std::string& value);
+
+  void AddMetric(const BenchMetric& metric);
+
+  /// The serialized report.
+  std::string Render() const;
+
+  /// True when every metric with a floor (`min >= 0`) satisfies it.
+  bool FloorsPass() const;
+
+  /// Writes Render() to the path named by CW_BENCH_JSON and logs the path
+  /// to stderr. No-op (returning true) when the variable is unset; false
+  /// when the write fails.
+  bool WriteIfRequested() const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::pair<std::string, std::string>> context_;
+  std::vector<BenchMetric> metrics_;
+};
+
+}  // namespace bench
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_BENCH_BENCH_JSON_H_

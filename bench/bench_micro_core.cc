@@ -31,7 +31,7 @@ void BM_BuildIndexRow(benchmark::State& state) {
   const Graph& g = BenchGraph();
   IndexingOptions o;
   o.num_walkers = static_cast<uint32_t>(state.range(0));
-  SparseAccumulator scratch_walk(o.num_walkers * 2);
+  WalkScratch scratch_walk(o.num_walkers);
   SparseAccumulator scratch_row(o.num_walkers * 11);
   NodeId k = 0;
   for (auto _ : state) {

@@ -1,87 +1,338 @@
 // Micro-benchmarks of the random-walk engine: the kernel whose throughput
-// drives every CloudWalker phase.
+// drives every CloudWalker phase (DESIGN.md section 8).
+//
+//   Table 1 — single-source walk-kernel throughput: the frozen pre-PR
+//             scalar kernel vs the batched kernel on the plain CSR and on
+//             the flattened alias arena. The arena/legacy speedup is the
+//             repo's tracked perf number (gated >= 2x).
+//   Table 2 — alias arena: build rate, footprint, weighted sampling rate.
+//   Table 3 — false-sharing check: per-worker counters packed into one
+//             cache line vs padded WalkWorkerState-style slots.
+//
+// Self-timed (no Google Benchmark dependency) so it runs everywhere,
+// honors CW_BENCH_SCALE / CW_BENCH_QUICK, and emits machine-readable
+// results via bench_json.h when CW_BENCH_JSON is set. Exit status enforces
+// the determinism and >= 2x speedup gates.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <atomic>
+#include <iostream>
+#include <thread>
+#include <vector>
 
+#include "bench_common.h"
+#include "bench_json.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/table.h"
+#include "common/timer.h"
 #include "engine/alias.h"
 #include "engine/walk.h"
 #include "graph/generators.h"
 
-namespace cloudwalker {
+using namespace cloudwalker;
+
 namespace {
 
-const Graph& BenchGraph() {
-  static const Graph* graph =
-      new Graph(GenerateRmat(100000, 1500000, /*seed=*/1));
-  return *graph;
+// The walk kernel exactly as shipped before the batched engine: one shared
+// xoshiro stream per source, one StepReverse per walker per level, inv_r
+// scatter-adds into a SparseAccumulator. Kept verbatim as the head-to-head
+// reference; do not "improve" it.
+WalkDistributions LegacyWalkDistributions(const Graph& graph, NodeId source,
+                                          const WalkConfig& config,
+                                          SparseAccumulator* scratch,
+                                          WalkStats* stats) {
+  WalkDistributions out;
+  out.levels.resize(config.num_steps + 1);
+  out.levels[0] = SparseVector::FromSorted({SparseEntry{source, 1.0}});
+
+  Xoshiro256 rng = Xoshiro256::Derive(config.seed, source);
+  std::vector<NodeId> positions(config.num_walkers, source);
+  uint32_t alive = config.num_walkers;
+
+  SparseAccumulator local_scratch(config.num_walkers * 2);
+  SparseAccumulator& acc = scratch != nullptr ? *scratch : local_scratch;
+  const double inv_r = 1.0 / static_cast<double>(config.num_walkers);
+
+  for (uint32_t t = 1; t <= config.num_steps && alive > 0; ++t) {
+    acc.Clear();
+    for (NodeId& pos : positions) {
+      if (pos == kInvalidNode) continue;
+      pos = StepReverse(graph, pos, rng, config.dangling);
+      if (stats != nullptr) ++stats->steps;
+      if (pos == kInvalidNode) {
+        --alive;
+        continue;
+      }
+      acc.Add(pos, inv_r);
+    }
+    out.levels[t] = acc.ToSortedVector();
+  }
+  return out;
 }
 
-void BM_StepReverse(benchmark::State& state) {
-  const Graph& g = BenchGraph();
-  Xoshiro256 rng(7);
-  NodeId v = 0;
+// Spreads measured sources over the whole graph so consecutive walks share
+// no warm neighborhoods.
+NodeId ScatterSource(uint64_t i, NodeId num_nodes) {
+  return static_cast<NodeId>((i * 2654435761ULL) % num_nodes);
+}
+
+struct Throughput {
+  double steps_per_sec = 0.0;
   uint64_t steps = 0;
-  for (auto _ : state) {
-    const NodeId next = StepReverse(g, v, rng);
-    v = next == kInvalidNode ? rng.UniformInt32(g.num_nodes()) : next;
-    benchmark::DoNotOptimize(v);
-    ++steps;
-  }
-  state.SetItemsProcessed(steps);
-}
-BENCHMARK(BM_StepReverse);
+};
 
-void BM_WalkDistributions(benchmark::State& state) {
-  const Graph& g = BenchGraph();
-  WalkConfig cfg;
-  cfg.num_steps = 10;
-  cfg.num_walkers = static_cast<uint32_t>(state.range(0));
-  SparseAccumulator scratch(cfg.num_walkers * 2);
-  NodeId source = 0;
-  for (auto _ : state) {
-    const WalkDistributions d =
-        SimulateWalkDistributions(g, source, cfg, &scratch);
-    benchmark::DoNotOptimize(d.levels.back().size());
-    source = (source + 1) % g.num_nodes();
-  }
-  state.SetItemsProcessed(state.iterations() * cfg.num_walkers *
-                          cfg.num_steps);
+// Runs `simulate(source, stats)` over scattered sources until `min_seconds`
+// of wall clock, after one warmup call. Returns steps/second.
+template <typename Fn>
+Throughput MeasureWalkThroughput(NodeId num_nodes, double min_seconds,
+                                 const Fn& simulate) {
+  WalkStats warmup;
+  simulate(ScatterSource(0, num_nodes), &warmup);
+  Throughput result;
+  WallTimer timer;
+  uint64_t i = 1;
+  do {
+    WalkStats stats;
+    simulate(ScatterSource(i++, num_nodes), &stats);
+    result.steps += stats.steps;
+  } while (timer.Seconds() < min_seconds);
+  result.steps_per_sec = static_cast<double>(result.steps) / timer.Seconds();
+  return result;
 }
-BENCHMARK(BM_WalkDistributions)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
 
-void BM_ExactPropagation(benchmark::State& state) {
-  const Graph& g = BenchGraph();
-  NodeId source = 0;
-  for (auto _ : state) {
-    const WalkDistributions d = ExactWalkDistributions(
-        g, source, static_cast<uint32_t>(state.range(0)), 1e-4);
-    benchmark::DoNotOptimize(d.levels.back().size());
-    source = (source + 1) % g.num_nodes();
+bool SameDistributions(const WalkDistributions& a,
+                       const WalkDistributions& b) {
+  if (a.num_levels() != b.num_levels()) return false;
+  for (size_t t = 0; t < a.num_levels(); ++t) {
+    if (a.levels[t].size() != b.levels[t].size()) return false;
+    for (size_t k = 0; k < a.levels[t].size(); ++k) {
+      if (!(a.levels[t][k] == b.levels[t][k])) return false;
+    }
   }
+  return true;
 }
-BENCHMARK(BM_ExactPropagation)->Arg(2)->Arg(5)->Arg(10);
 
-void BM_AliasSample(benchmark::State& state) {
-  std::vector<double> weights(state.range(0));
-  Xoshiro256 seed_rng(3);
-  for (auto& w : weights) w = seed_rng.NextDouble() + 0.01;
-  auto table = AliasTable::Build(weights);
-  Xoshiro256 rng(4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(table->Sample(rng));
+// Each worker bumps its own counter `rounds` times; returns increments/sec.
+// `stride_bytes` is the distance between adjacent workers' counters.
+double CounterThroughput(int threads, uint64_t rounds, size_t stride_bytes,
+                         unsigned char* base) {
+  std::vector<std::thread> workers;
+  std::atomic<bool> go{false};
+  WallTimer timer;
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&, w] {
+      auto* counter =
+          reinterpret_cast<volatile uint64_t*>(base + w * stride_bytes);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t i = 0; i < rounds; ++i) *counter = *counter + 1;
+    });
   }
-  state.SetItemsProcessed(state.iterations());
+  timer.Restart();
+  go.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+  const double seconds = timer.Seconds();
+  return static_cast<double>(rounds) * threads / seconds;
 }
-BENCHMARK(BM_AliasSample)->Arg(16)->Arg(1024)->Arg(65536);
-
-void BM_RngUniformInt(benchmark::State& state) {
-  Xoshiro256 rng(5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rng.UniformInt32(12345));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_RngUniformInt);
 
 }  // namespace
-}  // namespace cloudwalker
+
+int main() {
+  bench::PrintHeader("bench_micro_engine",
+                     "engine micro-kernels: batched walk vs the pre-PR "
+                     "scalar kernel (DESIGN.md section 8; not a paper "
+                     "artifact)");
+  bench::JsonReporter report("bench_micro_engine");
+  const double scale = bench::BenchScale();
+  const bool quick = scale <= 0.05;
+  const double min_seconds = quick ? 0.5 : 2.0;
+
+  // A graph whose CSR + arena exceed last-level caches even in quick mode:
+  // walk throughput here is memory-latency bound, which is exactly what the
+  // batched prefetch pipeline attacks.
+  const NodeId n = static_cast<NodeId>(
+      std::max<uint64_t>(400'000, static_cast<uint64_t>(8'000'000 * scale)));
+  const uint64_t m = 8ull * n;
+  std::cerr << "[bench] generating R-MAT |V|=" << HumanCount(n)
+            << " |E|=" << HumanCount(m) << "...\n";
+  const Graph graph = GenerateRmat(n, m, /*seed=*/2015);
+
+  WalkConfig cfg;
+  cfg.num_steps = 10;
+  cfg.num_walkers = 1000;  // the serving layer's R'
+  cfg.seed = 2015;
+
+  report.AddContext("hardware_threads",
+                    std::to_string(std::thread::hardware_concurrency()));
+  report.AddContext("scale", FormatDouble(scale, 3));
+  report.AddContext("graph_nodes", std::to_string(graph.num_nodes()));
+  report.AddContext("graph_edges", std::to_string(graph.num_edges()));
+  report.AddContext("walkers", std::to_string(cfg.num_walkers));
+  report.AddContext("steps", std::to_string(cfg.num_steps));
+
+  // --- Arena build. ------------------------------------------------------
+  WallTimer arena_timer;
+  const WalkContext context(graph);
+  const double arena_build_seconds = arena_timer.Seconds();
+  const double arena_bytes_per_edge =
+      static_cast<double>(context.MemoryBytes()) /
+      static_cast<double>(graph.num_edges());
+
+  // --- Table 1: single-source walk-kernel throughput. --------------------
+  SparseAccumulator legacy_scratch(cfg.num_walkers * 2);
+  const Throughput legacy = MeasureWalkThroughput(
+      n, min_seconds, [&](NodeId source, WalkStats* stats) {
+        LegacyWalkDistributions(graph, source, cfg, &legacy_scratch, stats);
+      });
+  WalkScratch scratch(cfg.num_walkers);
+  const Throughput batched_csr = MeasureWalkThroughput(
+      n, min_seconds, [&](NodeId source, WalkStats* stats) {
+        SimulateWalkDistributions(graph, source, cfg, &scratch, nullptr,
+                                  stats);
+      });
+  const Throughput batched_arena = MeasureWalkThroughput(
+      n, min_seconds, [&](NodeId source, WalkStats* stats) {
+        SimulateWalkDistributions(context, source, cfg, &scratch, nullptr,
+                                  stats);
+      });
+
+  const double speedup =
+      batched_arena.steps_per_sec / legacy.steps_per_sec;
+  {
+    TablePrinter t({"kernel", "Msteps/s", "speedup vs legacy"});
+    auto add = [&](const std::string& name, const Throughput& tp) {
+      t.AddRow({name, FormatDouble(tp.steps_per_sec / 1e6, 2),
+                FormatDouble(tp.steps_per_sec / legacy.steps_per_sec, 2) +
+                    "x"});
+    };
+    add("legacy scalar (pre-PR)", legacy);
+    add("batched, plain CSR", batched_csr);
+    add("batched, alias arena", batched_arena);
+    std::cout << "Table 1 — single-source walk kernel (R'="
+              << cfg.num_walkers << ", T=" << cfg.num_steps << "):\n";
+    t.RenderText(std::cout);
+    const bool speedup_ok = speedup >= 2.0;
+    std::cout << "batched-arena speedup vs pre-PR kernel: "
+              << FormatDouble(speedup, 2) << "x (target >= 2x) — "
+              << (speedup_ok ? "PASS" : "FAIL") << "\n\n";
+  }
+  report.AddMetric({"walk_legacy_msteps_per_sec", legacy.steps_per_sec / 1e6,
+                    "Msteps/s", true, false, -1.0});
+  report.AddMetric({"walk_batched_csr_msteps_per_sec",
+                    batched_csr.steps_per_sec / 1e6, "Msteps/s", true, false,
+                    -1.0});
+  report.AddMetric({"walk_batched_arena_msteps_per_sec",
+                    batched_arena.steps_per_sec / 1e6, "Msteps/s", true,
+                    false, -1.0});
+  report.AddMetric({"walk_batched_speedup_vs_legacy", speedup, "x", true,
+                    /*gate=*/true, /*min=*/2.0});
+
+  // --- Determinism spot-check (full coverage lives in tests/engine). -----
+  bool determinism_ok = true;
+  {
+    WalkConfig narrow = cfg;
+    narrow.batch_width = 1;
+    WalkConfig wide = cfg;
+    wide.batch_width = 64;
+    for (uint64_t i = 0; i < 3; ++i) {
+      const NodeId source = ScatterSource(i * 7 + 1, n);
+      const WalkDistributions a =
+          SimulateWalkDistributions(context, source, narrow);
+      const WalkDistributions b =
+          SimulateWalkDistributions(context, source, wide);
+      const WalkDistributions c =
+          SimulateWalkDistributions(graph, source, wide);
+      determinism_ok = determinism_ok && SameDistributions(a, b) &&
+                       SameDistributions(a, c);
+    }
+    std::cout << "determinism (W=1 vs W=64 vs plain CSR): "
+              << (determinism_ok ? "PASS" : "FAIL") << "\n\n";
+  }
+  report.AddMetric({"walk_determinism_ok", determinism_ok ? 1.0 : 0.0, "bool",
+                    true, /*gate=*/true, /*min=*/1.0});
+
+  // --- Table 2: alias arena. ---------------------------------------------
+  {
+    // Weighted sampling rate over the arena rows (the general code path;
+    // the uniform walk fast path is measured by Table 1).
+    auto weighted = AliasArena::BuildInLinkWeighted(
+        graph, [](NodeId, uint32_t k) { return static_cast<double>(k) + 1.0; });
+    CW_CHECK_OK(weighted.status());
+    Xoshiro256 rng(7);
+    WallTimer timer;
+    uint64_t samples = 0;
+    uint64_t sink = 0;
+    do {
+      const NodeId v = ScatterSource(samples, n);
+      sink ^= weighted->Sample(graph, v, rng.Next());
+      ++samples;
+    } while (timer.Seconds() < min_seconds * 0.5);
+    const double samples_per_sec =
+        static_cast<double>(samples) / timer.Seconds();
+    if (sink == 0xdeadbeef) std::cout << "";  // keep the loop observable
+
+    TablePrinter t({"arena", "value"});
+    t.AddRow({"build rate",
+              FormatDouble(graph.num_edges() / arena_build_seconds / 1e6, 1) +
+                  " Medges/s"});
+    t.AddRow({"footprint", HumanCount(context.MemoryBytes()) + "B (" +
+                               FormatDouble(arena_bytes_per_edge, 2) +
+                               " B/edge)"});
+    t.AddRow({"weighted sample rate",
+              FormatDouble(samples_per_sec / 1e6, 1) + " Msamples/s"});
+    std::cout << "Table 2 — flattened alias arena:\n";
+    t.RenderText(std::cout);
+    std::cout << "\n";
+    report.AddMetric({"arena_build_medges_per_sec",
+                      graph.num_edges() / arena_build_seconds / 1e6,
+                      "Medges/s", true, false, -1.0});
+    report.AddMetric({"arena_bytes_per_edge", arena_bytes_per_edge, "B",
+                      /*higher_is_better=*/false, /*gate=*/true, -1.0});
+    report.AddMetric({"arena_weighted_msamples_per_sec", samples_per_sec / 1e6,
+                      "Msamples/s", true, false, -1.0});
+  }
+
+  // --- Table 3: false-sharing check. -------------------------------------
+  // Adjacent workers' counters packed into one cache line vs spread across
+  // padded WalkWorkerState-style slots. The padded layout must never lose;
+  // on multi-core hosts it wins big. Gated so a future layout change that
+  // reintroduces sharing (dropping the alignas) shows up as a regression.
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw >= 2) {
+    double padded_over_packed = 1.0;
+    const int threads = std::min(4, hw);
+    const uint64_t rounds = quick ? 4'000'000 : 16'000'000;
+    std::vector<unsigned char> storage(kCacheLineBytes * (threads + 1), 0);
+    // Align the base so "packed" really is one line and "padded" really is
+    // one line per worker.
+    auto* base = storage.data();
+    while (reinterpret_cast<uintptr_t>(base) % kCacheLineBytes != 0) ++base;
+    const double packed =
+        CounterThroughput(threads, rounds, sizeof(uint64_t), base);
+    const double padded =
+        CounterThroughput(threads, rounds, kCacheLineBytes, base);
+    padded_over_packed = padded / packed;
+    TablePrinter t({"layout", "Mincr/s"});
+    t.AddRow({"packed (shared line)", FormatDouble(packed / 1e6, 1)});
+    t.AddRow({"padded (64B stride)", FormatDouble(padded / 1e6, 1)});
+    std::cout << "Table 3 — per-worker counter layout (" << threads
+              << " threads):\n";
+    t.RenderText(std::cout);
+    std::cout << "padded/packed: " << FormatDouble(padded_over_packed, 2)
+              << "x (must be >= 0.9) — "
+              << (padded_over_packed >= 0.9 ? "PASS" : "FAIL") << "\n\n";
+    report.AddMetric({"false_sharing_padded_over_packed", padded_over_packed,
+                      "x", true, /*gate=*/true, /*min=*/0.9});
+  } else {
+    // No metric: a value never measured must not enter a baseline.
+    std::cout << "Table 3 — skipped (single hardware thread; padded layout "
+                 "trivially exempt from false sharing)\n\n";
+  }
+
+  const bool ok = report.FloorsPass();
+  if (!report.WriteIfRequested()) return 1;
+  std::cout << (ok ? "bench_micro_engine: PASS\n"
+                   : "bench_micro_engine: FAIL (gated floor violated)\n");
+  return ok ? 0 : 1;
+}

@@ -20,6 +20,18 @@ uint64_t SplitMix64Next(uint64_t* state);
 /// yield statistically independent generator states.
 uint64_t DeriveSeed(uint64_t seed, uint64_t stream);
 
+/// Stateless counter-based draw: mixes (key, counter) into 64 bits with a
+/// SplitMix64-style finalizer over a Weyl-spaced input. Draw k of a stream
+/// is O(1) addressable and carries no mutable state, so batched kernels can
+/// evaluate any (walker, step) draw in any order — and on any thread — and
+/// still produce bit-identical results (DESIGN.md section 8).
+inline uint64_t CounterRandom(uint64_t key, uint64_t counter) {
+  uint64_t z = key + counter * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, 2^256-1 period.
 class Xoshiro256 {
  public:

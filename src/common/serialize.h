@@ -25,6 +25,7 @@ class BinaryWriter {
 
   /// Appends raw bytes.
   void WriteBytes(const void* data, size_t size) {
+    if (size == 0) return;  // empty vectors may hand us a null pointer
     buffer_.append(static_cast<const char*>(data), size);
   }
 
@@ -95,7 +96,9 @@ class BinaryReader {
       return Status::OutOfRange("BinaryReader: truncated vector");
     }
     out->resize(n);
-    std::memcpy(out->data(), data_ + pos_, n * sizeof(T));
+    if (n > 0) {  // data() of an empty vector may be null (UB for memcpy)
+      std::memcpy(out->data(), data_ + pos_, n * sizeof(T));
+    }
     pos_ += n * sizeof(T);
     return Status::Ok();
   }

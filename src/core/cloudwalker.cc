@@ -49,13 +49,17 @@ StatusOr<double> CloudWalker::SinglePair(NodeId i, NodeId j,
                                          const QueryOptions& options) const {
   CW_RETURN_IF_ERROR(ValidateQuery(i, options));
   CW_RETURN_IF_ERROR(ValidateQuery(j, options));
-  return Clamp01(SinglePairQuery(*graph_, index_, i, j, options));
+  return Clamp01(SinglePairQuery(*graph_, index_, i, j, options,
+                                 /*stats=*/nullptr, /*owner=*/nullptr,
+                                 walk_context_.get()));
 }
 
 StatusOr<SparseVector> CloudWalker::SingleSource(
     NodeId q, const QueryOptions& options) const {
   CW_RETURN_IF_ERROR(ValidateQuery(q, options));
-  const SparseVector raw = SingleSourceQuery(*graph_, index_, q, options);
+  const SparseVector raw =
+      SingleSourceQuery(*graph_, index_, q, options, /*stats=*/nullptr,
+                        /*owner=*/nullptr, walk_context_.get());
   std::vector<SparseEntry> entries;
   entries.reserve(raw.size() + 1);
   bool saw_self = false;
@@ -78,7 +82,9 @@ StatusOr<SparseVector> CloudWalker::SingleSource(
 StatusOr<std::vector<ScoredNode>> CloudWalker::SingleSourceTopK(
     NodeId q, size_t k, const QueryOptions& options) const {
   CW_RETURN_IF_ERROR(ValidateQuery(q, options));
-  const SparseVector raw = SingleSourceQuery(*graph_, index_, q, options);
+  const SparseVector raw =
+      SingleSourceQuery(*graph_, index_, q, options, /*stats=*/nullptr,
+                        /*owner=*/nullptr, walk_context_.get());
   std::vector<ScoredNode> top = TopKFromSparse(raw, /*exclude=*/q, k);
   for (ScoredNode& s : top) s.score = Clamp01(s.score);
   return top;
@@ -87,7 +93,9 @@ StatusOr<std::vector<ScoredNode>> CloudWalker::SingleSourceTopK(
 StatusOr<std::vector<std::vector<ScoredNode>>> CloudWalker::AllPairs(
     size_t k, const QueryOptions& options, ThreadPool* pool) const {
   CW_RETURN_IF_ERROR(options.Validate());
-  auto result = AllPairsTopK(*graph_, index_, options, k, pool);
+  auto result = AllPairsTopK(*graph_, index_, options, k, pool,
+                             /*total_walk_steps=*/nullptr,
+                             walk_context_.get());
   for (auto& per_source : result) {
     for (ScoredNode& s : per_source) s.score = Clamp01(s.score);
   }

@@ -16,6 +16,7 @@
 #define CLOUDWALKER_CORE_CLOUDWALKER_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -73,18 +74,27 @@ class CloudWalker {
   /// The graph being queried.
   const Graph& graph() const { return *graph_; }
 
+  /// The prebuilt batched-walk context (alias arena; DESIGN.md section 8)
+  /// every query of this instance runs through.
+  const WalkContext& walk_context() const { return *walk_context_; }
+
   /// Persists the index; reload with DiagonalIndex::Load + FromIndex.
   Status SaveIndex(const std::string& path) const { return index_.Save(path); }
 
  private:
   CloudWalker(const Graph* graph, DiagonalIndex index, IndexingStats stats)
-      : graph_(graph), index_(std::move(index)), stats_(stats) {}
+      : graph_(graph),
+        index_(std::move(index)),
+        stats_(stats),
+        walk_context_(std::make_shared<const WalkContext>(*graph)) {}
 
   Status ValidateQuery(NodeId node, const QueryOptions& options) const;
 
   const Graph* graph_;
   DiagonalIndex index_;
   IndexingStats stats_;
+  // Shared so copies of the facade reuse one arena (immutable after build).
+  std::shared_ptr<const WalkContext> walk_context_;
 };
 
 }  // namespace cloudwalker

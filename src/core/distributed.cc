@@ -81,7 +81,7 @@ StatusOr<DistributedIndexResult> DistributedBuildIndex(
         [&](int worker, WorkMeter& meter) {
           NodeId begin = 0, end = 0;
           part.OwnedRange(worker, &begin, &end);
-          SparseAccumulator scratch_walk(options.num_walkers * 2);
+          WalkScratch scratch_walk(options.num_walkers);
           SparseAccumulator scratch_row(options.num_walkers * (t_steps + 1));
           uint64_t steps = 0, nnz = 0;
           for (NodeId k = begin; k < end; ++k) {
@@ -173,7 +173,7 @@ StatusOr<DistributedIndexResult> DistributedBuildIndex(
   cluster.RunStage(
       "walk-superstep",
       [&](int worker, WorkMeter& meter) {
-        SparseAccumulator scratch_walk(options.num_walkers * 2);
+        WalkScratch scratch_walk(options.num_walkers);
         SparseAccumulator scratch_row(options.num_walkers * (t_steps + 1));
         const WalkConfig cfg = WalkConfigFromIndexing(options);
         uint64_t steps = 0, crossings = 0, nnz = 0;

@@ -79,7 +79,7 @@ StatusOr<IncrementalIndexer::State> IncrementalIndexer::ApplyUpdates(
   // usually closer, since the warm start is already near the fixpoint).
   ParallelFor(pool, 0, dirty.size(), /*grain=*/0,
               [&](uint64_t begin, uint64_t end) {
-                SparseAccumulator scratch_walk(options_.num_walkers * 2);
+                WalkScratch scratch_walk(options_.num_walkers);
                 SparseAccumulator scratch_row(
                     options_.num_walkers * (options_.params.num_steps + 1));
                 for (uint64_t i = begin; i < end; ++i) {

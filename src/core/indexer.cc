@@ -40,31 +40,46 @@ SparseVector RowFromWalkDistributions(const WalkDistributions& dists,
 
 SparseVector BuildIndexRow(const Graph& graph, NodeId k,
                            const IndexingOptions& options,
-                           SparseAccumulator* scratch_walk,
-                           SparseAccumulator* scratch_row, uint64_t* steps) {
+                           WalkScratch* scratch_walk,
+                           SparseAccumulator* scratch_row, uint64_t* steps,
+                           const WalkContext* context) {
   WalkStats walk_stats;
-  const WalkDistributions dists =
-      SimulateWalkDistributions(graph, k, WalkConfigFromIndexing(options),
-                                scratch_walk, /*owner=*/nullptr, &walk_stats);
+  const WalkDistributions dists = SimulateWalkDistributions(
+      graph, context, k, WalkConfigFromIndexing(options), scratch_walk,
+      /*owner=*/nullptr, &walk_stats);
   if (steps != nullptr) *steps += walk_stats.steps;
   return RowFromWalkDistributions(dists, options.params.decay, scratch_row);
 }
+
+namespace {
+
+/// Per-chunk indexing state: padded walk scratch plus the row accumulator,
+/// grouped so parallel row builders share no cache lines.
+struct alignas(kCacheLineBytes) IndexWorkerState {
+  explicit IndexWorkerState(const IndexingOptions& options)
+      : walk(options.num_walkers),
+        row(options.num_walkers * (options.params.num_steps + 1)) {}
+  WalkScratch walk;  // alignas(kCacheLineBytes) itself
+  SparseAccumulator row;
+};
+
+}  // namespace
 
 IndexRows BuildIndexRows(const Graph& graph, const IndexingOptions& options,
                          ThreadPool* pool) {
   IndexRows out;
   out.rows.resize(graph.num_nodes());
+  const WalkContext context(graph);  // amortized over all rows
   std::atomic<uint64_t> total_steps{0};
   ParallelFor(pool, 0, graph.num_nodes(), /*grain=*/0,
               [&](uint64_t begin, uint64_t end) {
-                SparseAccumulator scratch_walk(options.num_walkers * 2);
-                SparseAccumulator scratch_row(
-                    options.num_walkers * (options.params.num_steps + 1));
+                IndexWorkerState state(options);
                 uint64_t steps = 0;
                 for (uint64_t v = begin; v < end; ++v) {
                   out.rows[v] =
                       BuildIndexRow(graph, static_cast<NodeId>(v), options,
-                                    &scratch_walk, &scratch_row, &steps);
+                                    &state.walk, &state.row, &steps,
+                                    &context);
                 }
                 total_steps.fetch_add(steps, std::memory_order_relaxed);
               });
@@ -168,6 +183,7 @@ StatusOr<DiagonalIndex> BuildDiagonalIndex(const Graph& graph,
     // kRegenerate: each sweep re-derives every row from its per-node seed,
     // so all sweeps see the same matrix A without storing it.
     WallTimer solve_timer;
+    const WalkContext context(graph);  // shared by all sweeps
     std::atomic<uint64_t> total_steps{0};
     std::atomic<uint64_t> total_nnz{0};
     for (uint32_t it = 0; it < options.jacobi_iterations; ++it) {
@@ -176,14 +192,13 @@ StatusOr<DiagonalIndex> BuildDiagonalIndex(const Graph& graph,
       ParallelFor(
           pool, 0, graph.num_nodes(), /*grain=*/0,
           [&](uint64_t begin, uint64_t end) {
-            SparseAccumulator scratch_walk(options.num_walkers * 2);
-            SparseAccumulator scratch_row(
-                options.num_walkers * (options.params.num_steps + 1));
+            IndexWorkerState state(options);
             uint64_t steps = 0, nnz = 0;
             for (uint64_t k = begin; k < end; ++k) {
               const SparseVector row =
                   BuildIndexRow(graph, static_cast<NodeId>(k), options,
-                                &scratch_walk, &scratch_row, &steps);
+                                &state.walk, &state.row, &steps,
+                                &context);
               nnz += row.size();
               double off = 0.0, diag = 0.0;
               for (const SparseEntry& e : row) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -73,7 +74,8 @@ void ExactPushStep(const Graph& graph, const SparseVector& z,
 
 double SinglePairQuery(const Graph& graph, const DiagonalIndex& index,
                        NodeId i, NodeId j, const QueryOptions& options,
-                       QueryStats* stats, const NodeOwnerFn* owner) {
+                       QueryStats* stats, const NodeOwnerFn* owner,
+                       const WalkContext* context) {
   CW_CHECK_LT(i, graph.num_nodes());
   CW_CHECK_LT(j, graph.num_nodes());
   CW_CHECK_EQ(index.num_nodes(), graph.num_nodes());
@@ -82,9 +84,9 @@ double SinglePairQuery(const Graph& graph, const DiagonalIndex& index,
   const WalkConfig cfg = WalkConfigFromQuery(index, options);
   WalkStats wi, wj;
   const WalkDistributions di =
-      SimulateWalkDistributions(graph, i, cfg, nullptr, owner, &wi);
+      SimulateWalkDistributions(graph, context, i, cfg, nullptr, owner, &wi);
   const WalkDistributions dj =
-      SimulateWalkDistributions(graph, j, cfg, nullptr, owner, &wj);
+      SimulateWalkDistributions(graph, context, j, cfg, nullptr, owner, &wj);
   if (stats != nullptr) {
     stats->walk_steps += wi.steps + wj.steps;
     stats->walk_crossings += wi.partition_crossings + wj.partition_crossings;
@@ -143,14 +145,15 @@ double SinglePairQueryPaired(const Graph& graph, const DiagonalIndex& index,
 
 SparseVector SingleSourceQuery(const Graph& graph, const DiagonalIndex& index,
                                NodeId q, const QueryOptions& options,
-                               QueryStats* stats, const NodeOwnerFn* owner) {
+                               QueryStats* stats, const NodeOwnerFn* owner,
+                               const WalkContext* context) {
   CW_CHECK_LT(q, graph.num_nodes());
   CW_CHECK_EQ(index.num_nodes(), graph.num_nodes());
 
   const WalkConfig cfg = WalkConfigFromQuery(index, options);
   WalkStats wq;
   const WalkDistributions dists =
-      SimulateWalkDistributions(graph, q, cfg, nullptr, owner, &wq);
+      SimulateWalkDistributions(graph, context, q, cfg, nullptr, owner, &wq);
 
   const std::vector<double>& diag = index.diagonal();
   Xoshiro256 rng =
@@ -212,16 +215,23 @@ std::vector<ScoredNode> TopKFromSparse(const SparseVector& scores,
 std::vector<std::vector<ScoredNode>> AllPairsTopK(
     const Graph& graph, const DiagonalIndex& index,
     const QueryOptions& options, size_t k, ThreadPool* pool,
-    uint64_t* total_walk_steps) {
+    uint64_t* total_walk_steps, const WalkContext* context) {
   std::vector<std::vector<ScoredNode>> out(graph.num_nodes());
+  std::optional<WalkContext> local_context;
+  if (context == nullptr) {
+    local_context.emplace(graph);  // amortized over all sources
+    context = &*local_context;
+  }
   std::atomic<uint64_t> steps{0};
   ParallelFor(pool, 0, graph.num_nodes(), /*grain=*/0,
               [&](uint64_t begin, uint64_t end) {
                 uint64_t local_steps = 0;
                 for (uint64_t q = begin; q < end; ++q) {
                   QueryStats qs;
-                  const SparseVector scores = SingleSourceQuery(
-                      graph, index, static_cast<NodeId>(q), options, &qs);
+                  const SparseVector scores =
+                      SingleSourceQuery(graph, index, static_cast<NodeId>(q),
+                                        options, &qs, /*owner=*/nullptr,
+                                        context);
                   local_steps += qs.walk_steps;
                   out[q] = TopKFromSparse(scores, static_cast<NodeId>(q), k);
                 }

@@ -19,6 +19,7 @@
 #include "common/threading.h"
 #include "core/diagonal.h"
 #include "core/options.h"
+#include "engine/walk.h"
 #include "graph/graph.h"
 
 namespace cloudwalker {
@@ -38,10 +39,16 @@ struct QueryStats {
 /// This is the empirical-distribution estimator: the two R'-walker clouds
 /// are intersected level by level, giving R'^2 effective walker pairings
 /// per level at O(T R') cost.
+///
+/// `context` (optional, here and in SingleSourceQuery / AllPairsTopK)
+/// routes the walks through the batched arena kernel; results are
+/// bit-identical with or without it (DESIGN.md section 8). The CloudWalker
+/// facade always passes its prebuilt context.
 double SinglePairQuery(const Graph& graph, const DiagonalIndex& index,
                        NodeId i, NodeId j, const QueryOptions& options,
                        QueryStats* stats = nullptr,
-                       const NodeOwnerFn* owner = nullptr);
+                       const NodeOwnerFn* owner = nullptr,
+                       const WalkContext* context = nullptr);
 
 /// Classic paired-walker MCSP estimator (ablation; DESIGN.md section 5.3):
 /// R' walker *pairs* advance in lockstep and the estimate is
@@ -58,7 +65,8 @@ double SinglePairQueryPaired(const Graph& graph, const DiagonalIndex& index,
 SparseVector SingleSourceQuery(const Graph& graph, const DiagonalIndex& index,
                                NodeId q, const QueryOptions& options,
                                QueryStats* stats = nullptr,
-                               const NodeOwnerFn* owner = nullptr);
+                               const NodeOwnerFn* owner = nullptr,
+                               const WalkContext* context = nullptr);
 
 /// A node with its similarity score.
 struct ScoredNode {
@@ -77,10 +85,13 @@ std::vector<ScoredNode> TopKFromSparse(const SparseVector& scores,
 /// MCAP: runs MCSS from every node (parallel across sources) and keeps the
 /// top-k similar nodes per source. O(n T^2 R') — the n x n result is never
 /// materialized. `total_walk_steps` (optional) accumulates walk counters.
+/// Builds a WalkContext internally when none is supplied (amortized over
+/// all sources).
 std::vector<std::vector<ScoredNode>> AllPairsTopK(
     const Graph& graph, const DiagonalIndex& index,
     const QueryOptions& options, size_t k, ThreadPool* pool,
-    uint64_t* total_walk_steps = nullptr);
+    uint64_t* total_walk_steps = nullptr,
+    const WalkContext* context = nullptr);
 
 }  // namespace cloudwalker
 

@@ -1,18 +1,40 @@
 // Walker's alias method: O(1) sampling from an arbitrary discrete
-// distribution after O(n) preprocessing. Used by generators and by the
-// weighted variants of the query kernels.
+// distribution after O(n) preprocessing.
+//
+// Two layouts live here:
+//   AliasTable — one table per distribution (used by generators and ad-hoc
+//                weighted sampling).
+//   AliasArena — every per-node table of a graph flattened into a single
+//                contiguous arena (one offsets array + one packed 8-byte
+//                prob/alias slot array), the layout the batched walk kernel
+//                streams through with software prefetch (DESIGN.md
+//                section 8).
 
 #ifndef CLOUDWALKER_ENGINE_ALIAS_H_
 #define CLOUDWALKER_ENGINE_ALIAS_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "graph/graph.h"
 
 namespace cloudwalker {
+
+/// Issues a read prefetch for the cache line holding `addr` (no-op on
+/// compilers without the builtin). The batched walk kernel uses this to
+/// overlap the arena lookups of a whole walker block.
+inline void PrefetchRead(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
 
 /// Immutable alias table over outcomes [0, n).
 class AliasTable {
@@ -34,6 +56,103 @@ class AliasTable {
   AliasTable() = default;
   std::vector<double> prob_;
   std::vector<uint32_t> alias_;
+};
+
+/// One packed slot of an AliasArena row — 8 bytes, eight per cache line.
+/// `accept` is a fixed-point acceptance threshold in [0, 2^32): a 32-bit
+/// draw u resolves the slot to its own CSR target when u < accept and to
+/// `alias` (a node id, not a slot index) otherwise. Uniform rows store
+/// accept == 0 with alias mirroring the slot's own target, so resolving a
+/// uniform draw touches only arena memory — never a second CSR lookup.
+struct AliasSlot {
+  uint32_t accept = 0;
+  NodeId alias = kInvalidNode;
+};
+static_assert(sizeof(AliasSlot) == 8, "arena slots must pack to 8 bytes");
+
+/// All per-node alias tables of a graph's in-link distributions, flattened
+/// into one contiguous arena indexed exactly like the CSR in-adjacency:
+/// row v spans slots [offset(v), offset(v+1)). Immutable and thread-safe
+/// after construction. Row v is the distribution of one reverse walk step
+/// from v — i.e. column v of SimRank's transition matrix P.
+class AliasArena {
+ public:
+  AliasArena() = default;
+
+  /// Flattens the uniform in-link distributions of `graph` (every in-edge
+  /// of v equally likely). O(|E|) time, 8 bytes per edge + 8 per node.
+  static AliasArena BuildInLink(const Graph& graph);
+
+  /// Weighted variant: `weight(v, k)` is the weight of v's k-th in-edge.
+  /// Rows whose weights are all zero or negative fail the build.
+  static StatusOr<AliasArena> BuildInLinkWeighted(
+      const Graph& graph,
+      const std::function<double(NodeId v, uint32_t k)>& weight);
+
+  /// Number of rows (== nodes of the source graph).
+  NodeId num_rows() const {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+
+  /// Total slots (== edges of the source graph).
+  uint64_t num_slots() const { return slots_.size(); }
+
+  /// First slot of row v.
+  uint64_t RowOffset(NodeId v) const { return offsets_[v]; }
+
+  /// Slot count of row v (== InDegree(v)).
+  uint32_t RowDegree(NodeId v) const {
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// The packed slots of row v.
+  std::span<const AliasSlot> Row(NodeId v) const {
+    return {slots_.data() + offsets_[v], slots_.data() + offsets_[v + 1]};
+  }
+
+  /// Raw slot access by arena-global index (for prefetch-then-resolve
+  /// pipelines that computed the index in an earlier pass).
+  const AliasSlot& slot(uint64_t global_index) const {
+    return slots_[global_index];
+  }
+
+  /// Prefetches the offsets entry of row v / one packed slot.
+  void PrefetchOffsets(NodeId v) const { PrefetchRead(&offsets_[v]); }
+  void PrefetchSlot(uint64_t global_index) const {
+    PrefetchRead(&slots_[global_index]);
+  }
+
+  /// Picks the slot of row v addressed by the upper 32 bits of `raw` and
+  /// resolves it with the lower 32 (fixed randomness consumption, no
+  /// rejection). Returns the sampled in-neighbor of v, or kInvalidNode for
+  /// an empty row. `graph` supplies the accepted slot's own target and must
+  /// be the graph this arena was built from.
+  NodeId Sample(const Graph& graph, NodeId v, uint64_t raw) const {
+    const uint32_t deg = RowDegree(v);
+    if (deg == 0) return kInvalidNode;
+    const uint32_t slot_index = PickSlot(raw, deg);
+    const AliasSlot s = slots_[offsets_[v] + slot_index];
+    return static_cast<uint32_t>(raw) < s.accept
+               ? graph.InNeighbor(v, slot_index)
+               : s.alias;
+  }
+
+  /// Maps the upper 32 bits of `raw` onto [0, degree) by multiply-shift.
+  /// Shared with the walk kernel so the arena and CSR sampling paths
+  /// consume randomness identically.
+  static uint32_t PickSlot(uint64_t raw, uint32_t degree) {
+    return static_cast<uint32_t>(((raw >> 32) * degree) >> 32);
+  }
+
+  /// Resident bytes of the offsets and slot arrays.
+  uint64_t MemoryBytes() const {
+    return offsets_.size() * sizeof(uint64_t) +
+           slots_.size() * sizeof(AliasSlot);
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;  // size num_rows + 1 (CSR in_offsets twin)
+  std::vector<AliasSlot> slots_;   // packed rows, 8 bytes per in-edge
 };
 
 }  // namespace cloudwalker

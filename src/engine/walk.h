@@ -6,8 +6,15 @@
 // *in-neighbor* at each step. Walkers die at nodes with no in-neighbors
 // (mass loss is part of the definition; see DanglingPolicy).
 //
-// Determinism: every simulation derives its generator from
-// (config.seed, source), so results are independent of threading.
+// The kernel advances all walkers of a source level-synchronously in blocks
+// of `WalkConfig::batch_width`, streaming a flattened alias arena
+// (engine/alias.h) with software prefetch when a WalkContext is supplied
+// (DESIGN.md section 8).
+//
+// Determinism: every draw is the stateless CounterRandom of
+// (DeriveSeed(config.seed, source), walker, step), so results are
+// bit-identical across thread counts, batch widths, and the arena /
+// plain-CSR code paths.
 
 #ifndef CLOUDWALKER_ENGINE_WALK_H_
 #define CLOUDWALKER_ENGINE_WALK_H_
@@ -20,9 +27,17 @@
 #include "common/random.h"
 #include "common/sparse.h"
 #include "common/threading.h"
+#include "engine/alias.h"
 #include "graph/graph.h"
 
 namespace cloudwalker {
+
+/// The coherence granule the engine pads per-worker state to.
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// Upper bound on WalkConfig::batch_width (sizes the kernel's stack-resident
+/// cursor arrays).
+inline constexpr uint32_t kMaxWalkBatchWidth = 256;
 
 /// What a walker does at a node with no in-neighbors.
 enum class DanglingPolicy {
@@ -45,6 +60,11 @@ struct WalkConfig {
   DanglingPolicy dangling = DanglingPolicy::kDie;
   /// Master seed; per-source streams are derived from it.
   uint64_t seed = 1;
+  /// Walkers advanced in lockstep per kernel block (clamped to
+  /// [1, kMaxWalkBatchWidth]). Purely a scheduling knob: results are
+  /// bit-identical for every width. The default keeps ~256 prefetches in
+  /// flight per pass, enough to cover DRAM latency at every pass boundary.
+  uint32_t batch_width = 256;
 };
 
 /// Advances one walker one step along in-links. Returns kInvalidNode when
@@ -82,23 +102,101 @@ struct WalkStats {
   uint64_t partition_crossings = 0;
 };
 
+/// Prebuilt per-graph acceleration state for the batched kernel: the
+/// flattened alias arena over the graph's in-link distributions. Build once
+/// per graph (O(|E|)), then share freely — immutable and thread-safe.
+/// Borrows `graph`, which must outlive the context.
+class WalkContext {
+ public:
+  explicit WalkContext(const Graph& graph)
+      : graph_(&graph), arena_(AliasArena::BuildInLink(graph)) {}
+
+  const Graph& graph() const { return *graph_; }
+  const AliasArena& arena() const { return arena_; }
+
+  /// Resident bytes of the arena.
+  uint64_t MemoryBytes() const { return arena_.MemoryBytes(); }
+
+ private:
+  const Graph* graph_;
+  AliasArena arena_;
+};
+
+/// Reusable per-worker scratch of the walk kernel: the struct-of-arrays
+/// walker cursors and the per-level endpoint radix-sort buffers. Opaque —
+/// create one per worker (never share concurrently) and pass it to repeated
+/// simulations to avoid reallocation. Cache-line aligned so arrays of
+/// per-worker scratches can never false-share.
+class alignas(kCacheLineBytes) WalkScratch {
+ public:
+  /// `expected_walkers` presizes the buffers for that many walkers.
+  explicit WalkScratch(uint32_t expected_walkers = 16);
+
+ private:
+  friend struct WalkKernel;  // the engine's internal implementation
+
+  std::vector<NodeId> positions_;  // SoA cursor: walker -> current node
+  std::vector<NodeId> endpoints_;  // live endpoints of the current level
+  std::vector<NodeId> sort_buffer_;  // radix ping-pong partner
+};
+static_assert(alignof(WalkScratch) >= kCacheLineBytes);
+static_assert(sizeof(WalkScratch) % kCacheLineBytes == 0);
+
+/// Per-worker state block for parallel walk drivers: one per worker or
+/// chunk, never shared. Cache-line aligned (and sized to a whole number of
+/// lines) so adjacent workers' counters never share a line.
+struct alignas(kCacheLineBytes) WalkWorkerState {
+  WalkScratch scratch;
+  WalkStats stats;
+};
+static_assert(alignof(WalkWorkerState) >= kCacheLineBytes);
+static_assert(sizeof(WalkWorkerState) % kCacheLineBytes == 0);
+
 /// Simulates `config.num_walkers` reverse walks from `source` and returns
 /// the empirical distribution at every step. `scratch` (optional) avoids
 /// reallocation across calls on the same thread. `owner` (optional) enables
-/// partition-crossing accounting into `stats`.
+/// partition-crossing accounting into `stats`. Walks over the plain CSR;
+/// identical results to the WalkContext overload, which is faster.
 WalkDistributions SimulateWalkDistributions(const Graph& graph, NodeId source,
                                             const WalkConfig& config,
-                                            SparseAccumulator* scratch =
-                                                nullptr,
+                                            WalkScratch* scratch = nullptr,
                                             const NodeOwnerFn* owner = nullptr,
                                             WalkStats* stats = nullptr);
+
+/// Batched fast path: same results, but streams `context`'s alias arena
+/// with software prefetch across each walker block.
+WalkDistributions SimulateWalkDistributions(const WalkContext& context,
+                                            NodeId source,
+                                            const WalkConfig& config,
+                                            WalkScratch* scratch = nullptr,
+                                            const NodeOwnerFn* owner = nullptr,
+                                            WalkStats* stats = nullptr);
+
+/// Dispatch for callers holding an optional context (which, when non-null,
+/// must have been built from `graph`).
+inline WalkDistributions SimulateWalkDistributions(
+    const Graph& graph, const WalkContext* context_or_null, NodeId source,
+    const WalkConfig& config, WalkScratch* scratch = nullptr,
+    const NodeOwnerFn* owner = nullptr, WalkStats* stats = nullptr) {
+  return context_or_null != nullptr
+             ? SimulateWalkDistributions(*context_or_null, source, config,
+                                         scratch, owner, stats)
+             : SimulateWalkDistributions(graph, source, config, scratch,
+                                         owner, stats);
+}
 
 /// Runs SimulateWalkDistributions for every source in [0, graph.num_nodes())
 /// on `pool` (serial when null) and invokes `consume(source, dists)` once
 /// per source. `consume` may run concurrently for different sources and must
-/// be thread-safe across them.
+/// be thread-safe across them. Builds a WalkContext internally (amortized
+/// over all sources); use the context overload to reuse one.
 void SimulateAllSources(
     const Graph& graph, const WalkConfig& config, ThreadPool* pool,
+    const std::function<void(NodeId, const WalkDistributions&)>& consume);
+
+/// As above over a prebuilt context.
+void SimulateAllSources(
+    const WalkContext& context, const WalkConfig& config, ThreadPool* pool,
     const std::function<void(NodeId, const WalkDistributions&)>& consume);
 
 /// Records the full trajectory of a single walker: positions[t] is the node

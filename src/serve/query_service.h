@@ -15,6 +15,9 @@
 //   2. in-flight deduplication: concurrent identical (source, k) requests
 //      are computed once and fanned out to every waiter,
 //   3. wait-free latency/throughput accounting (ServeStats).
+// Kernel runs themselves go through the wrapped CloudWalker's prebuilt
+// WalkContext, i.e. the batched alias-arena walk engine (DESIGN.md
+// section 8) — cache misses pay the fast kernel, not the scalar one.
 //
 // Determinism contract: query options are fixed per service, every cache
 // entry is keyed by (source, k), and the kernels derive their randomness

@@ -57,6 +57,24 @@ TEST_F(QueriesTest, SelfPairIsOne) {
   EXPECT_DOUBLE_EQ(SinglePairQuery(*graph_, *index_, 5, 5, BigQuery()), 1.0);
 }
 
+TEST_F(QueriesTest, WalkContextDoesNotChangeAnswers) {
+  // The prebuilt arena is an access-path accelerator only: queries through
+  // a WalkContext must be bit-identical to the plain-CSR path (this is what
+  // lets the CloudWalker facade always pass its context).
+  const QueryOptions q = BigQuery();
+  const WalkContext ctx(*graph_);
+  EXPECT_DOUBLE_EQ(
+      SinglePairQuery(*graph_, *index_, 3, 97, q),
+      SinglePairQuery(*graph_, *index_, 3, 97, q, nullptr, nullptr, &ctx));
+  const SparseVector plain = SingleSourceQuery(*graph_, *index_, 12, q);
+  const SparseVector with_ctx =
+      SingleSourceQuery(*graph_, *index_, 12, q, nullptr, nullptr, &ctx);
+  ASSERT_EQ(plain.size(), with_ctx.size());
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i], with_ctx[i]);
+  }
+}
+
 TEST_F(QueriesTest, PairIsExactlySymmetric) {
   const QueryOptions q = BigQuery();
   for (auto [i, j] : std::vector<std::pair<NodeId, NodeId>>{

@@ -1,0 +1,166 @@
+// Determinism contract of the batched walk kernel (DESIGN.md section 8):
+// bit-identical distributions across batch widths, thread counts, scratch
+// reuse, and the arena vs plain-CSR code paths.
+
+#include "engine/walk.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+
+namespace cloudwalker {
+namespace {
+
+void ExpectSameDistributions(const WalkDistributions& a,
+                             const WalkDistributions& b,
+                             const std::string& what) {
+  ASSERT_EQ(a.num_levels(), b.num_levels()) << what;
+  for (size_t t = 0; t < a.num_levels(); ++t) {
+    ASSERT_EQ(a.levels[t].size(), b.levels[t].size())
+        << what << " level " << t;
+    for (size_t k = 0; k < a.levels[t].size(); ++k) {
+      EXPECT_EQ(a.levels[t][k], b.levels[t][k])
+          << what << " level " << t << " entry " << k;
+    }
+  }
+}
+
+WalkConfig TestConfig(uint32_t batch_width = 256) {
+  WalkConfig cfg;
+  cfg.num_steps = 6;
+  cfg.num_walkers = 300;
+  cfg.seed = 77;
+  cfg.batch_width = batch_width;
+  return cfg;
+}
+
+TEST(BatchedWalkTest, ArenaPathMatchesPlainCsrPath) {
+  const Graph g = GenerateRmat(512, 4096, /*seed=*/3);
+  const WalkContext ctx(g);
+  const WalkConfig cfg = TestConfig();
+  for (NodeId source : {0u, 17u, 300u, 511u}) {
+    const WalkDistributions with_arena =
+        SimulateWalkDistributions(ctx, source, cfg);
+    const WalkDistributions plain =
+        SimulateWalkDistributions(g, source, cfg);
+    ExpectSameDistributions(with_arena, plain,
+                            "source " + std::to_string(source));
+  }
+}
+
+TEST(BatchedWalkTest, BitIdenticalAcrossBatchWidths) {
+  const Graph g = GenerateRmat(1024, 8192, /*seed=*/4);
+  const WalkContext ctx(g);
+  const WalkDistributions narrow =
+      SimulateWalkDistributions(ctx, 42, TestConfig(/*batch_width=*/1));
+  for (uint32_t width : {3u, 64u, 256u, 100000u /* clamped */}) {
+    const WalkDistributions wide =
+        SimulateWalkDistributions(ctx, 42, TestConfig(width));
+    ExpectSameDistributions(narrow, wide, "W=" + std::to_string(width));
+  }
+}
+
+TEST(BatchedWalkTest, BitIdenticalAcrossThreadCounts) {
+  const Graph g = GenerateRmat(256, 2048, /*seed=*/5);
+  const WalkContext ctx(g);
+  const WalkConfig cfg = TestConfig();
+
+  std::vector<WalkDistributions> serial(g.num_nodes());
+  SimulateAllSources(ctx, cfg, /*pool=*/nullptr,
+                     [&](NodeId s, const WalkDistributions& d) {
+                       serial[s] = d;
+                     });
+  ThreadPool pool(4);
+  std::vector<WalkDistributions> parallel(g.num_nodes());
+  SimulateAllSources(ctx, cfg, &pool,
+                     [&](NodeId s, const WalkDistributions& d) {
+                       parallel[s] = d;
+                     });
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ExpectSameDistributions(serial[v], parallel[v],
+                            "source " + std::to_string(v));
+  }
+}
+
+TEST(BatchedWalkTest, ScratchReuseDoesNotChangeResults) {
+  const Graph g = GenerateRmat(512, 4096, /*seed=*/6);
+  const WalkContext ctx(g);
+  const WalkConfig cfg = TestConfig();
+  WalkScratch scratch(cfg.num_walkers);
+  for (NodeId source : {9u, 10u, 11u}) {
+    const WalkDistributions reused =
+        SimulateWalkDistributions(ctx, source, cfg, &scratch);
+    const WalkDistributions fresh =
+        SimulateWalkDistributions(ctx, source, cfg);
+    ExpectSameDistributions(reused, fresh,
+                            "source " + std::to_string(source));
+  }
+}
+
+TEST(BatchedWalkTest, MassConservedOnDanglingFreeGraph) {
+  const Graph g = GenerateErdosRenyi(200, 4000, /*seed=*/7);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_GT(g.InDegree(v), 0u) << "need no dangling nodes";
+  }
+  const WalkContext ctx(g);
+  const WalkDistributions d = SimulateWalkDistributions(ctx, 0, TestConfig());
+  for (size_t t = 0; t < d.num_levels(); ++t) {
+    EXPECT_NEAR(d.levels[t].Sum(), 1.0, 1e-9) << "level " << t;
+  }
+}
+
+TEST(BatchedWalkTest, DanglingPoliciesThroughArena) {
+  const Graph g = GeneratePath(4);  // node 0 has no in-neighbors
+  const WalkContext ctx(g);
+  WalkConfig cfg = TestConfig();
+  cfg.num_steps = 5;
+
+  const WalkDistributions die = SimulateWalkDistributions(ctx, 3, cfg);
+  EXPECT_DOUBLE_EQ(die.levels[3].Sum(), 1.0);
+  EXPECT_EQ(die.levels[3][0].index, 0u);
+  EXPECT_DOUBLE_EQ(die.levels[4].Sum(), 0.0);
+
+  cfg.dangling = DanglingPolicy::kSelfLoop;
+  const WalkDistributions park = SimulateWalkDistributions(ctx, 3, cfg);
+  EXPECT_NEAR(park.levels[5].Sum(), 1.0, 1e-9);
+  EXPECT_EQ(park.levels[5][0].index, 0u);
+}
+
+TEST(BatchedWalkTest, StatsMatchAcrossPaths) {
+  const Graph g = GenerateCycle(6);
+  WalkConfig cfg;
+  cfg.num_steps = 4;
+  cfg.num_walkers = 10;
+  const WalkContext ctx(g);
+  const NodeOwnerFn owner = [](NodeId v) { return static_cast<int>(v % 2); };
+
+  WalkStats arena_stats, plain_stats;
+  SimulateWalkDistributions(ctx, 0, cfg, nullptr, &owner, &arena_stats);
+  SimulateWalkDistributions(g, 0, cfg, nullptr, &owner, &plain_stats);
+  EXPECT_EQ(arena_stats.steps, 40u);  // no deaths on a cycle
+  EXPECT_EQ(arena_stats.steps, plain_stats.steps);
+  // Every cycle step flips node parity, so every step crosses.
+  EXPECT_EQ(arena_stats.partition_crossings, 40u);
+  EXPECT_EQ(arena_stats.partition_crossings,
+            plain_stats.partition_crossings);
+}
+
+TEST(BatchedWalkTest, WorkerStateIsPaddedToCacheLines) {
+  // The false-sharing fix: per-worker kernel state occupies whole cache
+  // lines, so arrays of worker states can never share one.
+  static_assert(alignof(WalkScratch) >= kCacheLineBytes);
+  static_assert(sizeof(WalkScratch) % kCacheLineBytes == 0);
+  static_assert(alignof(WalkWorkerState) >= kCacheLineBytes);
+  static_assert(sizeof(WalkWorkerState) % kCacheLineBytes == 0);
+  std::vector<WalkWorkerState> states(3);
+  for (const WalkWorkerState& s : states) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(&s) % kCacheLineBytes, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cloudwalker

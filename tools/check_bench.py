@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Compare a fresh cloudwalker-bench-v1 JSON report against a committed
+baseline (the BENCH_*.json files at the repo root).
+
+Gated metrics (``"gate": true``) are machine-portable numbers — speedups,
+ratios, bytes-per-edge — and fail the check when they move more than
+--max-regression in the losing direction relative to the baseline, or when
+they fall below their absolute ``"min"`` floor. Ungated metrics (absolute
+throughputs, which vary across hosts) are reported for context only.
+
+Usage:
+  tools/check_bench.py BASELINE.json CURRENT.json [--max-regression 0.2]
+
+Exit status: 0 when every gate holds, 1 otherwise.
+
+Refreshing a baseline after an intentional perf change (DESIGN.md section 8):
+  CW_BENCH_QUICK=1 CW_BENCH_JSON=BENCH_ENGINE.json \
+      build/bench/bench_micro_engine
+and commit the updated file alongside the change that explains it.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "cloudwalker-bench-v1":
+        sys.exit(f"{path}: unknown schema {report.get('schema')!r}")
+    metrics = {m["name"]: m for m in report.get("metrics", [])}
+    if not metrics:
+        sys.exit(f"{path}: no metrics")
+    return report, metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.2,
+        help="allowed fractional slip of gated metrics vs the baseline "
+        "(default 0.2 = 20%%)",
+    )
+    args = parser.parse_args()
+
+    base_report, base = load_report(args.baseline)
+    cur_report, cur = load_report(args.current)
+    if base_report.get("bench") != cur_report.get("bench"):
+        sys.exit(
+            f"bench mismatch: baseline is {base_report.get('bench')!r}, "
+            f"current is {cur_report.get('bench')!r}"
+        )
+
+    failures = []
+    rows = []
+    for name, bm in base.items():
+        cm = cur.get(name)
+        gated = bool(bm.get("gate"))
+        if cm is None:
+            if gated:
+                failures.append(f"gated metric {name} missing from current run")
+            rows.append((name, bm["value"], None, gated, "MISSING"))
+            continue
+        bv, cv = bm["value"], cm["value"]
+        higher = bm.get("higher_is_better", True)
+        # Fractional move in the losing direction (positive == worse).
+        if bv != 0:
+            slip = (bv - cv) / abs(bv) if higher else (cv - bv) / abs(bv)
+        else:
+            slip = 0.0 if cv == bv else (-1.0 if higher else 1.0)
+        verdict = "ok"
+        if gated and slip > args.max_regression:
+            verdict = "REGRESSED"
+            failures.append(
+                f"{name}: {cv:g} vs baseline {bv:g} "
+                f"({slip:+.1%} in the losing direction, "
+                f"allowed {args.max_regression:.0%})"
+            )
+        # The committed baseline's floor is authoritative: a bench-source
+        # edit that weakens its own "min" cannot loosen the gate.
+        floors = [f for f in (bm.get("min"), cm.get("min")) if f is not None]
+        floor = max(floors) if floors else None
+        if floor is not None and cv < floor:
+            verdict = "BELOW FLOOR"
+            failures.append(f"{name}: {cv:g} below absolute floor {floor:g}")
+        rows.append((name, bv, cv, gated, verdict))
+
+    # Metrics only the current run reports (e.g. measured on hardware the
+    # baseline host lacked) cannot be regression-checked, but their
+    # absolute floors still hold.
+    for name, cm in cur.items():
+        if name in base:
+            continue
+        cv = cm["value"]
+        floor = cm.get("min")
+        verdict = "new"
+        if floor is not None and cv < floor:
+            verdict = "BELOW FLOOR"
+            failures.append(f"{name}: {cv:g} below absolute floor {floor:g}")
+        rows.append((name, None, cv, bool(cm.get("gate")), verdict))
+
+    width = max(len(r[0]) for r in rows)
+    print(f"{'metric':<{width}}  {'baseline':>12}  {'current':>12}  gate  verdict")
+    for name, bv, cv, gated, verdict in rows:
+        fb = f"{bv:g}" if bv is not None else "-"
+        fc = f"{cv:g}" if cv is not None else "-"
+        print(
+            f"{name:<{width}}  {fb:>12}  {fc:>12}  "
+            f"{'yes' if gated else 'no':>4}  {verdict}"
+        )
+
+    if failures:
+        print(f"\nFAIL ({args.current} vs {args.baseline}):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nOK: gated metrics within {args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
