@@ -4,9 +4,12 @@
 // kernels directly — it stands a QueryService in front of them: one shared
 // immutable index, a worker pool, a sharded LRU cache over top-k answers,
 // and in-flight dedup so a hot source storming in from many users is
-// computed once. This example builds that stack end to end and replays a
-// zipfian request stream through it, twice: a cold pass that fills the
-// cache and a warm pass that mostly serves from it.
+// computed once. Requests are typed QueryRequests submitted to an async
+// future-based core with per-request deadlines and bounded admission.
+// This example builds that stack end to end, issues single async
+// requests, and replays a zipfian request stream through it, twice: a
+// cold pass that fills the cache and a warm pass that mostly serves from
+// it.
 //
 //   ./serving   # no arguments; a few seconds
 
@@ -54,21 +57,36 @@ int main() {
   options.cache_capacity = 4096;  // top-k answers kept hot
   options.cache_shards = 8;
   options.dedup_in_flight = true;
+  options.max_queue_depth = 1024;   // reject instead of buffering forever
   options.query.num_walkers = 500;  // interactive-latency R'
   QueryService service(&*cw, options, &pool);
 
-  // A single request, exactly as a frontend handler would issue it.
-  const ServeResponse one = service.SourceTopK(/*source=*/1, /*k=*/5);
-  if (!one.status.ok()) {
+  // A single async request, exactly as a frontend handler would issue it:
+  // submit with a deadline, do other work, then wait on the future.
+  QueryFuture future = service.Submit(
+      QueryRequest::SourceTopK(/*q=*/1, /*k=*/5).WithTimeout(/*sec=*/5.0));
+  const QueryResponse one = future.Wait();
+  if (!one.ok()) {
     std::cerr << "query failed: " << one.status.ToString() << "\n";
     return 1;
   }
   std::cout << "\nnodes most similar to node 1 (served in "
             << HumanSeconds(one.latency_seconds) << "):\n";
-  for (const ScoredNode& sn : *one.topk) {
+  for (const ScoredNode& sn : *one.topk()) {
     std::cout << "  node " << sn.node << "  s = "
               << FormatDouble(sn.score, 4) << "\n";
   }
+
+  // The same service answers every query shape, including the full
+  // single-source vector — useful when a ranker wants all scores.
+  const QueryResponse vec =
+      service.Execute(QueryRequest::SingleSource(/*q=*/1));
+  if (!vec.ok()) {
+    std::cerr << "query failed: " << vec.status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "full similarity vector of node 1 has "
+            << vec.scores()->size() << " non-zeros\n";
 
   // --- 3. Replay a skewed request stream, cold then warm. ----------------
   WorkloadSpec spec;
@@ -91,15 +109,25 @@ int main() {
   service.ExecuteBatch(*workload);
   PrintStats("cold pass", service.Stats());
 
+  // Warm pass, async this time: submit everything, then gather futures.
   service.ResetStats();
-  service.ExecuteBatch(*workload);
+  std::vector<QueryFuture> futures;
+  futures.reserve(workload->size());
+  for (const QueryRequest& r : *workload) futures.push_back(service.Submit(r));
+  const std::vector<QueryResponse> replay = WhenAll(futures);
   PrintStats("warm pass", service.Stats());
+  for (const QueryResponse& r : replay) {
+    if (!r.ok() && !r.status.IsResourceExhausted()) {
+      std::cerr << "warm replay failed: " << r.status.ToString() << "\n";
+      return 1;
+    }
+  }
 
   // --- 4. Served answers are bit-identical to direct kernel calls. -------
-  const ServeResponse again = service.SourceTopK(1, 5);
+  const QueryResponse again = service.SourceTopK(1, 5);
   auto direct = cw->SingleSourceTopK(1, 5, options.query);
   const bool identical =
-      direct.ok() && again.status.ok() && *again.topk == *direct;
+      direct.ok() && again.ok() && *again.topk() == *direct;
   std::cout << "\nserved result identical to direct SingleSourceTopK: "
             << (identical ? "yes" : "NO — bug!") << " (cache hit: "
             << (again.cache_hit ? "yes" : "no") << ")\n";

@@ -1,0 +1,97 @@
+// CancelToken: cooperative cancellation and deadline propagation.
+//
+// A token is shared (by plain pointer) between a waiter that may give up —
+// caller timeout, explicit cancel — and the long-running computation that
+// should stop wasting work once nobody cares about the answer. The
+// computation polls ShouldStop() at natural checkpoints (the walk engine
+// checks between level-synchronous walk blocks, the query kernels between
+// push levels) and abandons the run; the caller then converts the token
+// state into a Status with ToStatus(). Cancellation is *cooperative and
+// sticky*: once a token is cancelled or its deadline passes, every later
+// poll observes it, so a kernel that raced past the last checkpoint is
+// still caught by the caller's post-run check. A stopped run never yields
+// a partial result — callers discard the computation entirely, which is
+// what keeps the determinism contract (DESIGN.md section 7) intact:
+// answers are either bit-exact or absent, never truncated.
+//
+// Thread-safety: all methods may be called concurrently. SetDeadline is
+// intended to be called once, before the token is shared with the
+// computation (it is atomic regardless, so a late call is benign).
+
+#ifndef CLOUDWALKER_COMMON_CANCEL_H_
+#define CLOUDWALKER_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace cloudwalker {
+
+/// Shared stop signal: an explicit cancel flag plus an optional absolute
+/// deadline on the steady clock. Non-copyable; share by pointer.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent; never un-cancels.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+
+  /// True once Cancel() has been called.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Arms a deadline `seconds` from now; non-positive values leave the
+  /// token without a deadline (the "no timeout" encoding used by
+  /// QueryRequest::timeout_seconds).
+  void SetDeadline(double seconds) {
+    if (seconds <= 0.0) return;
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds));
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+
+  /// True when a deadline is armed.
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// True once the armed deadline lies in the past (always false when no
+  /// deadline is armed). Monotonic: never flips back.
+  bool deadline_exceeded() const {
+    const int64_t ns = deadline_ns_.load(std::memory_order_acquire);
+    return ns != 0 && Clock::now().time_since_epoch().count() >= ns;
+  }
+
+  /// The poll a cooperative computation makes at its checkpoints.
+  bool ShouldStop() const { return cancelled() || deadline_exceeded(); }
+
+  /// OK while running; kCancelled / kDeadlineExceeded once stopped
+  /// (explicit cancellation wins when both hold).
+  Status ToStatus() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    if (deadline_exceeded()) {
+      return Status::DeadlineExceeded("query deadline exceeded");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::atomic<bool> cancelled_{false};
+  // Deadline as steady-clock nanoseconds-since-epoch; 0 = none. Stored
+  // atomically so arming and polling need no lock.
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_COMMON_CANCEL_H_

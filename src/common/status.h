@@ -26,6 +26,8 @@ enum class StatusCode {
   kUnimplemented = 6,
   kIoError = 7,
   kInternal = 8,
+  kDeadlineExceeded = 9,
+  kCancelled = 10,
 };
 
 /// Returns the canonical name of `code`, e.g. "InvalidArgument".
@@ -68,9 +70,38 @@ class Status {
   static Status Internal(std::string_view msg) {
     return Status(StatusCode::kInternal, msg);
   }
+  static Status DeadlineExceeded(std::string_view msg) {
+    return Status(StatusCode::kDeadlineExceeded, msg);
+  }
+  static Status Cancelled(std::string_view msg) {
+    return Status(StatusCode::kCancelled, msg);
+  }
 
   /// True iff the status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// Per-code predicates, absl-style: branch on the failure class without
+  /// spelling out the enum. `IsX()` is exactly `code() == StatusCode::kX`.
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnimplemented() const {
+    return code_ == StatusCode::kUnimplemented;
+  }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// The canonical code.
   StatusCode code() const { return code_; }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/timer.h"
+
 namespace cloudwalker {
 namespace {
 
@@ -36,7 +38,7 @@ StatusOr<CloudWalker> CloudWalker::FromIndex(const Graph* graph,
 
 Status CloudWalker::ValidateQuery(NodeId node,
                                   const QueryOptions& options) const {
-  CW_RETURN_IF_ERROR(options.Validate());
+  CW_RETURN_IF_ERROR(ValidateQueryOptions(options));
   if (node >= graph_->num_nodes()) {
     return Status::OutOfRange("node " + std::to_string(node) +
                               " out of range (graph has " +
@@ -45,21 +47,24 @@ Status CloudWalker::ValidateQuery(NodeId node,
   return Status::Ok();
 }
 
-StatusOr<double> CloudWalker::SinglePair(NodeId i, NodeId j,
-                                         const QueryOptions& options) const {
-  CW_RETURN_IF_ERROR(ValidateQuery(i, options));
-  CW_RETURN_IF_ERROR(ValidateQuery(j, options));
-  return Clamp01(SinglePairQuery(*graph_, index_, i, j, options,
-                                 /*stats=*/nullptr, /*owner=*/nullptr,
-                                 walk_context_.get()));
+StatusOr<double> CloudWalker::PairScore(NodeId i, NodeId j,
+                                        const QueryOptions& options,
+                                        QueryStats* stats,
+                                        const CancelToken* cancel) const {
+  const double raw = SinglePairQuery(*graph_, index_, i, j, options, stats,
+                                     /*owner=*/nullptr, walk_context_.get(),
+                                     cancel);
+  if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  return Clamp01(raw);
 }
 
-StatusOr<SparseVector> CloudWalker::SingleSource(
-    NodeId q, const QueryOptions& options) const {
-  CW_RETURN_IF_ERROR(ValidateQuery(q, options));
+StatusOr<SparseVector> CloudWalker::SourceVector(
+    NodeId q, const QueryOptions& options, QueryStats* stats,
+    const CancelToken* cancel) const {
   const SparseVector raw =
-      SingleSourceQuery(*graph_, index_, q, options, /*stats=*/nullptr,
-                        /*owner=*/nullptr, walk_context_.get());
+      SingleSourceQuery(*graph_, index_, q, options, stats,
+                        /*owner=*/nullptr, walk_context_.get(), cancel);
+  if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   std::vector<SparseEntry> entries;
   entries.reserve(raw.size() + 1);
   bool saw_self = false;
@@ -79,27 +84,128 @@ StatusOr<SparseVector> CloudWalker::SingleSource(
   return out;
 }
 
-StatusOr<std::vector<ScoredNode>> CloudWalker::SingleSourceTopK(
-    NodeId q, size_t k, const QueryOptions& options) const {
-  CW_RETURN_IF_ERROR(ValidateQuery(q, options));
+StatusOr<std::vector<ScoredNode>> CloudWalker::SourceTopK(
+    NodeId q, size_t k, const QueryOptions& options, QueryStats* stats,
+    const CancelToken* cancel) const {
   const SparseVector raw =
-      SingleSourceQuery(*graph_, index_, q, options, /*stats=*/nullptr,
-                        /*owner=*/nullptr, walk_context_.get());
+      SingleSourceQuery(*graph_, index_, q, options, stats,
+                        /*owner=*/nullptr, walk_context_.get(), cancel);
+  if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   std::vector<ScoredNode> top = TopKFromSparse(raw, /*exclude=*/q, k);
   for (ScoredNode& s : top) s.score = Clamp01(s.score);
   return top;
 }
 
-StatusOr<std::vector<std::vector<ScoredNode>>> CloudWalker::AllPairs(
-    size_t k, const QueryOptions& options, ThreadPool* pool) const {
-  CW_RETURN_IF_ERROR(options.Validate());
-  auto result = AllPairsTopK(*graph_, index_, options, k, pool,
-                             /*total_walk_steps=*/nullptr,
-                             walk_context_.get());
+StatusOr<std::vector<std::vector<ScoredNode>>> CloudWalker::AllPairsInternal(
+    size_t k, const QueryOptions& options, ThreadPool* pool,
+    QueryStats* stats, const CancelToken* cancel) const {
+  uint64_t walk_steps = 0;
+  auto result = AllPairsTopK(*graph_, index_, options, k, pool, &walk_steps,
+                             walk_context_.get(), cancel);
+  if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  if (stats != nullptr) stats->walk_steps += walk_steps;
   for (auto& per_source : result) {
     for (ScoredNode& s : per_source) s.score = Clamp01(s.score);
   }
   return result;
+}
+
+QueryResponse CloudWalker::Execute(const QueryRequest& request,
+                                   ThreadPool* pool,
+                                   const CancelToken* cancel) const {
+  WallTimer timer;
+  QueryResponse response;
+  response.kind = request.kind;
+  const QueryOptions base;  // the facade's defaults (paper parameters)
+  const QueryOptions& options = request.EffectiveOptions(base);
+
+  // A local token carries the request's own deadline when the caller did
+  // not supply one (the serving layer arms its token at admission).
+  CancelToken local;
+  if (cancel == nullptr && request.timeout_seconds > 0.0) {
+    local.SetDeadline(request.timeout_seconds);
+    cancel = &local;
+  }
+
+  response.status = ValidateQueryRequest(request, graph_->num_nodes(), base);
+  if (response.status.ok() && cancel != nullptr && cancel->ShouldStop()) {
+    response.status = cancel->ToStatus();  // expired before any work
+  }
+  if (response.status.ok()) {
+    switch (request.kind) {
+      case QueryKind::kPair: {
+        auto score = PairScore(request.a, request.b, options,
+                               &response.stats, cancel);
+        if (score.ok()) {
+          response.payload = *score;
+        } else {
+          response.status = score.status();
+        }
+        break;
+      }
+      case QueryKind::kSingleSource: {
+        auto scores =
+            SourceVector(request.a, options, &response.stats, cancel);
+        if (scores.ok()) {
+          response.payload = std::make_shared<const SparseVector>(
+              std::move(scores).value());
+        } else {
+          response.status = scores.status();
+        }
+        break;
+      }
+      case QueryKind::kSourceTopK: {
+        auto top = SourceTopK(request.a, request.k, options, &response.stats,
+                              cancel);
+        if (top.ok()) {
+          response.payload =
+              std::make_shared<const TopKResult>(std::move(top).value());
+        } else {
+          response.status = top.status();
+        }
+        break;
+      }
+      case QueryKind::kAllPairsTopK: {
+        auto all = AllPairsInternal(request.k, options, pool,
+                                    &response.stats, cancel);
+        if (all.ok()) {
+          response.payload =
+              std::make_shared<const AllPairsResult>(std::move(all).value());
+        } else {
+          response.status = all.status();
+        }
+        break;
+      }
+    }
+  }
+  response.latency_seconds = timer.Seconds();
+  return response;
+}
+
+StatusOr<double> CloudWalker::SinglePair(NodeId i, NodeId j,
+                                         const QueryOptions& options) const {
+  CW_RETURN_IF_ERROR(ValidateQuery(i, options));
+  CW_RETURN_IF_ERROR(ValidateQuery(j, options));
+  return PairScore(i, j, options, /*stats=*/nullptr, /*cancel=*/nullptr);
+}
+
+StatusOr<SparseVector> CloudWalker::SingleSource(
+    NodeId q, const QueryOptions& options) const {
+  CW_RETURN_IF_ERROR(ValidateQuery(q, options));
+  return SourceVector(q, options, /*stats=*/nullptr, /*cancel=*/nullptr);
+}
+
+StatusOr<std::vector<ScoredNode>> CloudWalker::SingleSourceTopK(
+    NodeId q, size_t k, const QueryOptions& options) const {
+  CW_RETURN_IF_ERROR(ValidateQuery(q, options));
+  return SourceTopK(q, k, options, /*stats=*/nullptr, /*cancel=*/nullptr);
+}
+
+StatusOr<std::vector<std::vector<ScoredNode>>> CloudWalker::AllPairs(
+    size_t k, const QueryOptions& options, ThreadPool* pool) const {
+  CW_RETURN_IF_ERROR(ValidateQueryOptions(options));
+  return AllPairsInternal(k, options, pool, /*stats=*/nullptr,
+                          /*cancel=*/nullptr);
 }
 
 }  // namespace cloudwalker

@@ -6,8 +6,19 @@
 //   ThreadPool pool;
 //   auto cw = CloudWalker::Build(&graph, IndexingOptions{}, &pool);
 //   CW_CHECK_OK(cw.status());
-//   double s = cw->SinglePair(12, 34).value();
-//   auto similar = cw->SingleSourceTopK(12, /*k=*/10).value();
+//   // Unified entry point: one typed request, one typed response.
+//   QueryResponse r = cw->Execute(QueryRequest::Pair(12, 34));
+//   double s = r.score();
+//   auto similar =
+//       cw->Execute(QueryRequest::SourceTopK(12, 10)).topk();
+//   // Legacy blocking methods remain and answer bit-identically:
+//   double s2 = cw->SinglePair(12, 34).value();  // == s
+//
+// Execute() covers all four query kinds (DESIGN.md section 6.1), honors
+// per-request QueryOptions overrides and deadlines, and fills execution
+// metadata (QueryStats, latency). The per-kind methods and Execute()
+// funnel into the same internal helpers, so their answers are
+// bit-identical by construction.
 //
 // The facade owns the DiagonalIndex but only observes the graph; the graph
 // must outlive the CloudWalker instance.
@@ -21,12 +32,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/threading.h"
 #include "core/diagonal.h"
 #include "core/indexer.h"
 #include "core/options.h"
 #include "core/queries.h"
+#include "core/request.h"
 #include "graph/graph.h"
 
 namespace cloudwalker {
@@ -45,6 +58,17 @@ class CloudWalker {
   /// the index and graph disagree on the node count.
   static StatusOr<CloudWalker> FromIndex(const Graph* graph,
                                          DiagonalIndex index);
+
+  /// The unified entry point: dispatches any QueryRequest kind, applying
+  /// the request's per-request options (default QueryOptions{} otherwise)
+  /// and arming its deadline on an internal CancelToken. `pool`
+  /// parallelizes kAllPairsTopK only. `cancel` (borrowed, optional) takes
+  /// precedence over the request's own deadline — the serving layer
+  /// passes its admission-armed token here. A stopped request reports
+  /// kDeadlineExceeded / kCancelled with an empty payload.
+  QueryResponse Execute(const QueryRequest& request,
+                        ThreadPool* pool = nullptr,
+                        const CancelToken* cancel = nullptr) const;
 
   /// MCSP: SimRank estimate for (i, j), clamped to [0, 1]; exact 1 for
   /// i == j. Fails on out-of-range nodes or invalid options.
@@ -89,6 +113,22 @@ class CloudWalker {
         walk_context_(std::make_shared<const WalkContext>(*graph)) {}
 
   Status ValidateQuery(NodeId node, const QueryOptions& options) const;
+
+  // The shared kernels behind both the per-kind methods and Execute().
+  // All assume validated inputs; `stats` / `cancel` may be null. A stopped
+  // run returns the token's error status instead of a value.
+  StatusOr<double> PairScore(NodeId i, NodeId j, const QueryOptions& options,
+                             QueryStats* stats,
+                             const CancelToken* cancel) const;
+  StatusOr<SparseVector> SourceVector(NodeId q, const QueryOptions& options,
+                                      QueryStats* stats,
+                                      const CancelToken* cancel) const;
+  StatusOr<std::vector<ScoredNode>> SourceTopK(
+      NodeId q, size_t k, const QueryOptions& options, QueryStats* stats,
+      const CancelToken* cancel) const;
+  StatusOr<std::vector<std::vector<ScoredNode>>> AllPairsInternal(
+      size_t k, const QueryOptions& options, ThreadPool* pool,
+      QueryStats* stats, const CancelToken* cancel) const;
 
   const Graph* graph_;
   DiagonalIndex index_;

@@ -23,14 +23,16 @@ Status IndexingOptions::Validate() const {
   return Status::Ok();
 }
 
-Status QueryOptions::Validate() const {
-  if (num_walkers < 1) {
+Status QueryOptions::Validate() const { return ValidateQueryOptions(*this); }
+
+Status ValidateQueryOptions(const QueryOptions& options) {
+  if (options.num_walkers < 1) {
     return Status::InvalidArgument("num_walkers R' must be >= 1");
   }
-  if (push_fanout < 1) {
+  if (options.push_fanout < 1) {
     return Status::InvalidArgument("push_fanout must be >= 1");
   }
-  if (prune_threshold < 0.0) {
+  if (options.prune_threshold < 0.0) {
     return Status::InvalidArgument("prune_threshold must be >= 0");
   }
   return Status::Ok();

@@ -90,9 +90,20 @@ struct QueryOptions {
   DanglingPolicy dangling = DanglingPolicy::kDie;
 
   /// InvalidArgument unless num_walkers >= 1, push_fanout >= 1 and
-  /// prune_threshold >= 0.
+  /// prune_threshold >= 0. Shim over ValidateQueryOptions() below.
   Status Validate() const;
+
+  /// Two option sets are equal iff every knob matches — the relation the
+  /// serving layer uses to fold per-request overrides into cache keys
+  /// (equal options, equal answers; DESIGN.md section 6).
+  bool operator==(const QueryOptions&) const = default;
 };
+
+/// The single source of truth for query-option validation. Every layer
+/// that admits a QueryOptions — the CloudWalker facade, QueryService
+/// admission, the CLI flag parser — calls this one function, so invalid
+/// options are rejected with the same message everywhere.
+Status ValidateQueryOptions(const QueryOptions& options);
 
 }  // namespace cloudwalker
 

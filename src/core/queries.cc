@@ -12,13 +12,19 @@ namespace cloudwalker {
 namespace {
 
 WalkConfig WalkConfigFromQuery(const DiagonalIndex& index,
-                               const QueryOptions& options) {
+                               const QueryOptions& options,
+                               const CancelToken* cancel) {
   WalkConfig cfg;
   cfg.num_steps = index.params().num_steps;
   cfg.num_walkers = options.num_walkers;
   cfg.dangling = options.dangling;
   cfg.seed = options.seed;
+  cfg.cancel = cancel;
   return cfg;
+}
+
+bool Stopped(const CancelToken* cancel) {
+  return cancel != nullptr && cancel->ShouldStop();
 }
 
 /// One sampled forward-push step: an unbiased one-sample estimate of
@@ -75,16 +81,17 @@ void ExactPushStep(const Graph& graph, const SparseVector& z,
 double SinglePairQuery(const Graph& graph, const DiagonalIndex& index,
                        NodeId i, NodeId j, const QueryOptions& options,
                        QueryStats* stats, const NodeOwnerFn* owner,
-                       const WalkContext* context) {
+                       const WalkContext* context, const CancelToken* cancel) {
   CW_CHECK_LT(i, graph.num_nodes());
   CW_CHECK_LT(j, graph.num_nodes());
   CW_CHECK_EQ(index.num_nodes(), graph.num_nodes());
   if (i == j) return 1.0;
 
-  const WalkConfig cfg = WalkConfigFromQuery(index, options);
+  const WalkConfig cfg = WalkConfigFromQuery(index, options, cancel);
   WalkStats wi, wj;
   const WalkDistributions di =
       SimulateWalkDistributions(graph, context, i, cfg, nullptr, owner, &wi);
+  if (Stopped(cancel)) return 0.0;  // caller discards (request.h contract)
   const WalkDistributions dj =
       SimulateWalkDistributions(graph, context, j, cfg, nullptr, owner, &wj);
   if (stats != nullptr) {
@@ -146,11 +153,12 @@ double SinglePairQueryPaired(const Graph& graph, const DiagonalIndex& index,
 SparseVector SingleSourceQuery(const Graph& graph, const DiagonalIndex& index,
                                NodeId q, const QueryOptions& options,
                                QueryStats* stats, const NodeOwnerFn* owner,
-                               const WalkContext* context) {
+                               const WalkContext* context,
+                               const CancelToken* cancel) {
   CW_CHECK_LT(q, graph.num_nodes());
   CW_CHECK_EQ(index.num_nodes(), graph.num_nodes());
 
-  const WalkConfig cfg = WalkConfigFromQuery(index, options);
+  const WalkConfig cfg = WalkConfigFromQuery(index, options, cancel);
   WalkStats wq;
   const WalkDistributions dists =
       SimulateWalkDistributions(graph, context, q, cfg, nullptr, owner, &wq);
@@ -165,6 +173,7 @@ SparseVector SingleSourceQuery(const Graph& graph, const DiagonalIndex& index,
 
   double ct = 1.0;
   for (size_t t = 0; t < dists.levels.size(); ++t) {
+    if (Stopped(cancel)) break;  // caller discards the truncated vector
     // z_t = c^t * D * û_{q,t}, then pushed forward t steps through P^T.
     std::vector<SparseEntry> z_entries;
     z_entries.reserve(dists.levels[t].size());
@@ -215,7 +224,8 @@ std::vector<ScoredNode> TopKFromSparse(const SparseVector& scores,
 std::vector<std::vector<ScoredNode>> AllPairsTopK(
     const Graph& graph, const DiagonalIndex& index,
     const QueryOptions& options, size_t k, ThreadPool* pool,
-    uint64_t* total_walk_steps, const WalkContext* context) {
+    uint64_t* total_walk_steps, const WalkContext* context,
+    const CancelToken* cancel) {
   std::vector<std::vector<ScoredNode>> out(graph.num_nodes());
   std::optional<WalkContext> local_context;
   if (context == nullptr) {
@@ -227,11 +237,12 @@ std::vector<std::vector<ScoredNode>> AllPairsTopK(
               [&](uint64_t begin, uint64_t end) {
                 uint64_t local_steps = 0;
                 for (uint64_t q = begin; q < end; ++q) {
+                  if (Stopped(cancel)) break;  // skip the remaining sources
                   QueryStats qs;
                   const SparseVector scores =
                       SingleSourceQuery(graph, index, static_cast<NodeId>(q),
                                         options, &qs, /*owner=*/nullptr,
-                                        context);
+                                        context, cancel);
                   local_steps += qs.walk_steps;
                   out[q] = TopKFromSparse(scores, static_cast<NodeId>(q), k);
                 }

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/sparse.h"
 #include "common/threading.h"
 #include "core/diagonal.h"
@@ -44,11 +45,17 @@ struct QueryStats {
 /// routes the walks through the batched arena kernel; results are
 /// bit-identical with or without it (DESIGN.md section 8). The CloudWalker
 /// facade always passes its prebuilt context.
+///
+/// `cancel` (optional, same three kernels) is the cooperative stop signal
+/// threaded into the walk engine's level loop and the push phases; a
+/// stopped kernel returns early with a truncated (meaningless) value that
+/// the caller must discard after observing cancel->ShouldStop().
 double SinglePairQuery(const Graph& graph, const DiagonalIndex& index,
                        NodeId i, NodeId j, const QueryOptions& options,
                        QueryStats* stats = nullptr,
                        const NodeOwnerFn* owner = nullptr,
-                       const WalkContext* context = nullptr);
+                       const WalkContext* context = nullptr,
+                       const CancelToken* cancel = nullptr);
 
 /// Classic paired-walker MCSP estimator (ablation; DESIGN.md section 5.3):
 /// R' walker *pairs* advance in lockstep and the estimate is
@@ -66,7 +73,8 @@ SparseVector SingleSourceQuery(const Graph& graph, const DiagonalIndex& index,
                                NodeId q, const QueryOptions& options,
                                QueryStats* stats = nullptr,
                                const NodeOwnerFn* owner = nullptr,
-                               const WalkContext* context = nullptr);
+                               const WalkContext* context = nullptr,
+                               const CancelToken* cancel = nullptr);
 
 /// A node with its similarity score.
 struct ScoredNode {
@@ -91,7 +99,8 @@ std::vector<std::vector<ScoredNode>> AllPairsTopK(
     const Graph& graph, const DiagonalIndex& index,
     const QueryOptions& options, size_t k, ThreadPool* pool,
     uint64_t* total_walk_steps = nullptr,
-    const WalkContext* context = nullptr);
+    const WalkContext* context = nullptr,
+    const CancelToken* cancel = nullptr);
 
 }  // namespace cloudwalker
 

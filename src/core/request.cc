@@ -1,0 +1,49 @@
+#include "core/request.h"
+
+#include <string>
+
+namespace cloudwalker {
+namespace {
+
+Status NodeInRange(std::string_view role, NodeId node, NodeId num_nodes) {
+  if (node < num_nodes) return Status::Ok();
+  return Status::OutOfRange(std::string(role) + " node " +
+                            std::to_string(node) +
+                            " out of range (graph has " +
+                            std::to_string(num_nodes) + " nodes)");
+}
+
+}  // namespace
+
+std::string_view QueryKindToString(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPair:
+      return "pair";
+    case QueryKind::kSingleSource:
+      return "source";
+    case QueryKind::kSourceTopK:
+      return "topk";
+    case QueryKind::kAllPairsTopK:
+      return "allpairs";
+  }
+  return "unknown";
+}
+
+Status ValidateQueryRequest(const QueryRequest& request, NodeId num_nodes,
+                            const QueryOptions& base_options) {
+  CW_RETURN_IF_ERROR(
+      ValidateQueryOptions(request.EffectiveOptions(base_options)));
+  switch (request.kind) {
+    case QueryKind::kPair:
+      CW_RETURN_IF_ERROR(NodeInRange("pair", request.a, num_nodes));
+      return NodeInRange("pair", request.b, num_nodes);
+    case QueryKind::kSingleSource:
+    case QueryKind::kSourceTopK:
+      return NodeInRange("source", request.a, num_nodes);
+    case QueryKind::kAllPairsTopK:
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+}  // namespace cloudwalker

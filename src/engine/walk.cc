@@ -124,6 +124,10 @@ struct WalkKernel {
     uint32_t pending_walker[kMaxWalkBatchWidth];
 
     for (uint32_t t = 1; t <= config.num_steps && alive > 0; ++t) {
+      // Cooperative stop: one poll per level (the clock read is too costly
+      // per block). A stopped run is abandoned by the caller wholesale, so
+      // leaving the remaining levels empty is safe.
+      if (config.cancel != nullptr && config.cancel->ShouldStop()) break;
       uint32_t n_live = 0;
       for (uint32_t w0 = 0; w0 < r; w0 += width) {
         const uint32_t wn = std::min(width, r - w0);

@@ -24,6 +24,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/random.h"
 #include "common/sparse.h"
 #include "common/threading.h"
@@ -65,6 +66,11 @@ struct WalkConfig {
   /// bit-identical for every width. The default keeps ~256 prefetches in
   /// flight per pass, enough to cover DRAM latency at every pass boundary.
   uint32_t batch_width = 256;
+  /// Cooperative stop signal (borrowed, may be null). Polled between
+  /// level-synchronous walk blocks; a stopped simulation returns early
+  /// with the remaining levels empty, and the caller is expected to
+  /// discard the truncated result (see common/cancel.h).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Advances one walker one step along in-links. Returns kInvalidNode when

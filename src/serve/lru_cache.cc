@@ -2,18 +2,7 @@
 
 #include <algorithm>
 
-#include "common/random.h"
-
 namespace cloudwalker {
-namespace {
-
-// Packed (source, k) keys are highly structured, so mix before choosing a
-// shard to spread hot sources across shards.
-uint64_t MixKey(uint64_t x) {
-  return SplitMix64Next(&x);
-}
-
-}  // namespace
 
 ShardedLruCache::ShardedLruCache(size_t capacity, int num_shards)
     : capacity_(std::max<size_t>(capacity, 1)) {
@@ -28,16 +17,17 @@ ShardedLruCache::ShardedLruCache(size_t capacity, int num_shards)
   }
 }
 
-int ShardedLruCache::ShardIndex(uint64_t key) const {
-  return static_cast<int>(MixKey(key) % shards_.size());
+int ShardedLruCache::ShardIndex(const CacheKey& key) const {
+  return static_cast<int>(CacheKeyHash{}(key) % shards_.size());
 }
 
-ShardedLruCache::Value ShardedLruCache::Get(uint64_t key) {
+ShardedLruCache::Value ShardedLruCache::Get(const CacheKey& key,
+                                            bool count_miss) {
   Shard& shard = *shards_[ShardIndex(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (count_miss) misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -45,7 +35,7 @@ ShardedLruCache::Value ShardedLruCache::Get(uint64_t key) {
   return it->second->second;
 }
 
-void ShardedLruCache::Put(uint64_t key, Value value) {
+void ShardedLruCache::Put(const CacheKey& key, Value value) {
   Shard& shard = *shards_[ShardIndex(key)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);

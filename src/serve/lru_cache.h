@@ -1,12 +1,15 @@
 // Sharded LRU cache for single-source top-k answers.
 //
-// The key is a caller-packed 64-bit id (the serving layer packs
-// (source, k) via PackTopKKey); the value is a shared, immutable top-k
-// list so a cached answer can be fanned out to any number of concurrent
-// readers without copying. Sharding bounds lock contention: a key maps
-// to exactly one shard (by a SplitMix64-mixed hash), each shard holds an
-// independent mutex + recency list, and the total capacity is divided
-// across shards at construction (see DESIGN.md section 6.2).
+// The key is a caller-packed 128-bit CacheKey — wide enough for the
+// serving layer to pack (query kind, interned options id, source, k)
+// losslessly, so two requests that could ever answer differently can
+// never share an entry (the one-answer-per-key contract of DESIGN.md
+// section 6.2). The value is a shared, immutable top-k list so a cached
+// answer can be fanned out to any number of concurrent readers without
+// copying. Sharding bounds lock contention: a key maps to exactly one
+// shard (by a SplitMix64-mixed hash), each shard holds an independent
+// mutex + recency list, and the total capacity is divided across shards
+// at construction.
 
 #ifndef CLOUDWALKER_SERVE_LRU_CACHE_H_
 #define CLOUDWALKER_SERVE_LRU_CACHE_H_
@@ -21,15 +24,31 @@
 #include <utility>
 #include <vector>
 
+#include "common/random.h"
 #include "core/queries.h"
 
 namespace cloudwalker {
 
-/// Packs a top-k cache key: the source node in the high 32 bits, k in the
-/// low 32. Distinct (source, k) pairs never collide.
-inline uint64_t PackTopKKey(NodeId source, uint32_t k) {
-  return (static_cast<uint64_t>(source) << 32) | static_cast<uint64_t>(k);
-}
+/// A 128-bit exact cache key. The packing convention is the caller's; the
+/// cache only needs equality and the hash below. Distinct packings never
+/// collide — there is no lossy mixing on the lookup path.
+struct CacheKey {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// Hash for CacheKey: both halves pass through a SplitMix64 finalizer so
+/// the highly structured packed fields (node ids, small k, tiny option
+/// ids) spread over buckets and shards.
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const {
+    uint64_t hi = key.hi;
+    uint64_t lo = key.lo;
+    return static_cast<size_t>(SplitMix64Next(&hi) ^ SplitMix64Next(&lo));
+  }
+};
 
 /// Thread-safe LRU cache, sharded by key hash. Capacity is a hard bound on
 /// the total number of resident entries (divided across shards, so one
@@ -55,12 +74,15 @@ class ShardedLruCache {
   ShardedLruCache& operator=(const ShardedLruCache&) = delete;
 
   /// Returns the cached value (promoting it to most-recently-used) or
-  /// nullptr on miss.
-  Value Get(uint64_t key);
+  /// nullptr on miss. `count_miss=false` suppresses the miss counter for
+  /// speculative probes (e.g. the serving layer's admission-time peek,
+  /// which is always followed by an authoritative worker-side Get) so a
+  /// computed request never counts two misses.
+  Value Get(const CacheKey& key, bool count_miss = true);
 
   /// Inserts or overwrites `key`, evicting the shard's least-recently-used
   /// entry when the shard is full.
-  void Put(uint64_t key, Value value);
+  void Put(const CacheKey& key, Value value);
 
   /// Drops every entry (counters are preserved).
   void Clear();
@@ -76,7 +98,7 @@ class ShardedLruCache {
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
   /// The shard a key maps to (exposed for tests).
-  int ShardIndex(uint64_t key) const;
+  int ShardIndex(const CacheKey& key) const;
 
   /// Counter snapshot.
   Counters counters() const;
@@ -85,8 +107,10 @@ class ShardedLruCache {
   struct Shard {
     std::mutex mu;
     // Front = most recently used. The map points into the list.
-    std::list<std::pair<uint64_t, Value>> lru;
-    std::unordered_map<uint64_t, std::list<std::pair<uint64_t, Value>>::iterator>
+    std::list<std::pair<CacheKey, Value>> lru;
+    std::unordered_map<CacheKey,
+                       std::list<std::pair<CacheKey, Value>>::iterator,
+                       CacheKeyHash>
         index;
     size_t capacity = 0;
   };

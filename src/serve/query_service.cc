@@ -1,8 +1,75 @@
 #include "serve/query_service.h"
 
+#include <bit>
+#include <chrono>
+#include <string>
 #include <utility>
 
+#include "common/logging.h"
+
 namespace cloudwalker {
+namespace {
+
+// Exact 128-bit cache/dedup key for a top-k answer: the kind tag and the
+// interned options id in the high word, (source, k) in the low word. No
+// two requests that could answer differently ever share a key.
+CacheKey TopKKey(NodeId source, uint32_t k, uint32_t options_id) {
+  return CacheKey{
+      (static_cast<uint64_t>(QueryKind::kSourceTopK) << 32) | options_id,
+      (static_cast<uint64_t>(source) << 32) | k};
+}
+
+// Mixes every QueryOptions knob into the intern table's bucket hash
+// (equality is still verified — collisions cost a scan, never an id).
+uint64_t HashOptions(const QueryOptions& o) {
+  uint64_t h = DeriveSeed(o.seed, o.num_walkers);
+  h = DeriveSeed(h, (static_cast<uint64_t>(o.push_fanout) << 8) |
+                        (static_cast<uint64_t>(o.push) << 4) |
+                        static_cast<uint64_t>(o.dangling));
+  return DeriveSeed(h, std::bit_cast<uint64_t>(o.prune_threshold));
+}
+
+}  // namespace
+
+bool QueryFuture::done() const {
+  CW_CHECK(valid());
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->done;
+}
+
+QueryResponse QueryFuture::Wait() const {
+  CW_CHECK(valid());
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->cv.wait(lock, [this] { return state_->done; });
+  return state_->response;
+}
+
+bool QueryFuture::WaitFor(double seconds) const {
+  CW_CHECK(valid());
+  std::unique_lock<std::mutex> lock(state_->mu);
+  return state_->cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                             [this] { return state_->done; });
+}
+
+void QueryFuture::Cancel() const {
+  CW_CHECK(valid());
+  state_->cancel.Cancel();
+}
+
+std::vector<QueryResponse> WhenAll(const std::vector<QueryFuture>& futures) {
+  std::vector<QueryResponse> responses;
+  responses.reserve(futures.size());
+  for (const QueryFuture& f : futures) {
+    if (f.valid()) {
+      responses.push_back(f.Wait());
+    } else {
+      QueryResponse invalid;
+      invalid.status = Status::Internal("invalid (default) QueryFuture");
+      responses.push_back(std::move(invalid));
+    }
+  }
+  return responses;
+}
 
 QueryService::QueryService(const CloudWalker* cloudwalker,
                            const ServeOptions& options, ThreadPool* pool)
@@ -11,127 +78,330 @@ QueryService::QueryService(const CloudWalker* cloudwalker,
     cache_ = std::make_unique<ShardedLruCache>(options_.cache_capacity,
                                                options_.cache_shards);
   }
+  interned_options_.push_back(options_.query);  // id 0 = service defaults
 }
 
-ServeResponse QueryService::Pair(NodeId i, NodeId j) {
-  WallTimer timer;
-  ServeResponse response;
-  auto score = cloudwalker_->SinglePair(i, j, options_.query);
-  computed_.fetch_add(1, std::memory_order_relaxed);
-  if (score.ok()) {
-    response.score = *score;
+QueryService::~QueryService() {
+  // Outstanding tasks reference this service; drain before the members go.
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+uint32_t QueryService::InternOptions(const QueryOptions& options) {
+  // Fast path for the dominant case — the service defaults — so default
+  // traffic never serializes on intern_mu_ (options_ is immutable after
+  // construction).
+  if (options == options_.query) return 0;
+  const uint64_t hash = HashOptions(options);
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  auto bucket = intern_index_.find(hash);
+  if (bucket != intern_index_.end()) {
+    for (const uint32_t id : bucket->second) {
+      if (interned_options_[id] == options) return id;
+    }
+  }
+  // Cap the table: a client streaming unbounded distinct overrides gets
+  // correct-but-uncached answers instead of growing memory forever.
+  if (interned_options_.size() >= kMaxInternedOptions) {
+    return kUncachedOptionsId;
+  }
+  const uint32_t id = static_cast<uint32_t>(interned_options_.size());
+  interned_options_.push_back(options);
+  intern_index_[hash].push_back(id);
+  return id;
+}
+
+QueryFuture QueryService::Submit(const QueryRequest& request) {
+  return SubmitInternal(request, /*block_on_full=*/false);
+}
+
+QueryFuture QueryService::SubmitInternal(const QueryRequest& request,
+                                         bool block_on_full) {
+  auto state = std::make_shared<State>();  // the admission timer starts now
+  QueryFuture future(state);
+  state->cancel.SetDeadline(request.timeout_seconds);
+
+  // Materialize the effective options so every later stage (cache keying,
+  // kernel execution) sees one explicit option set.
+  QueryRequest task = request;
+  if (!task.options.has_value()) task.options = options_.query;
+
+  // Admission step 1: validate once, centrally.
+  const Status valid = ValidateQueryRequest(
+      task, cloudwalker_->graph().num_nodes(), options_.query);
+  if (!valid.ok()) {
+    QueryResponse response;
+    response.kind = task.kind;
+    response.status = valid;
+    Publish(state, std::move(response));
+    return future;
+  }
+
+  // Admission fast path: a resident top-k answer needs no queue slot, no
+  // worker, and no kernel — serve it inline on the caller's thread, so
+  // warm traffic bypasses the admission lock and the pool entirely. A
+  // miss here is speculative (the worker re-probes authoritatively,
+  // catching answers published while the request sat in the queue) and
+  // is therefore not counted.
+  if (task.kind == QueryKind::kSourceTopK && cache_ != nullptr &&
+      !state->cancel.ShouldStop()) {
+    const uint32_t options_id = InternOptions(*task.options);
+    if (options_id != kUncachedOptionsId) {
+      if (ShardedLruCache::Value hit = cache_->Get(
+              TopKKey(task.a, task.k, options_id), /*count_miss=*/false)) {
+        QueryResponse response;
+        response.kind = task.kind;
+        response.payload = TopKPtr(std::move(hit));
+        response.cache_hit = true;
+        Publish(state, std::move(response));
+        return future;
+      }
+    }
+  }
+
+  // Admission step 2: charge the bounded queue.
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    if (options_.max_queue_depth > 0) {
+      if (block_on_full) {
+        queue_cv_.wait(lock, [this] {
+          return in_flight_ < options_.max_queue_depth;
+        });
+      } else if (in_flight_ >= options_.max_queue_depth) {
+        lock.unlock();
+        QueryResponse response;
+        response.kind = task.kind;
+        response.status = Status::ResourceExhausted(
+            "serving queue full (" +
+            std::to_string(options_.max_queue_depth) +
+            " requests in flight)");
+        Publish(state, std::move(response));
+        return future;
+      }
+    }
+    ++in_flight_;
+  }
+
+  if (pool_ == nullptr) {
+    RunTask(state, task);
   } else {
-    response.status = score.status();
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    pool_->Submit([this, state, task] { RunTask(state, task); });
   }
-  response.latency_seconds = timer.Seconds();
-  latencies_.Record(response.latency_seconds);
-  pair_queries_.fetch_add(1, std::memory_order_relaxed);
-  return response;
+  return future;
 }
 
-ServeResponse QueryService::SourceTopK(NodeId source, uint32_t k) {
-  WallTimer timer;
-  ServeResponse response;
-  AnswerTopK(source, k, &response);
-  if (!response.status.ok()) errors_.fetch_add(1, std::memory_order_relaxed);
-  response.latency_seconds = timer.Seconds();
-  latencies_.Record(response.latency_seconds);
-  topk_queries_.fetch_add(1, std::memory_order_relaxed);
-  return response;
+void QueryService::RunTask(const std::shared_ptr<State>& state,
+                           const QueryRequest& request) {
+  QueryResponse response;
+  response.kind = request.kind;
+  const CancelToken* cancel = &state->cancel;
+  if (cancel->ShouldStop()) {
+    // Expired in the queue (or cancelled before a worker got to it):
+    // complete without running a kernel.
+    response.status = cancel->ToStatus();
+  } else if (request.kind == QueryKind::kSourceTopK) {
+    AnswerTopK(request, cancel, &response);
+  } else {
+    // kPair / kSingleSource / kAllPairsTopK run the facade directly (no
+    // caching: pair answers are cheap relative to their O(n^2) key space,
+    // full vectors and all-pairs sweeps are too large to retain).
+    // All-pairs runs serially inside this worker — re-entering the
+    // service pool from a worker would deadlock its completion barrier.
+    response = cloudwalker_->Execute(request, /*pool=*/nullptr, cancel);
+    if (response.status.ok()) {
+      computed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  Publish(state, std::move(response));
+  {
+    // Notify under the lock: once the destructor's drain predicate sees
+    // in_flight_ == 0 it may destroy the condition variable, so the
+    // notify must complete before this critical section is released.
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    --in_flight_;
+    queue_cv_.notify_all();
+  }
 }
 
-void QueryService::AnswerTopK(NodeId source, uint32_t k,
-                              ServeResponse* response) {
-  const uint64_t key = PackTopKKey(source, k);
-  if (cache_ != nullptr) {
-    if (ShardedLruCache::Value hit = cache_->Get(key)) {
-      response->topk = std::move(hit);
-      response->cache_hit = true;
-      return;
+void QueryService::AnswerTopK(const QueryRequest& request,
+                              const CancelToken* cancel,
+                              QueryResponse* response) {
+  const uint32_t options_id = InternOptions(*request.options);
+  if (options_id == kUncachedOptionsId) {
+    // Intern table full: no exact key, so no cache and no dedup — but
+    // still a correct (freshly computed) answer.
+    QueryResponse computed =
+        cloudwalker_->Execute(request, /*pool=*/nullptr, cancel);
+    response->status = computed.status;
+    response->stats = computed.stats;
+    if (computed.status.ok()) {
+      computed_.fetch_add(1, std::memory_order_relaxed);
+      response->payload = computed.topk();
     }
-  }
-
-  std::shared_ptr<InFlight> state;
-  if (options_.dedup_in_flight) {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
-    auto it = inflight_.find(key);
-    if (it != inflight_.end()) {
-      state = it->second;  // follower: someone else is computing this key
-    } else {
-      inflight_.emplace(key, std::make_shared<InFlight>());
-    }
-  }
-  if (state != nullptr) {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->cv.wait(lock, [&] { return state->done; });
-    response->status = state->status;
-    response->topk = state->result;
-    response->deduped = true;
-    dedup_shared_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  const CacheKey key = TopKKey(request.a, request.k, options_id);
+  while (true) {
+    if (cache_ != nullptr) {
+      if (ShardedLruCache::Value hit = cache_->Get(key)) {
+        response->payload = TopKPtr(std::move(hit));
+        response->cache_hit = true;
+        return;
+      }
+    }
 
-  // Leader (or dedup disabled): run the kernel.
-  auto top = cloudwalker_->SingleSourceTopK(source, k, options_.query);
-  computed_.fetch_add(1, std::memory_order_relaxed);
-  if (top.ok()) {
-    response->topk = std::make_shared<const std::vector<ScoredNode>>(
-        std::move(top).value());
-    if (cache_ != nullptr) cache_->Put(key, response->topk);
-  } else {
-    response->status = top.status();
-  }
-
-  if (options_.dedup_in_flight) {
-    std::shared_ptr<InFlight> own;
-    {
+    std::shared_ptr<InFlight> follow;
+    if (options_.dedup_in_flight) {
       std::lock_guard<std::mutex> lock(inflight_mu_);
       auto it = inflight_.find(key);
-      own = std::move(it->second);
-      inflight_.erase(it);
+      if (it != inflight_.end()) {
+        follow = it->second;  // follower: someone else is computing this key
+      } else {
+        inflight_.emplace(key, std::make_shared<InFlight>());
+      }
     }
-    std::lock_guard<std::mutex> lock(own->mu);
-    own->done = true;
-    own->status = response->status;
-    own->result = response->topk;
-    own->cv.notify_all();
+    if (follow != nullptr) {
+      {
+        // Wait for the leader, but keep honoring *this* request's token:
+        // a follower whose deadline passes (or that is cancelled) while
+        // dedup-waiting gives up instead of sitting out the leader's
+        // entire run. Polled at a coarse tick — the same order of
+        // granularity as the kernel's per-level checkpoints.
+        std::unique_lock<std::mutex> lock(follow->mu);
+        while (!follow->done) {
+          follow->cv.wait_for(lock, std::chrono::milliseconds(5));
+          if (!follow->done && cancel->ShouldStop()) {
+            response->status = cancel->ToStatus();
+            return;
+          }
+        }
+      }
+      if (follow->status.ok()) {
+        response->payload = follow->result;
+        response->deduped = true;
+        dedup_shared_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // The leader stopped on *its* deadline or cancellation — an error
+      // that is per-request, not per-key, so it must not fan out. Retry
+      // under this request's own token (which may have stopped too).
+      if (cancel->ShouldStop()) {
+        response->status = cancel->ToStatus();
+        return;
+      }
+      continue;
+    }
+
+    // Leader (or dedup disabled): run the kernel through the facade.
+    QueryResponse computed =
+        cloudwalker_->Execute(request, /*pool=*/nullptr, cancel);
+    response->status = computed.status;
+    response->stats = computed.stats;
+    if (computed.status.ok()) {
+      computed_.fetch_add(1, std::memory_order_relaxed);
+      response->payload = computed.topk();
+      if (cache_ != nullptr) cache_->Put(key, computed.topk());
+    }
+
+    if (options_.dedup_in_flight) {
+      std::shared_ptr<InFlight> own;
+      {
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        auto it = inflight_.find(key);
+        own = std::move(it->second);
+        inflight_.erase(it);
+      }
+      std::lock_guard<std::mutex> lock(own->mu);
+      own->done = true;
+      own->status = response->status;
+      own->result = computed.status.ok() ? computed.topk() : nullptr;
+      own->cv.notify_all();
+    }
+    return;
   }
 }
 
-ServeResponse QueryService::Execute(const ServeRequest& request) {
-  switch (request.type) {
-    case ServeRequestType::kPair:
-      return Pair(request.a, request.b);
-    case ServeRequestType::kSourceTopK:
-      return SourceTopK(request.a, request.k);
+void QueryService::Publish(const std::shared_ptr<State>& state,
+                           QueryResponse response) {
+  // One clock for every requester: wall time since admission, so queue
+  // wait and dedup wait are part of the reported latency.
+  response.latency_seconds = state->admitted.Seconds();
+  if (response.status.IsResourceExhausted()) {
+    // Queue-full rejections complete their future but stay out of the
+    // served-traffic accounting: a microsecond rejection in the latency
+    // histogram (or in QPS) would make overload look *faster*.
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    switch (response.kind) {
+      case QueryKind::kPair:
+        pair_queries_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case QueryKind::kSingleSource:
+        source_queries_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case QueryKind::kSourceTopK:
+        topk_queries_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case QueryKind::kAllPairsTopK:
+        all_pairs_queries_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    if (!response.status.ok()) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      if (response.status.IsDeadlineExceeded()) {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+      } else if (response.status.IsCancelled()) {
+        cancelled_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    latencies_.Record(response.latency_seconds);
   }
-  ServeResponse response;
-  response.status = Status::InvalidArgument("unknown request type");
-  return response;
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->response = std::move(response);
+    state->done = true;
+  }
+  state->cv.notify_all();
 }
 
-std::vector<ServeResponse> QueryService::ExecuteBatch(
-    const std::vector<ServeRequest>& requests) {
-  std::vector<ServeResponse> responses(requests.size());
-  // grain == 1: every request is an independently claimed unit of work, so
-  // identical sources landing on different threads overlap and dedup.
-  ParallelFor(pool_, 0, requests.size(), /*grain=*/1,
-              [&](uint64_t begin, uint64_t end) {
-                for (uint64_t r = begin; r < end; ++r) {
-                  responses[r] = Execute(requests[r]);
-                }
-              });
-  return responses;
+QueryResponse QueryService::Execute(const QueryRequest& request) {
+  return SubmitInternal(request, /*block_on_full=*/true).Wait();
+}
+
+QueryResponse QueryService::Pair(NodeId i, NodeId j) {
+  return Execute(QueryRequest::Pair(i, j));
+}
+
+QueryResponse QueryService::SourceTopK(NodeId source, uint32_t k) {
+  return Execute(QueryRequest::SourceTopK(source, k));
+}
+
+std::vector<QueryResponse> QueryService::ExecuteBatch(
+    const std::vector<QueryRequest>& requests) {
+  // Every request is an independently scheduled unit of work, so identical
+  // sources landing on different workers overlap and dedup. Backpressure
+  // (not rejection) keeps replayed batches lossless under a bounded queue.
+  std::vector<QueryFuture> futures;
+  futures.reserve(requests.size());
+  for (const QueryRequest& request : requests) {
+    futures.push_back(SubmitInternal(request, /*block_on_full=*/true));
+  }
+  return WhenAll(futures);
 }
 
 ServeStats QueryService::Stats() const {
   ServeStats s;
   s.pair_queries = pair_queries_.load(std::memory_order_relaxed);
+  s.source_queries = source_queries_.load(std::memory_order_relaxed);
   s.topk_queries = topk_queries_.load(std::memory_order_relaxed);
+  s.all_pairs_queries = all_pairs_queries_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.computed = computed_.load(std::memory_order_relaxed);
   s.dedup_shared = dedup_shared_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (cache_ != nullptr) {
@@ -155,10 +425,15 @@ ServeStats QueryService::Stats() const {
 
 void QueryService::ResetStats() {
   pair_queries_.store(0, std::memory_order_relaxed);
+  source_queries_.store(0, std::memory_order_relaxed);
   topk_queries_.store(0, std::memory_order_relaxed);
+  all_pairs_queries_.store(0, std::memory_order_relaxed);
   errors_.store(0, std::memory_order_relaxed);
   computed_.store(0, std::memory_order_relaxed);
   dedup_shared_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  deadline_exceeded_.store(0, std::memory_order_relaxed);
+  cancelled_.store(0, std::memory_order_relaxed);
   latencies_.Reset();
   std::lock_guard<std::mutex> lock(stats_mu_);
   if (cache_ != nullptr) cache_baseline_ = cache_->counters();

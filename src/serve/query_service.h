@@ -1,29 +1,52 @@
 // QueryService — the concurrent query-serving layer (DESIGN.md section 6).
 //
 // A QueryService wraps a shared immutable CloudWalker (graph + diagonal
-// index) and executes streams of typed requests on a ThreadPool:
+// index) and executes unified typed QueryRequests (core/request.h) on a
+// ThreadPool through an asynchronous, future-based core:
 //
 //   CloudWalker cw = ...;            // indexed, immutable
 //   ThreadPool pool;
 //   QueryService service(&cw, ServeOptions{}, &pool);
-//   ServeResponse r = service.SourceTopK(42, 10);        // one request
-//   auto batch = service.ExecuteBatch(requests);         // many, parallel
-//   ServeStats s = service.Stats();                      // p50/p95/p99, QPS
+//   QueryFuture f = service.Submit(          // async: admit + enqueue
+//       QueryRequest::SourceTopK(42, 10).WithTimeout(0.050));
+//   QueryResponse r = f.Wait();              // block for this answer
+//   auto batch = service.ExecuteBatch(requests);   // many, parallel
+//   ServeStats s = service.Stats();                // p50/p95/p99, QPS
+//
+// Submit() performs *admission*: the request's effective options are
+// validated once (ValidateQueryOptions — same function, same messages as
+// the facade and the CLI), its deadline is armed on the future's
+// CancelToken, and the bounded in-flight queue is charged. A full queue
+// rejects immediately with kResourceExhausted instead of buffering
+// without bound; an armed deadline is checked at admission, when a worker
+// picks the request up, and cooperatively between walk blocks inside the
+// kernel, so an abandoned request stops consuming CPU. QueryFuture::
+// Cancel() requests the same cooperative stop explicitly. Stopped
+// requests complete with kDeadlineExceeded / kCancelled and never poison
+// the cache (only OK answers are inserted).
 //
 // Three mechanisms make it serve-fast without touching the kernels:
-//   1. a sharded LRU cache over single-source top-k answers,
-//   2. in-flight deduplication: concurrent identical (source, k) requests
-//      are computed once and fanned out to every waiter,
-//   3. wait-free latency/throughput accounting (ServeStats).
+//   1. a sharded LRU cache over single-source top-k answers, keyed by
+//      (kind, interned options id, source, k) so per-request option
+//      overrides can never share an entry,
+//   2. in-flight deduplication: concurrent identical top-k requests are
+//      computed once and fanned out to every waiter,
+//   3. wait-free latency/throughput accounting (ServeStats); latencies
+//      are measured from admission for every requester, dedup waiters
+//      included.
 // Kernel runs themselves go through the wrapped CloudWalker's prebuilt
 // WalkContext, i.e. the batched alias-arena walk engine (DESIGN.md
 // section 8) — cache misses pay the fast kernel, not the scalar one.
 //
-// Determinism contract: query options are fixed per service, every cache
-// entry is keyed by (source, k), and the kernels derive their randomness
-// from (options.seed, source) — so every response is bit-identical to the
-// equivalent direct CloudWalker::SinglePair / SingleSourceTopK call,
+// Determinism contract: a request's answer depends only on (effective
+// options, request fields), both folded into the cache key — so every
+// response is bit-identical to the equivalent direct CloudWalker call,
 // regardless of thread count, cache state, or request interleaving.
+//
+// Legacy blocking API: Execute / Pair / SourceTopK / ExecuteBatch are
+// thin shims over Submit(...).Wait() (with backpressure instead of
+// rejection, so a replayed batch always completes), preserved for callers
+// that predate the async core.
 
 #ifndef CLOUDWALKER_SERVE_QUERY_SERVICE_H_
 #define CLOUDWALKER_SERVE_QUERY_SERVICE_H_
@@ -35,96 +58,128 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "common/threading.h"
 #include "common/timer.h"
 #include "core/cloudwalker.h"
+#include "core/request.h"
 #include "serve/lru_cache.h"
 #include "serve/stats.h"
 
 namespace cloudwalker {
 
-/// The two online request types the service answers.
-enum class ServeRequestType : uint8_t {
-  kPair = 0,        // MCSP: s(a, b)
-  kSourceTopK = 1,  // MCSS + top-k: the k nodes most similar to a
+/// Waitable handle to one submitted request, backed by shared completion
+/// state. Copyable (copies share the same underlying request); a
+/// default-constructed future is invalid. The future stays usable after
+/// the service that issued it is destroyed (the service drains first).
+class QueryFuture {
+ public:
+  QueryFuture() = default;
+
+  /// False only for default-constructed futures.
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the response has been published.
+  bool done() const;
+
+  /// Blocks until the response is published, then returns it (repeatable;
+  /// every call returns the same answer).
+  QueryResponse Wait() const;
+
+  /// Waits up to `seconds`; true when the response became available.
+  bool WaitFor(double seconds) const;
+
+  /// Requests cooperative cancellation: a queued request completes with
+  /// kCancelled without running a kernel, a running one stops at its next
+  /// checkpoint. A request that already completed is unaffected.
+  void Cancel() const;
+
+ private:
+  friend class QueryService;
+
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    QueryResponse response;
+    CancelToken cancel;  // armed with the deadline at admission
+    WallTimer admitted;  // latency is measured from admission for everyone
+  };
+
+  explicit QueryFuture(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
 };
 
-/// One typed request. Use the factory helpers; `b`/`k` are only meaningful
-/// for the matching type.
-struct ServeRequest {
-  ServeRequestType type = ServeRequestType::kPair;
-  NodeId a = 0;    // pair: i; top-k: the source node
-  NodeId b = 0;    // pair: j
-  uint32_t k = 0;  // top-k: result size
+/// Waits for every future and returns the responses aligned by index.
+/// Invalid futures yield a default response with an Internal status.
+std::vector<QueryResponse> WhenAll(const std::vector<QueryFuture>& futures);
 
-  static ServeRequest Pair(NodeId i, NodeId j) {
-    return ServeRequest{ServeRequestType::kPair, i, j, 0};
-  }
-  static ServeRequest TopK(NodeId source, uint32_t k) {
-    return ServeRequest{ServeRequestType::kSourceTopK, source, 0, k};
-  }
-
-  bool operator==(const ServeRequest&) const = default;
-};
-
-/// One answered request. Exactly one of `score` / `topk` is meaningful,
-/// per the request type; both are unset when `status` is not OK.
-struct ServeResponse {
-  Status status;
-  double score = 0.0;                                   // kPair
-  std::shared_ptr<const std::vector<ScoredNode>> topk;  // kSourceTopK
-  bool cache_hit = false;  // answered straight from the result cache
-  bool deduped = false;    // joined a concurrent identical computation
-  double latency_seconds = 0.0;  // wall time inside the service
-};
-
-/// Serving-layer configuration. `query` is fixed for the lifetime of the
-/// service — it implicitly keys the result cache, so changing options
-/// requires a new QueryService (by design: one service = one reproducible
-/// answer per (source, k)).
+/// Serving-layer configuration. `query` holds the default QueryOptions;
+/// requests may override them per call — the override is folded into the
+/// result-cache key, so heterogeneous options keep the one-answer-per-key
+/// contract (by design: one (key) = one reproducible answer).
 struct ServeOptions {
   /// Max resident entries in the top-k result cache; 0 disables caching.
   size_t cache_capacity = 1 << 14;
   /// Lock shards in the cache (clamped to [1, cache_capacity]).
   int cache_shards = 8;
-  /// Compute concurrent identical (source, k) requests once, fanning the
+  /// Compute concurrent identical top-k requests once, fanning the
   /// answer out to every waiter.
   bool dedup_in_flight = true;
-  /// Query options applied to every request.
+  /// Admission control: max requests admitted but not yet completed.
+  /// Submit() rejects with kResourceExhausted beyond this; the blocking
+  /// shims apply backpressure instead. 0 = unbounded.
+  size_t max_queue_depth = 4096;
+  /// Default query options; per-request overrides take precedence.
   QueryOptions query;
 };
 
-/// Thread-safe facade serving MCSP / MCSS-top-k requests over a shared
-/// immutable CloudWalker. All methods may be called from any thread.
+/// Thread-safe serving facade over a shared immutable CloudWalker. All
+/// methods may be called from any thread.
 class QueryService {
  public:
   /// `cloudwalker` is borrowed and must outlive the service. `pool` (also
-  /// borrowed, may be null for serial batches) runs ExecuteBatch requests.
+  /// borrowed, may be null for synchronous execution) runs submitted
+  /// requests; with a null pool, Submit() executes inline before
+  /// returning an already-completed future.
   QueryService(const CloudWalker* cloudwalker,
                const ServeOptions& options = {}, ThreadPool* pool = nullptr);
+
+  /// Blocks until every admitted request has completed.
+  ~QueryService();
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// MCSP s(i, j) on the calling thread (never cached — pair answers are
-  /// cheap relative to their key-space size).
-  ServeResponse Pair(NodeId i, NodeId j);
+  /// Admits `request` and returns its future. Admission validates the
+  /// effective options, arms the deadline, and charges the bounded
+  /// queue; a rejected or invalid request returns an already-completed
+  /// future carrying the error. A top-k request whose answer is already
+  /// resident is served inline on the calling thread — a cache hit needs
+  /// no queue slot and no worker, so warm traffic never touches the
+  /// admission lock.
+  QueryFuture Submit(const QueryRequest& request);
 
-  /// Top-k most similar to `source`, on the calling thread, via cache and
-  /// in-flight dedup.
-  ServeResponse SourceTopK(NodeId source, uint32_t k);
+  /// Blocking shim: Submit + Wait, with backpressure (waits for queue
+  /// space instead of rejecting).
+  QueryResponse Execute(const QueryRequest& request);
 
-  /// Dispatches one typed request on the calling thread.
-  ServeResponse Execute(const ServeRequest& request);
+  /// Legacy blocking shims over Execute().
+  QueryResponse Pair(NodeId i, NodeId j);
+  QueryResponse SourceTopK(NodeId source, uint32_t k);
 
-  /// Executes a mixed batch on the pool (one request per chunk, so
+  /// Executes a mixed batch on the pool (one request per work unit, so
   /// identical concurrent sources can dedup); responses align with
-  /// `requests` by index. Serial when the pool is null.
-  std::vector<ServeResponse> ExecuteBatch(
-      const std::vector<ServeRequest>& requests);
+  /// `requests` by index. Applies backpressure, never rejects. Serial
+  /// when the pool is null.
+  std::vector<QueryResponse> ExecuteBatch(
+      const std::vector<QueryRequest>& requests);
 
   /// Aggregate metrics since construction / the last ResetStats().
   ServeStats Stats() const;
@@ -137,34 +192,81 @@ class QueryService {
   const ServeOptions& options() const { return options_; }
 
  private:
+  using State = QueryFuture::State;
+
   // Shared completion state for one in-flight top-k computation.
   struct InFlight {
     std::mutex mu;
     std::condition_variable cv;
     bool done = false;
     Status status;
-    std::shared_ptr<const std::vector<ScoredNode>> result;
+    TopKPtr result;
   };
 
-  // Computes (or joins) the top-k answer; fills everything but latency.
-  void AnswerTopK(NodeId source, uint32_t k, ServeResponse* response);
+  // InternOptions returns this once kMaxInternedOptions distinct option
+  // sets exist; such requests still answer correctly, just uncached and
+  // undeduped (no id means no exact key).
+  static constexpr uint32_t kUncachedOptionsId = 0xffffffffu;
+  // Bound on distinct interned option sets (memory and scan cap; real
+  // traffic uses a handful).
+  static constexpr size_t kMaxInternedOptions = 4096;
+
+  // Admission: validate, arm deadline, serve resident cache hits inline,
+  // charge the queue, dispatch.
+  QueryFuture SubmitInternal(const QueryRequest& request, bool block_on_full);
+
+  // Executes one admitted request on the current thread.
+  void RunTask(const std::shared_ptr<State>& state,
+               const QueryRequest& request);
+
+  // Computes (or joins) a top-k answer via cache + dedup.
+  void AnswerTopK(const QueryRequest& request, const CancelToken* cancel,
+                  QueryResponse* response);
+
+  // Stamps admission-based latency, bumps counters, publishes the
+  // response, and wakes waiters.
+  void Publish(const std::shared_ptr<State>& state, QueryResponse response);
+
+  // Maps an options set to its stable small id, packed into cache/dedup
+  // keys. Lock-free for the service defaults (id 0); overrides take
+  // intern_mu_ and an O(1) hash lookup. Returns kUncachedOptionsId once
+  // the table is full.
+  uint32_t InternOptions(const QueryOptions& options);
 
   const CloudWalker* cloudwalker_;
   ServeOptions options_;
   ThreadPool* pool_;
   std::unique_ptr<ShardedLruCache> cache_;  // null when caching is off
 
+  // Admission bookkeeping: requests admitted but not yet published.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  size_t in_flight_ = 0;
+
+  // Interned per-request option overrides: one entry per distinct option
+  // set ever submitted (capped at kMaxInternedOptions), plus a hash
+  // index so lookups stay O(1) as the table grows.
+  mutable std::mutex intern_mu_;
+  std::vector<QueryOptions> interned_options_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> intern_index_;
+
   std::mutex inflight_mu_;
-  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;
+  std::unordered_map<CacheKey, std::shared_ptr<InFlight>, CacheKeyHash>
+      inflight_;
 
   LatencyHistogram latencies_;
   mutable std::mutex stats_mu_;  // guards window_ and cache_baseline_
   WallTimer window_;             // QPS window start
   std::atomic<uint64_t> pair_queries_{0};
+  std::atomic<uint64_t> source_queries_{0};
   std::atomic<uint64_t> topk_queries_{0};
+  std::atomic<uint64_t> all_pairs_queries_{0};
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> computed_{0};
   std::atomic<uint64_t> dedup_shared_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cancelled_{0};
   ShardedLruCache::Counters cache_baseline_;  // counters at last ResetStats
 };
 

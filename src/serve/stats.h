@@ -54,11 +54,16 @@ class LatencyHistogram {
 /// Point-in-time aggregate serving metrics (returned by
 /// QueryService::Stats).
 struct ServeStats {
-  uint64_t pair_queries = 0;     // completed single-pair requests
-  uint64_t topk_queries = 0;     // completed source-top-k requests
-  uint64_t errors = 0;           // requests that returned a non-OK status
-  uint64_t computed = 0;         // requests that ran a query kernel
-  uint64_t dedup_shared = 0;     // requests that joined an in-flight twin
+  uint64_t pair_queries = 0;       // completed kPair requests
+  uint64_t source_queries = 0;     // completed kSingleSource requests
+  uint64_t topk_queries = 0;       // completed kSourceTopK requests
+  uint64_t all_pairs_queries = 0;  // completed kAllPairsTopK requests
+  uint64_t errors = 0;             // requests that returned a non-OK status
+  uint64_t computed = 0;           // requests that ran a query kernel
+  uint64_t dedup_shared = 0;       // requests that joined an in-flight twin
+  uint64_t rejected = 0;           // kResourceExhausted at admission
+  uint64_t deadline_exceeded = 0;  // completed with kDeadlineExceeded
+  uint64_t cancelled = 0;          // completed with kCancelled
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
@@ -70,8 +75,14 @@ struct ServeStats {
   double p99_ms = 0.0;
   double mean_ms = 0.0;
 
-  /// Completed requests of either type.
-  uint64_t total_queries() const { return pair_queries + topk_queries; }
+  /// Completed requests of every kind. Queue-full rejections are NOT
+  /// included (their futures complete with kResourceExhausted, counted in
+  /// `rejected`/`errors` only) — microsecond rejections would otherwise
+  /// drag the latency histogram and QPS toward zero-cost work and make
+  /// overload look fast.
+  uint64_t total_queries() const {
+    return pair_queries + source_queries + topk_queries + all_pairs_queries;
+  }
 
   /// Hits / (hits + misses), or 0 when the cache saw no lookups.
   double CacheHitRate() const {

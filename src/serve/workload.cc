@@ -17,6 +17,13 @@ Status WorkloadSpec::Validate() const {
   if (pair_fraction < 0.0 || pair_fraction > 1.0) {
     return Status::InvalidArgument("pair_fraction must be in [0, 1]");
   }
+  if (source_fraction < 0.0 || source_fraction > 1.0) {
+    return Status::InvalidArgument("source_fraction must be in [0, 1]");
+  }
+  if (pair_fraction + source_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "pair_fraction + source_fraction must not exceed 1");
+  }
   if (skew == WorkloadSkew::kZipf && !(zipf_theta > 0.0)) {
     return Status::InvalidArgument("zipf_theta must be > 0");
   }
@@ -40,7 +47,7 @@ NodeId ZipfSampler::Sample(Xoshiro256& rng) const {
   return static_cast<NodeId>(it - cdf_.begin());
 }
 
-StatusOr<std::vector<ServeRequest>> GenerateWorkload(
+StatusOr<std::vector<QueryRequest>> GenerateWorkload(
     NodeId num_nodes, const WorkloadSpec& spec) {
   CW_RETURN_IF_ERROR(spec.Validate());
   if (num_nodes == 0) {
@@ -59,38 +66,57 @@ StatusOr<std::vector<ServeRequest>> GenerateWorkload(
                : static_cast<NodeId>(node_rng.UniformInt32(num_nodes));
   };
 
-  std::vector<ServeRequest> requests;
+  std::vector<QueryRequest> requests;
   requests.reserve(spec.num_requests);
   for (uint64_t r = 0; r < spec.num_requests; ++r) {
-    if (type_rng.Bernoulli(spec.pair_fraction)) {
-      requests.push_back(ServeRequest::Pair(draw_node(), draw_node()));
+    // One draw splits [0, 1) into pair / source / top-k bands, so the
+    // stream stays deterministic as fractions change.
+    const double band = type_rng.NextDouble();
+    if (band < spec.pair_fraction) {
+      requests.push_back(QueryRequest::Pair(draw_node(), draw_node()));
+    } else if (band < spec.pair_fraction + spec.source_fraction) {
+      requests.push_back(QueryRequest::SingleSource(draw_node()));
     } else {
-      requests.push_back(ServeRequest::TopK(draw_node(), spec.topk));
+      requests.push_back(QueryRequest::SourceTopK(draw_node(), spec.topk));
     }
   }
   return requests;
 }
 
-Status SaveWorkloadText(const std::vector<ServeRequest>& requests,
+Status SaveWorkloadText(const std::vector<QueryRequest>& requests,
                         const std::string& path) {
   std::ofstream out(path);
   if (!out) return Status::IoError("cannot open " + path + " for writing");
   out << "# cloudwalker workload: " << requests.size() << " requests\n";
-  for (const ServeRequest& r : requests) {
-    if (r.type == ServeRequestType::kPair) {
-      out << "pair " << r.a << " " << r.b << "\n";
-    } else {
-      out << "topk " << r.a << " " << r.k << "\n";
+  for (const QueryRequest& r : requests) {
+    // The verb vocabulary is QueryKindToString — one definition shared
+    // with the loader, so the format cannot silently fork.
+    switch (r.kind) {
+      case QueryKind::kPair:
+        out << QueryKindToString(r.kind) << " " << r.a << " " << r.b
+            << "\n";
+        break;
+      case QueryKind::kSingleSource:
+        out << QueryKindToString(r.kind) << " " << r.a << "\n";
+        break;
+      case QueryKind::kSourceTopK:
+        out << QueryKindToString(r.kind) << " " << r.a << " " << r.k
+            << "\n";
+        break;
+      case QueryKind::kAllPairsTopK:
+        return Status::InvalidArgument(
+            "all-pairs requests have no workload-file representation");
     }
   }
   if (!out) return Status::IoError("write failed on " + path);
   return Status::Ok();
 }
 
-StatusOr<std::vector<ServeRequest>> LoadWorkloadText(const std::string& path) {
+StatusOr<std::vector<QueryRequest>> LoadWorkloadText(
+    const std::string& path) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
-  std::vector<ServeRequest> requests;
+  std::vector<QueryRequest> requests;
   std::string line;
   uint64_t line_no = 0;
   while (std::getline(in, line)) {
@@ -99,11 +125,15 @@ StatusOr<std::vector<ServeRequest>> LoadWorkloadText(const std::string& path) {
     if (stripped.empty() || stripped.front() == '#') continue;
     std::istringstream fields{std::string(stripped)};
     std::string verb;
+    fields >> verb;
+    const bool one_field = verb == QueryKindToString(QueryKind::kSingleSource);
     uint64_t x = 0, y = 0;
-    fields >> verb >> x >> y;
+    fields >> x;
+    if (!one_field) fields >> y;
     if (fields.fail()) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": expected '<verb> <a> <b>'");
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_no) + ": expected '" +
+          (one_field ? "source <q>'" : "<verb> <a> <b>'"));
     }
     if (x > 0xffffffffull || y > 0xffffffffull) {
       return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
@@ -114,12 +144,14 @@ StatusOr<std::vector<ServeRequest>> LoadWorkloadText(const std::string& path) {
       return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
                                      ": trailing content '" + extra + "'");
     }
-    if (verb == "pair") {
-      requests.push_back(ServeRequest::Pair(static_cast<NodeId>(x),
+    if (verb == QueryKindToString(QueryKind::kPair)) {
+      requests.push_back(QueryRequest::Pair(static_cast<NodeId>(x),
                                             static_cast<NodeId>(y)));
-    } else if (verb == "topk") {
-      requests.push_back(ServeRequest::TopK(static_cast<NodeId>(x),
-                                            static_cast<uint32_t>(y)));
+    } else if (verb == QueryKindToString(QueryKind::kSourceTopK)) {
+      requests.push_back(QueryRequest::SourceTopK(static_cast<NodeId>(x),
+                                                  static_cast<uint32_t>(y)));
+    } else if (one_field) {
+      requests.push_back(QueryRequest::SingleSource(static_cast<NodeId>(x)));
     } else {
       return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
                                      ": unknown verb '" + verb + "'");

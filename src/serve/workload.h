@@ -1,17 +1,20 @@
 // Serving workload generation and replay files.
 //
-// A workload is an ordered stream of ServeRequests. Generated workloads
+// A workload is an ordered stream of QueryRequests (core/request.h).
+// Generated workloads
 // draw their query nodes from a uniform or zipfian source distribution
 // (zipfian models the heavy skew of real query traffic, where a small set
 // of hot entities receives most requests — the regime the serving cache
 // is built for; DESIGN.md section 6.5). Generation is fully deterministic
 // in the spec: same spec, same node count, same requests.
 //
-// The on-disk format is line-oriented text, one request per line:
+// The on-disk format is line-oriented text, one request per line (verbs
+// match QueryKindToString):
 //
 //   # comment / blank lines ignored
 //   pair <i> <j>
 //   topk <source> <k>
+//   source <q>
 
 #ifndef CLOUDWALKER_SERVE_WORKLOAD_H_
 #define CLOUDWALKER_SERVE_WORKLOAD_H_
@@ -22,7 +25,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
-#include "serve/query_service.h"
+#include "core/request.h"
 
 namespace cloudwalker {
 
@@ -37,8 +40,11 @@ enum class WorkloadSkew {
 struct WorkloadSpec {
   /// Total number of requests.
   uint64_t num_requests = 1000;
-  /// Fraction of requests that are single-pair (the rest are top-k).
+  /// Fraction of requests that are single-pair.
   double pair_fraction = 0.2;
+  /// Fraction of requests that are full single-source vectors (the
+  /// remainder after pair_fraction + source_fraction are top-k).
+  double source_fraction = 0.0;
   /// k of every top-k request.
   uint32_t topk = 10;
   /// Source-node skew.
@@ -48,8 +54,9 @@ struct WorkloadSpec {
   /// Master seed for the request stream.
   uint64_t seed = 42;
 
-  /// InvalidArgument unless num_requests >= 1, pair_fraction in [0, 1]
-  /// and zipf_theta > 0.
+  /// InvalidArgument unless num_requests >= 1, pair_fraction and
+  /// source_fraction are in [0, 1] and sum to at most 1, and
+  /// zipf_theta > 0.
   Status Validate() const;
 };
 
@@ -68,17 +75,17 @@ class ZipfSampler {
 };
 
 /// Generates `spec.num_requests` requests over node ids [0, num_nodes).
-/// Pair endpoints and top-k sources follow the configured skew; the pair /
-/// top-k interleaving is an independent deterministic stream.
-StatusOr<std::vector<ServeRequest>> GenerateWorkload(NodeId num_nodes,
-                                                     const WorkloadSpec& spec);
+/// Pair endpoints and source nodes follow the configured skew; the
+/// request-kind interleaving is an independent deterministic stream.
+StatusOr<std::vector<QueryRequest>> GenerateWorkload(
+    NodeId num_nodes, const WorkloadSpec& spec);
 
 /// Writes the workload in the text format above.
-Status SaveWorkloadText(const std::vector<ServeRequest>& requests,
+Status SaveWorkloadText(const std::vector<QueryRequest>& requests,
                         const std::string& path);
 
 /// Reads a workload written by SaveWorkloadText (or by hand).
-StatusOr<std::vector<ServeRequest>> LoadWorkloadText(const std::string& path);
+StatusOr<std::vector<QueryRequest>> LoadWorkloadText(const std::string& path);
 
 }  // namespace cloudwalker
 

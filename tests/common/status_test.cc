@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 namespace cloudwalker {
 namespace {
 
@@ -48,7 +52,37 @@ INSTANTIATE_TEST_SUITE_P(
         CodeCase{Status::Unimplemented("m"), StatusCode::kUnimplemented,
                  "Unimplemented"},
         CodeCase{Status::IoError("m"), StatusCode::kIoError, "IoError"},
-        CodeCase{Status::Internal("m"), StatusCode::kInternal, "Internal"}));
+        CodeCase{Status::Internal("m"), StatusCode::kInternal, "Internal"},
+        CodeCase{Status::DeadlineExceeded("m"),
+                 StatusCode::kDeadlineExceeded, "DeadlineExceeded"},
+        CodeCase{Status::Cancelled("m"), StatusCode::kCancelled,
+                 "Cancelled"}));
+
+TEST(StatusTest, PredicatesMatchExactlyOneCode) {
+  using Predicate = bool (Status::*)() const;
+  const std::vector<std::pair<Status, Predicate>> cases = {
+      {Status::InvalidArgument("m"), &Status::IsInvalidArgument},
+      {Status::NotFound("m"), &Status::IsNotFound},
+      {Status::OutOfRange("m"), &Status::IsOutOfRange},
+      {Status::FailedPrecondition("m"), &Status::IsFailedPrecondition},
+      {Status::ResourceExhausted("m"), &Status::IsResourceExhausted},
+      {Status::Unimplemented("m"), &Status::IsUnimplemented},
+      {Status::IoError("m"), &Status::IsIoError},
+      {Status::Internal("m"), &Status::IsInternal},
+      {Status::DeadlineExceeded("m"), &Status::IsDeadlineExceeded},
+      {Status::Cancelled("m"), &Status::IsCancelled},
+  };
+  for (size_t holder = 0; holder < cases.size(); ++holder) {
+    EXPECT_FALSE(cases[holder].first.ok());
+    for (size_t pred = 0; pred < cases.size(); ++pred) {
+      EXPECT_EQ((cases[holder].first.*cases[pred].second)(), holder == pred)
+          << "status " << cases[holder].first.ToString() << " vs predicate "
+          << pred;
+    }
+    // No predicate matches an OK status.
+    EXPECT_FALSE((Status::Ok().*cases[holder].second)());
+  }
+}
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
   EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
@@ -119,6 +153,57 @@ TEST(StatusMacroTest, AssignOrReturn) {
   EXPECT_EQ(good.value(), 10);
   auto bad = Doubler(false);
   EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+// --- CW_ASSIGN_OR_RETURN case set (the async API's error plumbing). ------
+
+StatusOr<std::unique_ptr<int>> MaybeBox(bool ok) {
+  if (!ok) return Status::DeadlineExceeded("too slow");
+  return std::make_unique<int>(9);
+}
+
+StatusOr<int> UnboxViaAssign(bool ok) {
+  // Move-only values move through the macro without a copy.
+  CW_ASSIGN_OR_RETURN(std::unique_ptr<int> box, MaybeBox(ok));
+  return *box;
+}
+
+TEST(StatusMacroTest, AssignOrReturnMovesMoveOnlyValues) {
+  auto good = UnboxViaAssign(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 9);
+  auto bad = UnboxViaAssign(false);
+  EXPECT_TRUE(bad.status().IsDeadlineExceeded());
+  EXPECT_EQ(bad.status().message(), "too slow");
+}
+
+StatusOr<int> ChainedAssigns(bool first_ok, bool second_ok) {
+  CW_ASSIGN_OR_RETURN(int a, MaybeInt(first_ok));
+  CW_ASSIGN_OR_RETURN(int b, MaybeInt(second_ok));
+  return a + b;
+}
+
+TEST(StatusMacroTest, AssignOrReturnChainsAndShortCircuits) {
+  auto both = ChainedAssigns(true, true);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both.value(), 10);
+  // The first failing expression wins; the second is never evaluated
+  // as a value.
+  EXPECT_TRUE(ChainedAssigns(false, true).status().IsNotFound());
+  EXPECT_TRUE(ChainedAssigns(true, false).status().IsNotFound());
+}
+
+StatusOr<int> AssignIntoExisting(bool ok) {
+  int existing = -1;
+  CW_ASSIGN_OR_RETURN(existing, MaybeInt(ok));
+  return existing;
+}
+
+TEST(StatusMacroTest, AssignOrReturnAssignsIntoExistingVariables) {
+  auto good = AssignIntoExisting(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 5);
+  EXPECT_TRUE(AssignIntoExisting(false).status().IsNotFound());
 }
 
 }  // namespace

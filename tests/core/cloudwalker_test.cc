@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <variant>
 
 #include "graph/generators.h"
 
@@ -199,6 +200,70 @@ TEST(CloudWalkerTest, QueriesAreThreadSafe) {
     ASSERT_TRUE(s.ok());
     EXPECT_DOUBLE_EQ(results[i], s.value()) << "query " << i;
   }
+}
+
+// --- Execute(): the unified request entry point. -------------------------
+
+TEST(CloudWalkerTest, ExecuteMatchesPerKindMethodsBitExactly) {
+  const Graph g = GenerateRmat(100, 700, 1);
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  const QueryOptions q = FastQuery();
+
+  const QueryResponse pair =
+      cw->Execute(QueryRequest::Pair(3, 17).WithOptions(q));
+  ASSERT_TRUE(pair.ok()) << pair.status.ToString();
+  EXPECT_EQ(pair.score(), cw->SinglePair(3, 17, q).value());
+  EXPECT_GT(pair.stats.walk_steps, 0u);
+  EXPECT_GT(pair.latency_seconds, 0.0);
+
+  const QueryResponse source =
+      cw->Execute(QueryRequest::SingleSource(7).WithOptions(q));
+  ASSERT_TRUE(source.ok());
+  auto direct_source = cw->SingleSource(7, q);
+  ASSERT_TRUE(direct_source.ok());
+  ASSERT_EQ(source.scores()->size(), direct_source->size());
+  for (size_t i = 0; i < direct_source->size(); ++i) {
+    EXPECT_EQ((*source.scores())[i], (*direct_source)[i]);
+  }
+
+  const QueryResponse topk =
+      cw->Execute(QueryRequest::SourceTopK(7, 5).WithOptions(q));
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(*topk.topk(), cw->SingleSourceTopK(7, 5, q).value());
+
+  QueryOptions light = q;
+  light.num_walkers = 100;  // keep the full sweep cheap
+  const QueryResponse all =
+      cw->Execute(QueryRequest::AllPairsTopK(2).WithOptions(light));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all.all_pairs(), cw->AllPairs(2, light).value());
+}
+
+TEST(CloudWalkerTest, ExecuteValidatesWithTheCentralValidator) {
+  const Graph g = GenerateCycle(10);
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  QueryOptions bad = FastQuery();
+  bad.num_walkers = 0;
+  const QueryResponse r =
+      cw->Execute(QueryRequest::Pair(0, 1).WithOptions(bad));
+  EXPECT_TRUE(r.status.IsInvalidArgument());
+  EXPECT_EQ(r.status, ValidateQueryOptions(bad));  // one message everywhere
+  const QueryResponse oor = cw->Execute(QueryRequest::SourceTopK(99, 3));
+  EXPECT_TRUE(oor.status.IsOutOfRange());
+}
+
+TEST(CloudWalkerTest, ExecuteHonorsRequestDeadline) {
+  const Graph g = GenerateRmat(100, 700, 1);
+  auto cw = CloudWalker::Build(&g, FastIndex());
+  ASSERT_TRUE(cw.ok());
+  QueryOptions heavy = FastQuery();
+  heavy.num_walkers = 300000;  // cannot finish within a 1 ms deadline
+  const QueryResponse r = cw->Execute(
+      QueryRequest::SourceTopK(3, 5).WithOptions(heavy).WithTimeout(1e-3));
+  EXPECT_TRUE(r.status.IsDeadlineExceeded()) << r.status.ToString();
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(r.payload));
 }
 
 }  // namespace

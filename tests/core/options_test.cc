@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace cloudwalker {
 namespace {
 
@@ -77,6 +79,34 @@ TEST(QueryOptionsTest, RejectsNegativePrune) {
   QueryOptions o;
   o.prune_threshold = -1e-9;
   EXPECT_FALSE(o.Validate().ok());
+}
+
+TEST(QueryOptionsTest, ValidateIsAShimOverTheCentralValidator) {
+  // Every layer (facade, QueryService admission, CLI flags) calls
+  // ValidateQueryOptions; the member Validate() must agree verbatim so
+  // error messages never diverge again.
+  for (auto mutate : std::vector<void (*)(QueryOptions&)>{
+           [](QueryOptions&) {},
+           [](QueryOptions& q) { q.num_walkers = 0; },
+           [](QueryOptions& q) { q.push_fanout = 0; },
+           [](QueryOptions& q) { q.prune_threshold = -1.0; }}) {
+    QueryOptions q;
+    mutate(q);
+    EXPECT_EQ(q.Validate(), ValidateQueryOptions(q));
+  }
+}
+
+TEST(QueryOptionsTest, EqualityComparesEveryKnob) {
+  QueryOptions a, b;
+  EXPECT_TRUE(a == b);
+  b.seed = 123;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.push = PushStrategy::kExact;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.prune_threshold = 0.5;
+  EXPECT_FALSE(a == b);
 }
 
 }  // namespace

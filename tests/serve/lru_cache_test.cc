@@ -13,24 +13,32 @@ ShardedLruCache::Value MakeValue(NodeId node) {
       std::vector<ScoredNode>{{node, 1.0}});
 }
 
-TEST(PackTopKKeyTest, DistinctPairsNeverCollide) {
-  EXPECT_NE(PackTopKKey(1, 10), PackTopKKey(10, 1));
-  EXPECT_NE(PackTopKKey(0, 1), PackTopKKey(1, 0));
-  EXPECT_EQ(PackTopKKey(7, 5), PackTopKKey(7, 5));
+// Shorthand: a key in the low word only (the tests' key space).
+CacheKey Key(uint64_t lo) { return CacheKey{0, lo}; }
+
+TEST(CacheKeyTest, DistinctPackingsNeverCollide) {
+  // 128 bits hold (kind, options id, source, k) losslessly: flipping any
+  // half, or swapping fields across halves, yields a different key.
+  EXPECT_NE((CacheKey{0, 1}), (CacheKey{1, 0}));
+  EXPECT_NE((CacheKey{2, 10}), (CacheKey{2, 11}));
+  EXPECT_NE((CacheKey{2, 10}), (CacheKey{3, 10}));
+  EXPECT_EQ((CacheKey{7, 5}), (CacheKey{7, 5}));
+  // Equal keys hash equally (unordered_map prerequisite).
+  EXPECT_EQ(CacheKeyHash{}(CacheKey{7, 5}), CacheKeyHash{}(CacheKey{7, 5}));
 }
 
 TEST(ShardedLruCacheTest, GetReturnsWhatWasPut) {
   ShardedLruCache cache(/*capacity=*/8, /*num_shards=*/2);
-  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(Key(1)), nullptr);
   const auto v = MakeValue(1);
-  cache.Put(1, v);
-  EXPECT_EQ(cache.Get(1), v);  // same shared object, not a copy
+  cache.Put(Key(1), v);
+  EXPECT_EQ(cache.Get(Key(1)), v);  // same shared object, not a copy
   EXPECT_EQ(cache.size(), 1u);
 }
 
 TEST(ShardedLruCacheTest, CapacityIsAHardBound) {
   ShardedLruCache cache(/*capacity=*/4, /*num_shards=*/2);
-  for (uint64_t key = 0; key < 64; ++key) cache.Put(key, MakeValue(0));
+  for (uint64_t key = 0; key < 64; ++key) cache.Put(Key(key), MakeValue(0));
   EXPECT_LE(cache.size(), 4u);
   const auto c = cache.counters();
   EXPECT_EQ(c.insertions, 64u);
@@ -40,27 +48,27 @@ TEST(ShardedLruCacheTest, CapacityIsAHardBound) {
 TEST(ShardedLruCacheTest, EvictsLeastRecentlyUsed) {
   // One shard makes the recency order global and the test exact.
   ShardedLruCache cache(/*capacity=*/3, /*num_shards=*/1);
-  cache.Put(1, MakeValue(1));
-  cache.Put(2, MakeValue(2));
-  cache.Put(3, MakeValue(3));
-  ASSERT_NE(cache.Get(1), nullptr);  // promote 1; LRU order is now 2, 3, 1
-  cache.Put(4, MakeValue(4));        // evicts 2
-  EXPECT_EQ(cache.Get(2), nullptr);
-  EXPECT_NE(cache.Get(1), nullptr);
-  EXPECT_NE(cache.Get(3), nullptr);
-  EXPECT_NE(cache.Get(4), nullptr);
+  cache.Put(Key(1), MakeValue(1));
+  cache.Put(Key(2), MakeValue(2));
+  cache.Put(Key(3), MakeValue(3));
+  ASSERT_NE(cache.Get(Key(1)), nullptr);  // promote 1; LRU order is now 2, 3, 1
+  cache.Put(Key(4), MakeValue(4));        // evicts 2
+  EXPECT_EQ(cache.Get(Key(2)), nullptr);
+  EXPECT_NE(cache.Get(Key(1)), nullptr);
+  EXPECT_NE(cache.Get(Key(3)), nullptr);
+  EXPECT_NE(cache.Get(Key(4)), nullptr);
   EXPECT_EQ(cache.counters().evictions, 1u);
 }
 
 TEST(ShardedLruCacheTest, PutOverwritesAndPromotes) {
   ShardedLruCache cache(/*capacity=*/2, /*num_shards=*/1);
-  cache.Put(1, MakeValue(1));
-  cache.Put(2, MakeValue(2));
+  cache.Put(Key(1), MakeValue(1));
+  cache.Put(Key(2), MakeValue(2));
   const auto updated = MakeValue(9);
-  cache.Put(1, updated);      // overwrite promotes 1; LRU order is 2, 1
-  cache.Put(3, MakeValue(3));  // evicts 2
-  EXPECT_EQ(cache.Get(1), updated);
-  EXPECT_EQ(cache.Get(2), nullptr);
+  cache.Put(Key(1), updated);      // overwrite promotes 1; LRU order is 2, 1
+  cache.Put(Key(3), MakeValue(3));  // evicts 2
+  EXPECT_EQ(cache.Get(Key(1)), updated);
+  EXPECT_EQ(cache.Get(Key(2)), nullptr);
   EXPECT_EQ(cache.size(), 2u);
 }
 
@@ -70,15 +78,15 @@ TEST(ShardedLruCacheTest, ShardingPartitionsKeysAndCapacity) {
   // Shard choice is deterministic and covers all shards over many keys.
   std::vector<bool> seen(4, false);
   for (uint64_t key = 0; key < 256; ++key) {
-    const int shard = cache.ShardIndex(key);
+    const int shard = cache.ShardIndex(Key(key));
     ASSERT_GE(shard, 0);
     ASSERT_LT(shard, 4);
-    EXPECT_EQ(shard, cache.ShardIndex(key));
+    EXPECT_EQ(shard, cache.ShardIndex(Key(key)));
     seen[shard] = true;
   }
   for (bool s : seen) EXPECT_TRUE(s);
   // Filling from a single stream still respects the global capacity.
-  for (uint64_t key = 0; key < 256; ++key) cache.Put(key, MakeValue(0));
+  for (uint64_t key = 0; key < 256; ++key) cache.Put(Key(key), MakeValue(0));
   EXPECT_LE(cache.size(), 8u);
 }
 
@@ -91,10 +99,10 @@ TEST(ShardedLruCacheTest, ShardCountClampedToCapacity) {
 
 TEST(ShardedLruCacheTest, CountersTrackHitsAndMisses) {
   ShardedLruCache cache(/*capacity=*/4, /*num_shards=*/2);
-  cache.Put(1, MakeValue(1));
-  cache.Get(1);
-  cache.Get(1);
-  cache.Get(2);
+  cache.Put(Key(1), MakeValue(1));
+  cache.Get(Key(1));
+  cache.Get(Key(1));
+  cache.Get(Key(2));
   const auto c = cache.counters();
   EXPECT_EQ(c.hits, 2u);
   EXPECT_EQ(c.misses, 1u);
@@ -102,11 +110,11 @@ TEST(ShardedLruCacheTest, CountersTrackHitsAndMisses) {
 
 TEST(ShardedLruCacheTest, ClearDropsEntriesKeepsCounters) {
   ShardedLruCache cache(/*capacity=*/4, /*num_shards=*/2);
-  cache.Put(1, MakeValue(1));
-  cache.Get(1);
+  cache.Put(Key(1), MakeValue(1));
+  cache.Get(Key(1));
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.Get(1), nullptr);
+  EXPECT_EQ(cache.Get(Key(1)), nullptr);
   EXPECT_EQ(cache.counters().hits, 1u);
   EXPECT_EQ(cache.counters().insertions, 1u);
 }

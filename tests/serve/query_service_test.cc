@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "graph/generators.h"
@@ -53,40 +54,40 @@ TEST_F(QueryServiceTest, PairBitIdenticalToDirectCall) {
   QueryService service(cloudwalker_, Options());
   for (auto [i, j] : std::vector<std::pair<NodeId, NodeId>>{
            {0, 1}, {5, 77}, {33, 33}, {149, 2}}) {
-    const ServeResponse r = service.Pair(i, j);
+    const QueryResponse r = service.Pair(i, j);
     ASSERT_TRUE(r.status.ok());
     const auto direct = cloudwalker_->SinglePair(i, j, Options().query);
     ASSERT_TRUE(direct.ok());
-    EXPECT_EQ(r.score, *direct);  // exact, not approximate
+    EXPECT_EQ(r.score(), *direct);  // exact, not approximate
   }
 }
 
 TEST_F(QueryServiceTest, TopKBitIdenticalToDirectCall) {
   QueryService service(cloudwalker_, Options());
   for (NodeId source : {0u, 7u, 42u, 149u}) {
-    const ServeResponse r = service.SourceTopK(source, 8);
+    const QueryResponse r = service.SourceTopK(source, 8);
     ASSERT_TRUE(r.status.ok());
     const auto direct =
         cloudwalker_->SingleSourceTopK(source, 8, Options().query);
     ASSERT_TRUE(direct.ok());
-    ASSERT_EQ(r.topk->size(), direct->size());
+    ASSERT_EQ(r.topk()->size(), direct->size());
     for (size_t p = 0; p < direct->size(); ++p) {
-      EXPECT_EQ((*r.topk)[p].node, (*direct)[p].node);
-      EXPECT_EQ((*r.topk)[p].score, (*direct)[p].score);  // bit-identical
+      EXPECT_EQ((*r.topk())[p].node, (*direct)[p].node);
+      EXPECT_EQ((*r.topk())[p].score, (*direct)[p].score);  // bit-identical
     }
   }
 }
 
 TEST_F(QueryServiceTest, CacheHitReturnsTheSharedResult) {
   QueryService service(cloudwalker_, Options());
-  const ServeResponse first = service.SourceTopK(3, 5);
+  const QueryResponse first = service.SourceTopK(3, 5);
   ASSERT_TRUE(first.status.ok());
   EXPECT_FALSE(first.cache_hit);
-  const ServeResponse second = service.SourceTopK(3, 5);
+  const QueryResponse second = service.SourceTopK(3, 5);
   EXPECT_TRUE(second.cache_hit);
-  EXPECT_EQ(second.topk, first.topk);  // same object, fanned out
+  EXPECT_EQ(second.topk(), first.topk());  // same object, fanned out
   // A different k is a different cache entry.
-  const ServeResponse other_k = service.SourceTopK(3, 6);
+  const QueryResponse other_k = service.SourceTopK(3, 6);
   EXPECT_FALSE(other_k.cache_hit);
   const ServeStats s = service.Stats();
   EXPECT_EQ(s.cache_hits, 1u);
@@ -98,44 +99,44 @@ TEST_F(QueryServiceTest, CacheDisabledRecomputesEveryRequest) {
   ServeOptions options = Options();
   options.cache_capacity = 0;
   QueryService service(cloudwalker_, options);
-  const ServeResponse a = service.SourceTopK(3, 5);
-  const ServeResponse b = service.SourceTopK(3, 5);
+  const QueryResponse a = service.SourceTopK(3, 5);
+  const QueryResponse b = service.SourceTopK(3, 5);
   EXPECT_FALSE(b.cache_hit);
   EXPECT_EQ(service.Stats().computed, 2u);
   // Recomputation is still deterministic.
-  ASSERT_EQ(a.topk->size(), b.topk->size());
-  EXPECT_EQ(*a.topk, *b.topk);
+  ASSERT_EQ(a.topk()->size(), b.topk()->size());
+  EXPECT_EQ(*a.topk(), *b.topk());
 }
 
 TEST_F(QueryServiceTest, ConcurrentBatchBitIdenticalToDirectCalls) {
   ThreadPool pool(4);
   QueryService service(cloudwalker_, Options(), &pool);
-  std::vector<ServeRequest> requests;
+  std::vector<QueryRequest> requests;
   for (NodeId v = 0; v < 40; ++v) {
-    requests.push_back(ServeRequest::TopK(v % 13, 7));  // repeats included
-    requests.push_back(ServeRequest::Pair(v, (v * 31 + 1) % 150));
+    requests.push_back(QueryRequest::SourceTopK(v % 13, 7));  // repeats
+    requests.push_back(QueryRequest::Pair(v, (v * 31 + 1) % 150));
   }
-  const std::vector<ServeResponse> responses = service.ExecuteBatch(requests);
+  const std::vector<QueryResponse> responses = service.ExecuteBatch(requests);
   ASSERT_EQ(responses.size(), requests.size());
   for (size_t r = 0; r < requests.size(); ++r) {
     ASSERT_TRUE(responses[r].status.ok()) << responses[r].status.ToString();
-    if (requests[r].type == ServeRequestType::kPair) {
+    if (requests[r].kind == QueryKind::kPair) {
       const auto direct = cloudwalker_->SinglePair(
           requests[r].a, requests[r].b, Options().query);
-      EXPECT_EQ(responses[r].score, *direct);
+      EXPECT_EQ(responses[r].score(), *direct);
     } else {
       const auto direct = cloudwalker_->SingleSourceTopK(
           requests[r].a, requests[r].k, Options().query);
-      EXPECT_EQ(*responses[r].topk, *direct);
+      EXPECT_EQ(*responses[r].topk(), *direct);
     }
   }
   // Replaying the whole batch yields the same answers again.
-  const std::vector<ServeResponse> replay = service.ExecuteBatch(requests);
+  const std::vector<QueryResponse> replay = service.ExecuteBatch(requests);
   for (size_t r = 0; r < requests.size(); ++r) {
-    if (requests[r].type == ServeRequestType::kPair) {
-      EXPECT_EQ(replay[r].score, responses[r].score);
+    if (requests[r].kind == QueryKind::kPair) {
+      EXPECT_EQ(replay[r].score(), responses[r].score());
     } else {
-      EXPECT_EQ(*replay[r].topk, *responses[r].topk);
+      EXPECT_EQ(*replay[r].topk(), *responses[r].topk());
     }
   }
 }
@@ -148,16 +149,16 @@ TEST_F(QueryServiceTest, DedupComputesOnceAndFansOut) {
   ServeOptions options = Options();
   options.cache_capacity = 0;
   QueryService service(cloudwalker_, options, &pool);
-  const std::vector<ServeRequest> storm(64, ServeRequest::TopK(9, 6));
-  const std::vector<ServeResponse> responses = service.ExecuteBatch(storm);
+  const std::vector<QueryRequest> storm(64, QueryRequest::SourceTopK(9, 6));
+  const std::vector<QueryResponse> responses = service.ExecuteBatch(storm);
   const ServeStats s = service.Stats();
   EXPECT_EQ(s.topk_queries, 64u);
   EXPECT_EQ(s.computed + s.dedup_shared, 64u);
   EXPECT_GE(s.computed, 1u);
   const auto direct = cloudwalker_->SingleSourceTopK(9, 6, options.query);
-  for (const ServeResponse& r : responses) {
+  for (const QueryResponse& r : responses) {
     ASSERT_TRUE(r.status.ok());
-    EXPECT_EQ(*r.topk, *direct);  // fanned-out answers are bit-identical
+    EXPECT_EQ(*r.topk(), *direct);  // fanned-out answers are bit-identical
   }
 }
 
@@ -167,7 +168,7 @@ TEST_F(QueryServiceTest, DedupDisabledComputesEveryRequest) {
   options.cache_capacity = 0;
   options.dedup_in_flight = false;
   QueryService service(cloudwalker_, options, &pool);
-  const std::vector<ServeRequest> storm(16, ServeRequest::TopK(9, 6));
+  const std::vector<QueryRequest> storm(16, QueryRequest::SourceTopK(9, 6));
   service.ExecuteBatch(storm);
   const ServeStats s = service.Stats();
   EXPECT_EQ(s.computed, 16u);
@@ -205,18 +206,20 @@ TEST_F(QueryServiceTest, ResetStatsZeroesTheWindow) {
   EXPECT_EQ(s.cache_misses, 0u);
   EXPECT_EQ(s.p99_ms, 0.0);
   // The cache itself survives the reset: the replay is a hit.
-  const ServeResponse r = service.SourceTopK(2, 5);
+  const QueryResponse r = service.SourceTopK(2, 5);
   EXPECT_TRUE(r.cache_hit);
   EXPECT_EQ(service.Stats().cache_hits, 1u);
 }
 
 TEST_F(QueryServiceTest, OutOfRangeRequestsReportErrors) {
   QueryService service(cloudwalker_, Options());
-  const ServeResponse pair = service.Pair(0, 100000);
+  const QueryResponse pair = service.Pair(0, 100000);
   EXPECT_FALSE(pair.status.ok());
-  const ServeResponse topk = service.SourceTopK(100000, 5);
+  EXPECT_TRUE(pair.status.IsOutOfRange());
+  const QueryResponse topk = service.SourceTopK(100000, 5);
   EXPECT_FALSE(topk.status.ok());
-  EXPECT_EQ(topk.topk, nullptr);
+  // A failed request never carries a payload.
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(topk.payload));
   EXPECT_EQ(service.Stats().errors, 2u);
 }
 
@@ -244,8 +247,8 @@ TEST(WorkloadTest, RespectsSpecShape) {
   auto requests = GenerateWorkload(100, spec);
   ASSERT_TRUE(requests.ok());
   ASSERT_EQ(requests->size(), 400u);
-  for (const ServeRequest& r : *requests) {
-    EXPECT_EQ(r.type, ServeRequestType::kSourceTopK);
+  for (const QueryRequest& r : *requests) {
+    EXPECT_EQ(r.kind, QueryKind::kSourceTopK);
     EXPECT_EQ(r.k, 12u);
     EXPECT_LT(r.a, 100u);
   }
@@ -259,7 +262,7 @@ TEST(WorkloadTest, ZipfSkewsTowardLowRanks) {
   auto requests = GenerateWorkload(1000, spec);
   ASSERT_TRUE(requests.ok());
   std::map<NodeId, int> counts;
-  for (const ServeRequest& r : *requests) ++counts[r.a];
+  for (const QueryRequest& r : *requests) ++counts[r.a];
   // The hottest decile must dominate the coldest decile decisively.
   int hot = 0, cold = 0;
   for (const auto& [node, n] : counts) {
@@ -272,9 +275,15 @@ TEST(WorkloadTest, ZipfSkewsTowardLowRanks) {
 TEST(WorkloadTest, SaveLoadRoundTrip) {
   WorkloadSpec spec;
   spec.num_requests = 50;
-  spec.pair_fraction = 0.5;
+  spec.pair_fraction = 0.4;
+  spec.source_fraction = 0.2;  // exercises the 'source <q>' verb too
   auto requests = GenerateWorkload(64, spec);
   ASSERT_TRUE(requests.ok());
+  bool saw_source = false;
+  for (const QueryRequest& r : *requests) {
+    saw_source |= r.kind == QueryKind::kSingleSource;
+  }
+  EXPECT_TRUE(saw_source);
   const std::string path = ::testing::TempDir() + "workload_roundtrip.txt";
   ASSERT_TRUE(SaveWorkloadText(*requests, path).ok());
   auto loaded = LoadWorkloadText(path);
@@ -304,6 +313,10 @@ TEST(WorkloadTest, ValidatesSpec) {
   EXPECT_FALSE(GenerateWorkload(10, spec).ok());
   spec = WorkloadSpec{};
   spec.num_requests = 0;
+  EXPECT_FALSE(GenerateWorkload(10, spec).ok());
+  spec = WorkloadSpec{};
+  spec.pair_fraction = 0.7;
+  spec.source_fraction = 0.7;  // fractions must sum to at most 1
   EXPECT_FALSE(GenerateWorkload(10, spec).ok());
   spec = WorkloadSpec{};
   EXPECT_FALSE(GenerateWorkload(0, spec).ok());

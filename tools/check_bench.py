@@ -16,7 +16,16 @@ Exit status: 0 when every gate holds, 1 otherwise.
 Refreshing a baseline after an intentional perf change (DESIGN.md section 8):
   CW_BENCH_QUICK=1 CW_BENCH_JSON=BENCH_ENGINE.json \
       build/bench/bench_micro_engine
+  CW_BENCH_QUICK=1 CW_BENCH_JSON=BENCH_SERVE.json \
+      build/bench/bench_serve_throughput
 and commit the updated file alongside the change that explains it.
+
+BENCH_SERVE.json gates the serving layer end to end: the warm-cache hit
+rate and the async-submission sanity row (serve_async_completed_fraction,
+absolute floor 1.0 — every Submit() under no limits must complete OK and
+bit-identical to the blocking path; see DESIGN.md section 6.7). The
+overload-mode rejected/deadline fractions are host-dependent and are
+reported ungated.
 """
 
 import argparse

@@ -32,6 +32,16 @@ for ref in $refs; do
   fi
 done
 
+# Anchor sanity: every numbered heading must be unique, otherwise a
+# citation silently resolves to two places (renumbering hazard when a
+# section like 6 is rewritten and regains subsections).
+dupes=$(grep -oE '^#{2,3} [0-9]+(\.[0-9]+)?' DESIGN.md |
+        grep -oE '[0-9]+(\.[0-9]+)?$' | sort | uniq -d)
+if [ -n "$dupes" ]; then
+  echo "FAIL: duplicated DESIGN.md heading number(s): $(echo "$dupes" | tr '\n' ' ')"
+  fail=1
+fi
+
 if [ "$fail" -eq 0 ]; then
   echo "docs-consistency OK: sections $(echo "$refs" | tr '\n' ' ')all resolve"
 fi

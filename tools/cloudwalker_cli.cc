@@ -10,6 +10,7 @@
 //       [--topk=10]
 //   cloudwalker serve    --graph=web.graph --index=web.cwidx
 //       [--workload=reqs.txt | --requests=1000 --skew=zipf]
+//       [--deadline-ms=50] [--max-queue=4096]
 //
 // Graphs are loaded from the binary snapshot format (SaveGraphBinary) or,
 // when the path ends in .txt, from a whitespace edge list. `--threads=N`
@@ -194,6 +195,11 @@ QueryOptions QueryFlags(const std::map<std::string, std::string>& flags) {
     q.push = PushStrategy::kExact;
     q.prune_threshold = 1e-6;
   }
+  // Centralized validation (core/options.h): the CLI rejects bad query
+  // options with exactly the message the facade and QueryService would
+  // use, surfaced by the invalid-flag handler in main.
+  const Status valid = ValidateQueryOptions(q);
+  if (!valid.ok()) throw std::invalid_argument(valid.message());
   return q;
 }
 
@@ -236,7 +242,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   if (!cw.ok()) return Fail(cw.status().ToString());
 
   // Obtain the request stream: replay a file or generate one.
-  std::vector<ServeRequest> requests;
+  std::vector<QueryRequest> requests;
   const std::string workload_path = GetFlag(flags, "workload");
   if (!workload_path.empty()) {
     auto loaded = LoadWorkloadText(workload_path);
@@ -246,6 +252,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     WorkloadSpec spec;
     spec.num_requests = ParseU64(flags, "requests", "1000");
     spec.pair_fraction = std::stod(GetFlag(flags, "pair-frac", "0.2"));
+    spec.source_fraction = std::stod(GetFlag(flags, "source-frac", "0"));
     spec.topk =
         static_cast<uint32_t>(ParseU64(flags, "topk", "10"));
     const std::string skew = GetFlag(flags, "skew", "zipf");
@@ -274,7 +281,15 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   options.cache_capacity = ParseU64(flags, "cache", "16384");
   options.cache_shards = std::stoi(GetFlag(flags, "shards", "8"));
   options.dedup_in_flight = GetFlag(flags, "no-dedup") != "true";
+  options.max_queue_depth = ParseU64(flags, "max-queue", "4096");
   options.query = QueryFlags(flags);
+
+  // Optional per-request deadline, applied uniformly to the stream.
+  const double deadline_seconds =
+      static_cast<double>(ParseU64(flags, "deadline-ms", "0")) / 1e3;
+  if (deadline_seconds > 0.0) {
+    for (QueryRequest& r : requests) r.timeout_seconds = deadline_seconds;
+  }
 
   ThreadPool pool(GetThreads(flags));
   QueryService service(&*cw, options, &pool);
@@ -282,9 +297,9 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
 
   const ServeStats stats = service.Stats();
   std::cout << "served " << stats.total_queries() << " requests ("
-            << stats.pair_queries << " pair, " << stats.topk_queries
-            << " topk, " << stats.errors << " errors) on "
-            << pool.num_threads()
+            << stats.pair_queries << " pair, " << stats.source_queries
+            << " source, " << stats.topk_queries << " topk, " << stats.errors
+            << " errors) on " << pool.num_threads()
             << " threads in " << HumanSeconds(stats.elapsed_seconds) << "\n"
             << "throughput:     " << FormatDouble(stats.qps, 1) << " QPS\n"
             << "latency:        p50 " << FormatDouble(stats.p50_ms, 2)
@@ -297,9 +312,14 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
             << stats.cache_entries << " resident)\n"
             << "dedup:          " << stats.dedup_shared
             << " requests joined an in-flight computation\n"
+            << "admission:      " << stats.deadline_exceeded
+            << " deadline-exceeded, " << stats.cancelled << " cancelled, "
+            << stats.rejected << " rejected\n"
             << "kernel runs:    " << stats.computed << "\n";
-  if (stats.errors != 0) {
-    return Fail(std::to_string(stats.errors) +
+  const uint64_t hard_errors = stats.errors - stats.deadline_exceeded -
+                               stats.cancelled - stats.rejected;
+  if (hard_errors != 0) {
+    return Fail(std::to_string(hard_errors) +
                 " of " + std::to_string(stats.total_queries()) +
                 " requests failed (out-of-range nodes in the workload?)");
   }
@@ -335,16 +355,19 @@ void Usage() {
       "            workload: --workload=PATH to replay a file, else\n"
       "            generated from --requests=N (1000), --skew=zipf|uniform\n"
       "            (zipf), --theta=T (0.99), --pair-frac=F (0.2),\n"
-      "            --topk=K (10), --wseed=S (42); --save-workload=PATH\n"
-      "            writes the generated stream for replay;\n"
+      "            --source-frac=F (0), --topk=K (10), --wseed=S (42);\n"
+      "            --save-workload=PATH writes the generated stream;\n"
       "            serving: --threads=N (hardware), --cache=ENTRIES\n"
       "            (16384, 0 disables), --shards=S (8), --no-dedup,\n"
+      "            --max-queue=N (4096, 0 unbounded), --deadline-ms=D\n"
+      "            (0 = none, applied per request),\n"
       "            --walkers=R' (10000), --seed=S (97), --exact-push\n"
       "  help      Show this message (also --help).\n"
       "\n"
       "--threads=N sizes the worker pool (0 = hardware concurrency).\n"
       "graph paths ending in .txt are parsed as 'from to' edge lists.\n"
-      "workload files are text: one 'pair I J' or 'topk Q K' per line.\n";
+      "workload files are text: one 'pair I J', 'topk Q K', or\n"
+      "'source Q' per line.\n";
 }
 
 }  // namespace
