@@ -3,10 +3,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <utility>
 
 #include "common/string_util.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "core/cloudwalker.h"
+#include "snapshot/snapshot.h"
 
 namespace cloudwalker {
 namespace bench {
@@ -92,6 +96,71 @@ uint64_t ReplicaBytes(const Graph& graph) {
   // Graph replica plus the diag(D) iterate and right-hand side.
   return graph.MemoryBytes() +
          static_cast<uint64_t>(graph.num_nodes()) * 2 * sizeof(double);
+}
+
+namespace {
+
+// Removes `path` on every exit from MeasureSnapshotLoad, error returns
+// included, so a failed run never leaves a large .cwk in the workspace.
+struct RemoveFileOnExit {
+  const std::string& path;
+  ~RemoveFileOnExit() { std::remove(path.c_str()); }
+};
+
+}  // namespace
+
+StatusOr<SnapshotLoadResult> MeasureSnapshotLoad(
+    NodeId num_nodes, uint64_t num_edges, const IndexingOptions& options,
+    ThreadPool* pool, const std::string& path) {
+  const RemoveFileOnExit cleanup{path};
+  SnapshotLoadResult r;
+  Graph graph = GenerateRmat(num_nodes, num_edges, /*seed=*/2015);
+  r.nodes = graph.num_nodes();
+  r.edges = graph.num_edges();
+
+  // Cold build: the work a process without a snapshot pays at startup —
+  // Monte-Carlo index estimation plus the arena build.
+  WallTimer build_timer;
+  CW_ASSIGN_OR_RETURN(std::shared_ptr<const CloudWalker> built,
+                      CloudWalker::Build(std::move(graph), options, pool));
+  r.build_seconds = build_timer.Seconds();
+
+  WallTimer write_timer;
+  CW_RETURN_IF_ERROR(built->WriteSnapshot(path));
+  r.write_seconds = write_timer.Seconds();
+
+  WallTimer open_timer;
+  CW_ASSIGN_OR_RETURN(std::shared_ptr<const CloudWalker> opened,
+                      CloudWalker::Open(path));
+  r.open_seconds = open_timer.Seconds();
+  r.file_bytes = opened->snapshot()->file_bytes();
+
+  WallTimer reopen_timer;
+  CW_ASSIGN_OR_RETURN(std::shared_ptr<const CloudWalker> reopened,
+                      CloudWalker::Open(path));
+  r.reopen_seconds = reopen_timer.Seconds();
+
+  // Probe: the zero-copy instance must answer exactly like its builder.
+  QueryOptions probe;
+  probe.num_walkers = 200;
+  r.identical = true;
+  for (uint64_t i = 0; i < 3; ++i) {
+    const NodeId source =
+        static_cast<NodeId>((i * 131 + 7) % r.nodes);
+    auto a = built->SingleSource(source, probe);
+    auto b = opened->SingleSource(source, probe);
+    if (!a.ok() || !b.ok() || a->size() != b->size()) {
+      r.identical = false;
+      break;
+    }
+    for (size_t e = 0; e < a->size(); ++e) {
+      if (!((*a)[e] == (*b)[e])) {
+        r.identical = false;
+        break;
+      }
+    }
+  }
+  return r;
 }
 
 }  // namespace bench

@@ -60,6 +60,27 @@ std::vector<PaperDatasetInstance> MakeAllDatasets(ThreadPool* pool);
 /// Replica footprint the Broadcasting model needs per worker for `graph`.
 uint64_t ReplicaBytes(const Graph& graph);
 
+/// One snapshot cold-build vs mmap-open comparison (DESIGN.md section 9),
+/// shared by bench_micro_engine (Table 4, the CI-gated ratio) and
+/// bench_snapshot_load (the detailed standalone bench).
+struct SnapshotLoadResult {
+  uint64_t nodes = 0;
+  uint64_t edges = 0;
+  double build_seconds = 0.0;   // owning CloudWalker::Build (threaded)
+  double write_seconds = 0.0;   // WriteSnapshot
+  double open_seconds = 0.0;    // first CloudWalker::Open (cold-ish)
+  double reopen_seconds = 0.0;  // second Open (page cache warm)
+  uint64_t file_bytes = 0;
+  bool identical = false;  // Open answers == Build answers on a probe set
+};
+
+/// Generates an R-MAT graph, runs the full offline build, persists it to
+/// `path`, reopens it twice via mmap, and probes single-source answers for
+/// bit-identity. The snapshot file is removed before returning.
+StatusOr<SnapshotLoadResult> MeasureSnapshotLoad(
+    NodeId num_nodes, uint64_t num_edges, const IndexingOptions& options,
+    ThreadPool* pool, const std::string& path);
+
 }  // namespace bench
 }  // namespace cloudwalker
 

@@ -330,6 +330,55 @@ int main() {
                  "trivially exempt from false sharing)\n\n";
   }
 
+  // --- Table 4: snapshot cold build vs mmap open. ------------------------
+  // The restart-time story (DESIGN.md section 9): a process opening a
+  // persisted cloudwalker-snap-v1 artifact must come up at least 10x
+  // faster than one rebuilding the index from the raw graph. Run on its
+  // own (smaller) graph so the offline build stays benchable; the ratio
+  // is what's gated, and it only grows with graph size.
+  {
+    const NodeId sn = static_cast<NodeId>(
+        std::max<uint64_t>(60'000, static_cast<uint64_t>(1'200'000 * scale)));
+    ThreadPool snapshot_pool;
+    IndexingOptions build_options;  // paper defaults: R=100, T=10, L=3
+    auto snap = bench::MeasureSnapshotLoad(sn, 8ull * sn, build_options,
+                                           &snapshot_pool,
+                                           "bench-snapshot-tmp.cwk");
+    CW_CHECK_OK(snap.status());
+    const double open_speedup = snap->build_seconds / snap->open_seconds;
+    const double file_bytes_per_edge =
+        static_cast<double>(snap->file_bytes) /
+        static_cast<double>(snap->edges);
+    TablePrinter t({"phase", "seconds"});
+    t.AddRow({"cold build (index + arena)",
+              FormatDouble(snap->build_seconds, 3)});
+    t.AddRow({"write snapshot", FormatDouble(snap->write_seconds, 3)});
+    t.AddRow({"mmap open + verify", FormatDouble(snap->open_seconds, 4)});
+    t.AddRow({"reopen (page cache warm)",
+              FormatDouble(snap->reopen_seconds, 4)});
+    std::cout << "Table 4 — snapshot restart time (|V|="
+              << HumanCount(snap->nodes) << ", |E|="
+              << HumanCount(snap->edges) << ", "
+              << HumanBytes(snap->file_bytes) << " artifact):\n";
+    t.RenderText(std::cout);
+    std::cout << "mmap-open speedup vs cold build: "
+              << FormatDouble(open_speedup, 1) << "x (target >= 10x) — "
+              << (open_speedup >= 10.0 ? "PASS" : "FAIL")
+              << "; answers bit-identical: "
+              << (snap->identical ? "PASS" : "FAIL") << "\n\n";
+    report.AddMetric({"snapshot_cold_build_seconds", snap->build_seconds,
+                      "s", /*higher_is_better=*/false, false, -1.0});
+    report.AddMetric({"snapshot_open_seconds", snap->open_seconds, "s",
+                      /*higher_is_better=*/false, false, -1.0});
+    report.AddMetric({"snapshot_open_speedup_vs_build", open_speedup, "x",
+                      true, /*gate=*/true, /*min=*/10.0});
+    report.AddMetric({"snapshot_file_bytes_per_edge", file_bytes_per_edge,
+                      "B", /*higher_is_better=*/false, false, -1.0});
+    report.AddMetric({"snapshot_roundtrip_identical",
+                      snap->identical ? 1.0 : 0.0, "bool", true,
+                      /*gate=*/true, /*min=*/1.0});
+  }
+
   const bool ok = report.FloorsPass();
   if (!report.WriteIfRequested()) return 1;
   std::cout << (ok ? "bench_micro_engine: PASS\n"

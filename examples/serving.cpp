@@ -9,7 +9,9 @@
 // This example builds that stack end to end, issues single async
 // requests, and replays a zipfian request stream through it, twice: a
 // cold pass that fills the cache and a warm pass that mostly serves from
-// it.
+// it — then hot-swaps a refreshed engine in mid-traffic (Publish, DESIGN.md
+// section 9) and self-checks that pre-swap and post-swap responses each
+// match their own version's direct kernel answers.
 //
 //   ./serving   # no arguments; a few seconds
 
@@ -41,14 +43,15 @@ void PrintStats(const char* label, const ServeStats& s) {
 
 int main() {
   // --- 1. Offline: a graph and its diagonal index (one-time cost). -------
-  Graph graph = GenerateRmat(/*num_nodes=*/5000, /*num_edges=*/60000,
-                             /*seed=*/7);
   ThreadPool pool;  // shared by indexing and serving
-  auto cw = CloudWalker::Build(&graph, IndexingOptions{}, &pool);
+  auto cw = CloudWalker::Build(
+      GenerateRmat(/*num_nodes=*/5000, /*num_edges=*/60000, /*seed=*/7),
+      IndexingOptions{}, &pool);
   if (!cw.ok()) {
     std::cerr << "indexing failed: " << cw.status().ToString() << "\n";
     return 1;
   }
+  const Graph& graph = (*cw)->graph();
   std::cout << "indexed " << HumanCount(graph.num_nodes()) << " nodes / "
             << HumanCount(graph.num_edges()) << " edges\n";
 
@@ -59,7 +62,7 @@ int main() {
   options.dedup_in_flight = true;
   options.max_queue_depth = 1024;   // reject instead of buffering forever
   options.query.num_walkers = 500;  // interactive-latency R'
-  QueryService service(&*cw, options, &pool);
+  QueryService service(*cw, options, &pool);
 
   // A single async request, exactly as a frontend handler would issue it:
   // submit with a deadline, do other work, then wait on the future.
@@ -125,11 +128,56 @@ int main() {
 
   // --- 4. Served answers are bit-identical to direct kernel calls. -------
   const QueryResponse again = service.SourceTopK(1, 5);
-  auto direct = cw->SingleSourceTopK(1, 5, options.query);
+  auto direct = (*cw)->SingleSourceTopK(1, 5, options.query);
   const bool identical =
       direct.ok() && again.ok() && *again.topk() == *direct;
   std::cout << "\nserved result identical to direct SingleSourceTopK: "
             << (identical ? "yes" : "NO — bug!") << " (cache hit: "
             << (again.cache_hit ? "yes" : "no") << ")\n";
-  return identical ? 0 : 1;
+  if (!identical) return 1;
+
+  // --- 5. Hot swap a refreshed engine in, live, mid-traffic. --------------
+  // The product shipped a new graph build (new edges, new index). Publish
+  // routes every admission after it to v2 while requests already admitted
+  // finish — and answer — on v1.
+  auto v2 = CloudWalker::Build(
+      GenerateRmat(/*num_nodes=*/5000, /*num_edges=*/60000, /*seed=*/8),
+      IndexingOptions{}, &pool);
+  if (!v2.ok()) {
+    std::cerr << "v2 indexing failed: " << v2.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::vector<QueryFuture> pre_swap;
+  for (NodeId s = 0; s < 32; ++s) {
+    pre_swap.push_back(service.Submit(QueryRequest::SourceTopK(s, 5)));
+  }
+  auto epoch = service.Publish(*v2);  // <- the swap, zero downtime
+  if (!epoch.ok()) {
+    std::cerr << "publish failed: " << epoch.status().ToString() << "\n";
+    return 1;
+  }
+  std::vector<QueryFuture> post_swap;
+  for (NodeId s = 0; s < 32; ++s) {
+    post_swap.push_back(service.Submit(QueryRequest::SourceTopK(s, 5)));
+  }
+
+  // Self-check: each phase matches its own version's direct answers.
+  size_t mixed = 0;
+  const std::vector<QueryResponse> pre = WhenAll(pre_swap);
+  const std::vector<QueryResponse> post = WhenAll(post_swap);
+  for (NodeId s = 0; s < 32; ++s) {
+    auto d1 = (*cw)->SingleSourceTopK(s, 5, options.query);
+    auto d2 = (*v2)->SingleSourceTopK(s, 5, options.query);
+    if (!pre[s].ok() || !d1.ok() || *pre[s].topk() != *d1) ++mixed;
+    if (!post[s].ok() || !d2.ok() || *post[s].topk() != *d2) ++mixed;
+  }
+  std::cout << "\nhot swap: published v"
+            << service.Stats().snapshot_version << " (epoch " << *epoch
+            << ") mid-traffic; " << pre.size() << " pre-swap + "
+            << post.size() << " post-swap responses, "
+            << (mixed == 0 ? "all matched their own version"
+                           : "VERSION MIX — bug!")
+            << "\n";
+  return mixed == 0 ? 0 : 1;
 }

@@ -1,6 +1,7 @@
 #include "baselines/lin.h"
 
 #include <atomic>
+#include <span>
 
 #include "common/logging.h"
 #include "common/sparse.h"
@@ -90,7 +91,7 @@ std::vector<double> LinIndex::SingleSource(NodeId q) const {
   const NodeId n = graph_->num_nodes();
   const WalkDistributions dists = ExactWalkDistributions(
       *graph_, q, options_.params.num_steps, options_.prune_threshold);
-  const std::vector<double>& diag = diagonal_.diagonal();
+  const std::span<const double> diag = diagonal_.diagonal();
 
   std::vector<double> scores(n, 0.0);
   SparseAccumulator acc(1024);

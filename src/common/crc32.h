@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip checksum) for integrity
+// stamping of persisted artifacts — every payload section of the snapshot
+// format (DESIGN.md section 9) carries one. Table-driven, ~1 byte/cycle;
+// plenty for load-time verification of multi-megabyte sections.
+
+#ifndef CLOUDWALKER_COMMON_CRC32_H_
+#define CLOUDWALKER_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cloudwalker {
+
+/// CRC-32 of `size` bytes at `data`, continuing from `seed` (pass the
+/// previous call's result to checksum discontiguous pieces as one stream;
+/// the default starts a fresh checksum). Crc32(nullptr, 0) == 0.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_COMMON_CRC32_H_

@@ -98,7 +98,7 @@ double SparseVector::Dot(const SparseVector& a, const SparseVector& b) {
 }
 
 double SparseVector::DotWeighted(const SparseVector& a, const SparseVector& b,
-                                 const std::vector<double>& diag) {
+                                 std::span<const double> diag) {
   double s = 0.0;
   size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {

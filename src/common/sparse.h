@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace cloudwalker {
@@ -72,7 +73,7 @@ class SparseVector {
   /// Dot product with a per-index diagonal weight:
   /// sum_k a[k] * b[k] * diag[k]. `diag` is dense, indexed by entry index.
   static double DotWeighted(const SparseVector& a, const SparseVector& b,
-                            const std::vector<double>& diag);
+                            std::span<const double> diag);
 
   /// a + alpha * b, returned as a new sorted vector.
   static SparseVector Axpy(const SparseVector& a, double alpha,

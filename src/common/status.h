@@ -28,6 +28,7 @@ enum class StatusCode {
   kInternal = 8,
   kDeadlineExceeded = 9,
   kCancelled = 10,
+  kDataLoss = 11,
 };
 
 /// Returns the canonical name of `code`, e.g. "InvalidArgument".
@@ -76,6 +77,9 @@ class Status {
   static Status Cancelled(std::string_view msg) {
     return Status(StatusCode::kCancelled, msg);
   }
+  static Status DataLoss(std::string_view msg) {
+    return Status(StatusCode::kDataLoss, msg);
+  }
 
   /// True iff the status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -102,6 +106,7 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// The canonical code.
   StatusCode code() const { return code_; }

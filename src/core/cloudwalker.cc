@@ -3,11 +3,14 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "snapshot/snapshot.h"
 
 namespace cloudwalker {
 namespace {
 
 double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+constexpr char kBuilderTag[] = "cloudwalker-0.1.0";
 
 }  // namespace
 
@@ -20,7 +23,16 @@ StatusOr<CloudWalker> CloudWalker::Build(const Graph* graph,
   IndexingStats stats;
   CW_ASSIGN_OR_RETURN(DiagonalIndex index,
                       BuildDiagonalIndex(*graph, options, pool, &stats));
-  return CloudWalker(graph, std::move(index), stats);
+  return CloudWalker(graph, std::move(index), stats, options);
+}
+
+StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Build(
+    Graph&& graph, const IndexingOptions& options, ThreadPool* pool) {
+  auto owned = std::make_shared<const Graph>(std::move(graph));
+  CW_ASSIGN_OR_RETURN(CloudWalker built, Build(owned.get(), options, pool));
+  built.owned_graph_ = std::move(owned);
+  return std::shared_ptr<const CloudWalker>(
+      new CloudWalker(std::move(built)));
 }
 
 StatusOr<CloudWalker> CloudWalker::FromIndex(const Graph* graph,
@@ -33,7 +45,71 @@ StatusOr<CloudWalker> CloudWalker::FromIndex(const Graph* graph,
         "index covers " + std::to_string(index.num_nodes()) +
         " nodes but the graph has " + std::to_string(graph->num_nodes()));
   }
-  return CloudWalker(graph, std::move(index), IndexingStats{});
+  IndexingOptions options;
+  options.params = index.params();
+  return CloudWalker(graph, std::move(index), IndexingStats{}, options);
+}
+
+StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::FromIndex(
+    Graph&& graph, DiagonalIndex index) {
+  auto owned = std::make_shared<const Graph>(std::move(graph));
+  CW_ASSIGN_OR_RETURN(CloudWalker built,
+                      FromIndex(owned.get(), std::move(index)));
+  built.owned_graph_ = std::move(owned);
+  return std::shared_ptr<const CloudWalker>(
+      new CloudWalker(std::move(built)));
+}
+
+StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Open(
+    const std::string& path) {
+  CW_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotView> view,
+                      SnapshotView::Open(path));
+  // Every flat array below aliases the mapping; the instance pins `view`
+  // (and the view-backed Graph) for as long as any query can touch them.
+  auto graph = std::make_shared<const Graph>(Graph::FromCsrViews(
+      view->num_nodes(), view->out_offsets(), view->out_targets(),
+      view->in_offsets(), view->in_targets()));
+  auto context = std::make_shared<const WalkContext>(
+      *graph,
+      AliasArena::FromViews(view->arena_offsets(), view->arena_slots()));
+  DiagonalIndex index =
+      DiagonalIndex::FromView(view->params(), view->diagonal());
+
+  const SnapshotMetadata& meta = view->metadata();
+  IndexingOptions options;
+  options.params = view->params();
+  options.num_walkers = meta.num_walkers;
+  options.jacobi_iterations = meta.jacobi_iterations;
+  options.seed = meta.seed;
+  options.row_mode = static_cast<RowMode>(meta.row_mode);
+  options.dangling = static_cast<DanglingPolicy>(meta.dangling);
+  options.initial_diagonal = meta.initial_diagonal;
+  IndexingStats stats;
+  stats.walk_steps = meta.walk_steps;
+  stats.walk_seconds = meta.build_seconds;
+
+  CloudWalker opened(graph.get(), std::move(index), std::move(stats),
+                     options, std::move(context));
+  opened.owned_graph_ = std::move(graph);
+  opened.snapshot_ = std::move(view);
+  return std::shared_ptr<const CloudWalker>(
+      new CloudWalker(std::move(opened)));
+}
+
+Status CloudWalker::WriteSnapshot(const std::string& path) const {
+  SnapshotMetadata meta;
+  meta.num_walkers = indexing_options_.num_walkers;
+  meta.jacobi_iterations = indexing_options_.jacobi_iterations;
+  meta.seed = indexing_options_.seed;
+  meta.row_mode = static_cast<uint32_t>(indexing_options_.row_mode);
+  meta.dangling = static_cast<uint32_t>(indexing_options_.dangling);
+  meta.initial_diagonal = indexing_options_.initial_diagonal;
+  meta.query_options_fingerprint = QueryOptionsFingerprint(QueryOptions{});
+  meta.walk_steps = stats_.walk_steps;
+  meta.build_seconds = stats_.walk_seconds + stats_.solve_seconds;
+  meta.builder = kBuilderTag;
+  return SnapshotWriter::Write(path, *graph_, walk_context_->arena(),
+                               index_, meta);
 }
 
 Status CloudWalker::ValidateQuery(NodeId node,

@@ -44,8 +44,18 @@
 
 namespace cloudwalker {
 
+class SnapshotView;
+
 /// An indexed graph ready to answer SimRank queries. Query methods are
 /// const and thread-safe (independent RNG streams per call).
+///
+/// Lifecycle (DESIGN.md section 9): the expensive offline work — index
+/// estimation and arena build — happens once, in Build(); the result can
+/// be persisted with WriteSnapshot() and reopened near-instantly with
+/// Open(), which mmaps the artifact and serves every flat array zero-copy.
+/// The shared_ptr-returning factories own everything they need (graph,
+/// index, arena, backing mmap), which is what lets the serving layer
+/// hot-swap whole engine versions by swapping one pointer.
 class CloudWalker {
  public:
   /// Runs offline indexing on `graph` (threaded via `pool`, serial when
@@ -54,10 +64,35 @@ class CloudWalker {
                                      const IndexingOptions& options = {},
                                      ThreadPool* pool = nullptr);
 
+  /// Owning build: takes the graph by value (move it in) and returns a
+  /// self-contained engine — the instance keeps the graph alive, so it can
+  /// be published to a registry or handed across threads freely.
+  static StatusOr<std::shared_ptr<const CloudWalker>> Build(
+      Graph&& graph, const IndexingOptions& options = {},
+      ThreadPool* pool = nullptr);
+
+  /// Opens a cloudwalker-snap-v1 artifact written by WriteSnapshot().
+  /// The CSR arrays, alias arena, and D-vector are consumed zero-copy out
+  /// of the mapping (the returned instance pins it), so opening costs one
+  /// integrity pass instead of an index rebuild — and answers are
+  /// bit-identical to the instance that wrote the snapshot.
+  static StatusOr<std::shared_ptr<const CloudWalker>> Open(
+      const std::string& path);
+
+  /// Persists this instance as one self-contained snapshot artifact
+  /// (graph + arena + index + build metadata); reopen with Open().
+  Status WriteSnapshot(const std::string& path) const;
+
   /// Wraps a previously built (e.g. loaded) index for `graph`. Fails when
   /// the index and graph disagree on the node count.
   static StatusOr<CloudWalker> FromIndex(const Graph* graph,
                                          DiagonalIndex index);
+
+  /// Owning FromIndex: the returned instance keeps `graph` alive. The
+  /// incremental-maintenance path uses this to wrap a refreshed
+  /// (graph, index) pair for publication without re-estimating rows.
+  static StatusOr<std::shared_ptr<const CloudWalker>> FromIndex(
+      Graph&& graph, DiagonalIndex index);
 
   /// The unified entry point: dispatches any QueryRequest kind, applying
   /// the request's per-request options (default QueryOptions{} otherwise)
@@ -92,8 +127,20 @@ class CloudWalker {
   /// The offline index.
   const DiagonalIndex& index() const { return index_; }
 
-  /// Counters from the Build() indexing run (zeros for FromIndex).
+  /// Counters from the Build() indexing run (zeros for FromIndex; restored
+  /// from the build metadata for Open()).
   const IndexingStats& indexing_stats() const { return stats_; }
+
+  /// The options the index was built under (reconstructed from metadata
+  /// for Open(); params only for FromIndex).
+  const IndexingOptions& indexing_options() const {
+    return indexing_options_;
+  }
+
+  /// The snapshot backing this instance, or null for in-memory builds.
+  const std::shared_ptr<const SnapshotView>& snapshot() const {
+    return snapshot_;
+  }
 
   /// The graph being queried.
   const Graph& graph() const { return *graph_; }
@@ -106,11 +153,21 @@ class CloudWalker {
   Status SaveIndex(const std::string& path) const { return index_.Save(path); }
 
  private:
-  CloudWalker(const Graph* graph, DiagonalIndex index, IndexingStats stats)
+  CloudWalker(const Graph* graph, DiagonalIndex index, IndexingStats stats,
+              IndexingOptions options)
+      : CloudWalker(graph, std::move(index), stats, options,
+                    std::make_shared<const WalkContext>(*graph)) {}
+
+  // Snapshot path: the context wraps a prebuilt (possibly view-backed)
+  // arena instead of rebuilding one.
+  CloudWalker(const Graph* graph, DiagonalIndex index, IndexingStats stats,
+              IndexingOptions options,
+              std::shared_ptr<const WalkContext> context)
       : graph_(graph),
         index_(std::move(index)),
-        stats_(stats),
-        walk_context_(std::make_shared<const WalkContext>(*graph)) {}
+        stats_(std::move(stats)),
+        indexing_options_(options),
+        walk_context_(std::move(context)) {}
 
   Status ValidateQuery(NodeId node, const QueryOptions& options) const;
 
@@ -133,8 +190,14 @@ class CloudWalker {
   const Graph* graph_;
   DiagonalIndex index_;
   IndexingStats stats_;
+  IndexingOptions indexing_options_;
   // Shared so copies of the facade reuse one arena (immutable after build).
   std::shared_ptr<const WalkContext> walk_context_;
+  // Ownership plumbing of the shared_ptr factories: the heap graph (owning
+  // Build / FromIndex / Open) and the backing mapping (Open). Null when
+  // the graph is merely borrowed. graph_ aliases owned_graph_ when set.
+  std::shared_ptr<const Graph> owned_graph_;
+  std::shared_ptr<const SnapshotView> snapshot_;
 };
 
 }  // namespace cloudwalker

@@ -16,7 +16,10 @@ Status DiagonalIndex::Save(const std::string& path) const {
   w.Write(kIndexVersion);
   w.Write(params_.decay);
   w.Write(params_.num_steps);
-  w.WriteVector(diagonal_);
+  // Stream the view (not the owned vector) so snapshot-backed indexes save
+  // identically to heap-built ones.
+  w.Write<uint64_t>(diagonal_v_.size());
+  w.WriteBytes(diagonal_v_.data(), diagonal_v_.size() * sizeof(double));
   return w.Flush(path);
 }
 

@@ -5,6 +5,7 @@
 #ifndef CLOUDWALKER_CORE_DIAGONAL_H_
 #define CLOUDWALKER_CORE_DIAGONAL_H_
 
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,27 +16,54 @@
 
 namespace cloudwalker {
 
-/// Immutable diag(D) estimate for one graph + parameter set.
+/// Immutable diag(D) estimate for one graph + parameter set. Span-backed
+/// like Graph / AliasArena: a built index owns its vector, FromView wraps
+/// an external array (an mmapped snapshot, DESIGN.md section 9) zero-copy.
+/// Copies materialize into owned storage; moves preserve the mode.
 class DiagonalIndex {
  public:
   /// An empty index (num_nodes() == 0).
-  DiagonalIndex() = default;
+  DiagonalIndex() { diagonal_v_ = diagonal_; }
 
   /// Wraps an estimated diagonal. `diagonal[k]` is D_kk.
   DiagonalIndex(SimRankParams params, std::vector<double> diagonal)
-      : params_(params), diagonal_(std::move(diagonal)) {}
+      : params_(params), diagonal_(std::move(diagonal)) {
+    diagonal_v_ = diagonal_;
+  }
+
+  DiagonalIndex(const DiagonalIndex& other) { CopyFrom(other); }
+  DiagonalIndex& operator=(const DiagonalIndex& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  // Vector moves keep the heap buffer in place, so the span stays valid.
+  DiagonalIndex(DiagonalIndex&&) noexcept = default;
+  DiagonalIndex& operator=(DiagonalIndex&&) noexcept = default;
+
+  /// Wraps an externally owned diagonal without copying; the array must
+  /// outlive the index and every move of it.
+  static DiagonalIndex FromView(SimRankParams params,
+                                std::span<const double> diagonal) {
+    DiagonalIndex index;
+    index.params_ = params;
+    index.diagonal_v_ = diagonal;
+    return index;
+  }
+
+  /// False when the diagonal aliases external memory (FromView).
+  bool owns_storage() const { return diagonal_v_.data() == diagonal_.data(); }
 
   /// SimRank parameters (c, T) the diagonal was estimated for.
   const SimRankParams& params() const { return params_; }
 
   /// Number of nodes covered.
-  NodeId num_nodes() const { return static_cast<NodeId>(diagonal_.size()); }
+  NodeId num_nodes() const { return static_cast<NodeId>(diagonal_v_.size()); }
 
   /// D_kk (unchecked).
-  double operator[](NodeId k) const { return diagonal_[k]; }
+  double operator[](NodeId k) const { return diagonal_v_[k]; }
 
   /// The full diagonal.
-  const std::vector<double>& diagonal() const { return diagonal_; }
+  std::span<const double> diagonal() const { return diagonal_v_; }
 
   /// Writes the index to `path` (binary, versioned).
   Status Save(const std::string& path) const;
@@ -44,8 +72,15 @@ class DiagonalIndex {
   static StatusOr<DiagonalIndex> Load(const std::string& path);
 
  private:
+  void CopyFrom(const DiagonalIndex& other) {
+    params_ = other.params_;
+    diagonal_.assign(other.diagonal_v_.begin(), other.diagonal_v_.end());
+    diagonal_v_ = diagonal_;
+  }
+
   SimRankParams params_;
-  std::vector<double> diagonal_;
+  std::vector<double> diagonal_;        // owned backing (empty in view mode)
+  std::span<const double> diagonal_v_;  // what the accessors read
 };
 
 }  // namespace cloudwalker

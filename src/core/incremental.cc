@@ -1,6 +1,7 @@
 #include "core/incremental.h"
 
 #include <algorithm>
+#include <span>
 
 #include "common/logging.h"
 #include "graph/components.h"
@@ -90,7 +91,8 @@ StatusOr<IncrementalIndexer::State> IncrementalIndexer::ApplyUpdates(
               });
 
   // Warm-started re-solve over all rows.
-  std::vector<double> x(state.index.diagonal());
+  const std::span<const double> d = state.index.diagonal();
+  std::vector<double> x(d.begin(), d.end());
   for (uint32_t it = 0; it < options_.jacobi_iterations; ++it) {
     x = JacobiSweep(state.rows, x, pool);
   }

@@ -1,5 +1,9 @@
 #include "core/options.h"
 
+#include <bit>
+
+#include "common/random.h"
+
 namespace cloudwalker {
 
 Status SimRankParams::Validate() const {
@@ -36,6 +40,14 @@ Status ValidateQueryOptions(const QueryOptions& options) {
     return Status::InvalidArgument("prune_threshold must be >= 0");
   }
   return Status::Ok();
+}
+
+uint64_t QueryOptionsFingerprint(const QueryOptions& o) {
+  uint64_t h = DeriveSeed(o.seed, o.num_walkers);
+  h = DeriveSeed(h, (static_cast<uint64_t>(o.push_fanout) << 8) |
+                        (static_cast<uint64_t>(o.push) << 4) |
+                        static_cast<uint64_t>(o.dangling));
+  return DeriveSeed(h, std::bit_cast<uint64_t>(o.prune_threshold));
 }
 
 }  // namespace cloudwalker

@@ -105,6 +105,13 @@ struct QueryOptions {
 /// options are rejected with the same message everywhere.
 Status ValidateQueryOptions(const QueryOptions& options);
 
+/// Deterministic 64-bit digest of every QueryOptions knob. Equal options
+/// hash equal (it feeds the serving layer's intern-table buckets; equality
+/// is always re-verified there) and the snapshot format stamps it into the
+/// build metadata so an operator can tell which default options a snapshot
+/// was validated against (DESIGN.md section 9).
+uint64_t QueryOptionsFingerprint(const QueryOptions& options);
+
 }  // namespace cloudwalker
 
 #endif  // CLOUDWALKER_CORE_OPTIONS_H_

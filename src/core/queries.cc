@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <optional>
+#include <span>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -102,7 +103,7 @@ double SinglePairQuery(const Graph& graph, const DiagonalIndex& index,
   // t = 0 contributes nothing for i != j (e_i and e_j are disjoint).
   double estimate = 0.0;
   double ct = 1.0;
-  const std::vector<double>& diag = index.diagonal();
+  const std::span<const double> diag = index.diagonal();
   for (size_t t = 0; t < di.levels.size(); ++t) {
     if (t > 0) {
       estimate +=
@@ -126,7 +127,7 @@ double SinglePairQueryPaired(const Graph& graph, const DiagonalIndex& index,
   const NodeId lo = std::min(i, j), hi = std::max(i, j);
   const uint64_t pair_key =
       DeriveSeed(options.seed, (static_cast<uint64_t>(lo) << 32) | hi);
-  const std::vector<double>& diag = index.diagonal();
+  const std::span<const double> diag = index.diagonal();
   const double c = index.params().decay;
   const uint32_t t_steps = index.params().num_steps;
 
@@ -163,7 +164,7 @@ SparseVector SingleSourceQuery(const Graph& graph, const DiagonalIndex& index,
   const WalkDistributions dists =
       SimulateWalkDistributions(graph, context, q, cfg, nullptr, owner, &wq);
 
-  const std::vector<double>& diag = index.diagonal();
+  const std::span<const double> diag = index.diagonal();
   Xoshiro256 rng =
       Xoshiro256::Derive(DeriveSeed(options.seed, 0x4d435353u /*MCSS*/), q);
 

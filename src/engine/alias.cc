@@ -100,6 +100,14 @@ StatusOr<AliasTable> AliasTable::Build(const std::vector<double>& weights) {
   return table;
 }
 
+AliasArena AliasArena::FromViews(std::span<const uint64_t> offsets,
+                                 std::span<const AliasSlot> slots) {
+  AliasArena arena;
+  arena.offsets_v_ = offsets;
+  arena.slots_v_ = slots;
+  return arena;
+}
+
 AliasArena AliasArena::BuildInLink(const Graph& graph) {
   const NodeId n = graph.num_nodes();
   AliasArena arena;
@@ -116,6 +124,7 @@ AliasArena AliasArena::BuildInLink(const Graph& graph) {
       row[k] = AliasSlot{/*accept=*/0, /*alias=*/in[k]};
     }
   }
+  arena.AdoptOwnedStorage();
   return arena;
 }
 
@@ -155,6 +164,7 @@ StatusOr<AliasArena> AliasArena::BuildInLinkWeighted(
     BuildAliasRow(graph, v, scaled, small, large,
                   arena.slots_.data() + arena.offsets_[v]);
   }
+  arena.AdoptOwnedStorage();
   return arena;
 }
 

@@ -75,9 +75,34 @@ static_assert(sizeof(AliasSlot) == 8, "arena slots must pack to 8 bytes");
 /// row v spans slots [offset(v), offset(v+1)). Immutable and thread-safe
 /// after construction. Row v is the distribution of one reverse walk step
 /// from v — i.e. column v of SimRank's transition matrix P.
+///
+/// Storage is span-backed: a built arena reads its own heap vectors, while
+/// FromViews wraps externally owned flat arrays (an mmapped snapshot,
+/// DESIGN.md section 9) zero-copy — the walk kernel streams both through
+/// the same accessors. Copies always materialize into owned storage; moves
+/// are cheap and preserve the mode.
 class AliasArena {
  public:
-  AliasArena() = default;
+  AliasArena() { AdoptOwnedStorage(); }
+
+  AliasArena(const AliasArena& other) { CopyFrom(other); }
+  AliasArena& operator=(const AliasArena& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  // Vector moves keep the heap buffers in place, so the spans stay valid.
+  AliasArena(AliasArena&&) noexcept = default;
+  AliasArena& operator=(AliasArena&&) noexcept = default;
+
+  /// Wraps externally owned arena arrays without copying. `offsets` must
+  /// have num_rows + 1 entries starting at 0 and ending at slots.size();
+  /// the caller keeps ownership and the arrays must outlive the arena and
+  /// every move of it.
+  static AliasArena FromViews(std::span<const uint64_t> offsets,
+                              std::span<const AliasSlot> slots);
+
+  /// False when the arrays alias external memory (FromViews).
+  bool owns_storage() const { return offsets_v_.data() == offsets_.data(); }
 
   /// Flattens the uniform in-link distributions of `graph` (every in-edge
   /// of v equally likely). O(|E|) time, 8 bytes per edge + 8 per node.
@@ -91,35 +116,41 @@ class AliasArena {
 
   /// Number of rows (== nodes of the source graph).
   NodeId num_rows() const {
-    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+    return offsets_v_.empty() ? 0
+                              : static_cast<NodeId>(offsets_v_.size() - 1);
   }
 
   /// Total slots (== edges of the source graph).
-  uint64_t num_slots() const { return slots_.size(); }
+  uint64_t num_slots() const { return slots_v_.size(); }
 
   /// First slot of row v.
-  uint64_t RowOffset(NodeId v) const { return offsets_[v]; }
+  uint64_t RowOffset(NodeId v) const { return offsets_v_[v]; }
 
   /// Slot count of row v (== InDegree(v)).
   uint32_t RowDegree(NodeId v) const {
-    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+    return static_cast<uint32_t>(offsets_v_[v + 1] - offsets_v_[v]);
   }
 
   /// The packed slots of row v.
   std::span<const AliasSlot> Row(NodeId v) const {
-    return {slots_.data() + offsets_[v], slots_.data() + offsets_[v + 1]};
+    return {slots_v_.data() + offsets_v_[v],
+            slots_v_.data() + offsets_v_[v + 1]};
   }
+
+  /// The raw flat arrays (the snapshot writer streams these verbatim).
+  std::span<const uint64_t> Offsets() const { return offsets_v_; }
+  std::span<const AliasSlot> Slots() const { return slots_v_; }
 
   /// Raw slot access by arena-global index (for prefetch-then-resolve
   /// pipelines that computed the index in an earlier pass).
   const AliasSlot& slot(uint64_t global_index) const {
-    return slots_[global_index];
+    return slots_v_[global_index];
   }
 
   /// Prefetches the offsets entry of row v / one packed slot.
-  void PrefetchOffsets(NodeId v) const { PrefetchRead(&offsets_[v]); }
+  void PrefetchOffsets(NodeId v) const { PrefetchRead(&offsets_v_[v]); }
   void PrefetchSlot(uint64_t global_index) const {
-    PrefetchRead(&slots_[global_index]);
+    PrefetchRead(&slots_v_[global_index]);
   }
 
   /// Picks the slot of row v addressed by the upper 32 bits of `raw` and
@@ -131,7 +162,7 @@ class AliasArena {
     const uint32_t deg = RowDegree(v);
     if (deg == 0) return kInvalidNode;
     const uint32_t slot_index = PickSlot(raw, deg);
-    const AliasSlot s = slots_[offsets_[v] + slot_index];
+    const AliasSlot s = slots_v_[offsets_v_[v] + slot_index];
     return static_cast<uint32_t>(raw) < s.accept
                ? graph.InNeighbor(v, slot_index)
                : s.alias;
@@ -146,13 +177,28 @@ class AliasArena {
 
   /// Resident bytes of the offsets and slot arrays.
   uint64_t MemoryBytes() const {
-    return offsets_.size() * sizeof(uint64_t) +
-           slots_.size() * sizeof(AliasSlot);
+    return offsets_v_.size() * sizeof(uint64_t) +
+           slots_v_.size() * sizeof(AliasSlot);
   }
 
  private:
+  // Re-points the views at this instance's owned vectors.
+  void AdoptOwnedStorage() {
+    offsets_v_ = offsets_;
+    slots_v_ = slots_;
+  }
+  void CopyFrom(const AliasArena& other) {
+    offsets_.assign(other.offsets_v_.begin(), other.offsets_v_.end());
+    slots_.assign(other.slots_v_.begin(), other.slots_v_.end());
+    AdoptOwnedStorage();
+  }
+
+  // Owned backing (empty in view mode).
   std::vector<uint64_t> offsets_;  // size num_rows + 1 (CSR in_offsets twin)
   std::vector<AliasSlot> slots_;   // packed rows, 8 bytes per in-edge
+  // What the accessors read: the owned vectors or external flat arrays.
+  std::span<const uint64_t> offsets_v_;
+  std::span<const AliasSlot> slots_v_;
 };
 
 }  // namespace cloudwalker

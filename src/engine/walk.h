@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "common/cancel.h"
@@ -116,6 +117,12 @@ class WalkContext {
  public:
   explicit WalkContext(const Graph& graph)
       : graph_(&graph), arena_(AliasArena::BuildInLink(graph)) {}
+
+  /// Wraps a prebuilt arena (e.g. an AliasArena::FromViews over an mmapped
+  /// snapshot, DESIGN.md section 9) instead of rebuilding it. The arena
+  /// must describe `graph`'s in-adjacency exactly.
+  WalkContext(const Graph& graph, AliasArena arena)
+      : graph_(&graph), arena_(std::move(arena)) {}
 
   const Graph& graph() const { return *graph_; }
   const AliasArena& arena() const { return arena_; }

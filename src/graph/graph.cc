@@ -13,19 +13,54 @@ bool Graph::HasEdge(NodeId from, NodeId to) const {
 }
 
 uint64_t Graph::MemoryBytes() const {
-  return out_offsets_.size() * sizeof(uint64_t) +
-         in_offsets_.size() * sizeof(uint64_t) +
-         out_targets_.size() * sizeof(NodeId) +
-         in_targets_.size() * sizeof(NodeId);
+  return out_offsets_v_.size() * sizeof(uint64_t) +
+         in_offsets_v_.size() * sizeof(uint64_t) +
+         out_targets_v_.size() * sizeof(NodeId) +
+         in_targets_v_.size() * sizeof(NodeId);
+}
+
+void Graph::AdoptOwnedStorage() {
+  out_offsets_v_ = out_offsets_;
+  out_targets_v_ = out_targets_;
+  in_offsets_v_ = in_offsets_;
+  in_targets_v_ = in_targets_;
+}
+
+void Graph::CopyFrom(const Graph& other) {
+  num_nodes_ = other.num_nodes_;
+  out_offsets_.assign(other.out_offsets_v_.begin(),
+                      other.out_offsets_v_.end());
+  out_targets_.assign(other.out_targets_v_.begin(),
+                      other.out_targets_v_.end());
+  in_offsets_.assign(other.in_offsets_v_.begin(), other.in_offsets_v_.end());
+  in_targets_.assign(other.in_targets_v_.begin(), other.in_targets_v_.end());
+  AdoptOwnedStorage();
+}
+
+Graph Graph::FromCsrViews(NodeId num_nodes,
+                          std::span<const uint64_t> out_offsets,
+                          std::span<const NodeId> out_targets,
+                          std::span<const uint64_t> in_offsets,
+                          std::span<const NodeId> in_targets) {
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  CW_CHECK_EQ(out_offsets.size(), static_cast<size_t>(num_nodes) + 1);
+  CW_CHECK_EQ(in_offsets.size(), static_cast<size_t>(num_nodes) + 1);
+  g.out_offsets_v_ = out_offsets;
+  g.out_targets_v_ = out_targets;
+  g.in_offsets_v_ = in_offsets;
+  g.in_targets_v_ = in_targets;
+  return g;
 }
 
 Graph Graph::Reversed() const {
   Graph g;
   g.num_nodes_ = num_nodes_;
-  g.out_offsets_ = in_offsets_;
-  g.out_targets_ = in_targets_;
-  g.in_offsets_ = out_offsets_;
-  g.in_targets_ = out_targets_;
+  g.out_offsets_.assign(in_offsets_v_.begin(), in_offsets_v_.end());
+  g.out_targets_.assign(in_targets_v_.begin(), in_targets_v_.end());
+  g.in_offsets_.assign(out_offsets_v_.begin(), out_offsets_v_.end());
+  g.in_targets_.assign(out_targets_v_.begin(), out_targets_v_.end());
+  g.AdoptOwnedStorage();
   return g;
 }
 
@@ -98,6 +133,7 @@ StatusOr<Graph> GraphBuilder::Build(const GraphBuildOptions& options) {
 
   edges_.clear();
   edges_.shrink_to_fit();
+  g.AdoptOwnedStorage();
   return g;
 }
 

@@ -1,6 +1,5 @@
 #include "serve/query_service.h"
 
-#include <bit>
 #include <chrono>
 #include <string>
 #include <utility>
@@ -10,23 +9,18 @@
 namespace cloudwalker {
 namespace {
 
-// Exact 128-bit cache/dedup key for a top-k answer: the kind tag and the
-// interned options id in the high word, (source, k) in the low word. No
-// two requests that could answer differently ever share a key.
-CacheKey TopKKey(NodeId source, uint32_t k, uint32_t options_id) {
+// Exact 128-bit cache/dedup key for a top-k answer: the snapshot epoch,
+// kind tag, and interned options id in the high word, (source, k) in the
+// low word. No two requests that could answer differently ever share a
+// key — the epoch field (28 bits; epochs are assigned sequentially, so
+// exhausting it would take 268M publishes against one service) is what
+// makes a hot swap unable to serve one version's scores for another.
+CacheKey TopKKey(uint64_t epoch, NodeId source, uint32_t k,
+                 uint32_t options_id) {
   return CacheKey{
-      (static_cast<uint64_t>(QueryKind::kSourceTopK) << 32) | options_id,
+      (epoch << 36) |
+          (static_cast<uint64_t>(QueryKind::kSourceTopK) << 32) | options_id,
       (static_cast<uint64_t>(source) << 32) | k};
-}
-
-// Mixes every QueryOptions knob into the intern table's bucket hash
-// (equality is still verified — collisions cost a scan, never an id).
-uint64_t HashOptions(const QueryOptions& o) {
-  uint64_t h = DeriveSeed(o.seed, o.num_walkers);
-  h = DeriveSeed(h, (static_cast<uint64_t>(o.push_fanout) << 8) |
-                        (static_cast<uint64_t>(o.push) << 4) |
-                        static_cast<uint64_t>(o.dangling));
-  return DeriveSeed(h, std::bit_cast<uint64_t>(o.prune_threshold));
 }
 
 }  // namespace
@@ -71,14 +65,29 @@ std::vector<QueryResponse> WhenAll(const std::vector<QueryFuture>& futures) {
   return responses;
 }
 
-QueryService::QueryService(const CloudWalker* cloudwalker,
+QueryService::QueryService(std::shared_ptr<const CloudWalker> cloudwalker,
                            const ServeOptions& options, ThreadPool* pool)
-    : cloudwalker_(cloudwalker), options_(options), pool_(pool) {
+    : options_(options), pool_(pool) {
+  CW_CHECK(cloudwalker != nullptr);
+  CW_CHECK(registry_.Publish(1, std::move(cloudwalker)).ok());
   if (options_.cache_capacity > 0) {
     cache_ = std::make_unique<ShardedLruCache>(options_.cache_capacity,
                                                options_.cache_shards);
   }
   interned_options_.push_back(options_.query);  // id 0 = service defaults
+}
+
+QueryService::QueryService(const CloudWalker* cloudwalker,
+                           const ServeOptions& options, ThreadPool* pool)
+    : QueryService(
+          // Non-owning alias: the borrowed facade must outlive the service.
+          std::shared_ptr<const CloudWalker>(cloudwalker,
+                                             [](const CloudWalker*) {}),
+          options, pool) {}
+
+StatusOr<uint64_t> QueryService::Publish(
+    std::shared_ptr<const CloudWalker> walker) {
+  return registry_.PublishNext(std::move(walker));
 }
 
 QueryService::~QueryService() {
@@ -92,7 +101,7 @@ uint32_t QueryService::InternOptions(const QueryOptions& options) {
   // traffic never serializes on intern_mu_ (options_ is immutable after
   // construction).
   if (options == options_.query) return 0;
-  const uint64_t hash = HashOptions(options);
+  const uint64_t hash = QueryOptionsFingerprint(options);
   std::lock_guard<std::mutex> lock(intern_mu_);
   auto bucket = intern_index_.find(hash);
   if (bucket != intern_index_.end()) {
@@ -121,14 +130,21 @@ QueryFuture QueryService::SubmitInternal(const QueryRequest& request,
   QueryFuture future(state);
   state->cancel.SetDeadline(request.timeout_seconds);
 
+  // Pin the current snapshot: this request executes, validates, and caches
+  // against exactly this engine version even if a new one is published
+  // while it waits in the queue (the pin keeps the old version alive).
+  const SnapshotPtr snapshot = registry_.Current();
+  CW_CHECK(snapshot != nullptr);  // the constructors always publish one
+
   // Materialize the effective options so every later stage (cache keying,
   // kernel execution) sees one explicit option set.
   QueryRequest task = request;
   if (!task.options.has_value()) task.options = options_.query;
 
-  // Admission step 1: validate once, centrally.
+  // Admission step 1: validate once, centrally, against the pinned
+  // version's node space.
   const Status valid = ValidateQueryRequest(
-      task, cloudwalker_->graph().num_nodes(), options_.query);
+      task, snapshot->walker->graph().num_nodes(), options_.query);
   if (!valid.ok()) {
     QueryResponse response;
     response.kind = task.kind;
@@ -147,8 +163,10 @@ QueryFuture QueryService::SubmitInternal(const QueryRequest& request,
       !state->cancel.ShouldStop()) {
     const uint32_t options_id = InternOptions(*task.options);
     if (options_id != kUncachedOptionsId) {
-      if (ShardedLruCache::Value hit = cache_->Get(
-              TopKKey(task.a, task.k, options_id), /*count_miss=*/false)) {
+      if (ShardedLruCache::Value hit =
+              cache_->Get(TopKKey(snapshot->epoch, task.a, task.k,
+                                  options_id),
+                          /*count_miss=*/false)) {
         QueryResponse response;
         response.kind = task.kind;
         response.payload = TopKPtr(std::move(hit));
@@ -183,15 +201,17 @@ QueryFuture QueryService::SubmitInternal(const QueryRequest& request,
   }
 
   if (pool_ == nullptr) {
-    RunTask(state, task);
+    RunTask(state, task, snapshot);
   } else {
-    pool_->Submit([this, state, task] { RunTask(state, task); });
+    pool_->Submit(
+        [this, state, task, snapshot] { RunTask(state, task, snapshot); });
   }
   return future;
 }
 
 void QueryService::RunTask(const std::shared_ptr<State>& state,
-                           const QueryRequest& request) {
+                           const QueryRequest& request,
+                           const SnapshotPtr& snapshot) {
   QueryResponse response;
   response.kind = request.kind;
   const CancelToken* cancel = &state->cancel;
@@ -200,14 +220,15 @@ void QueryService::RunTask(const std::shared_ptr<State>& state,
     // complete without running a kernel.
     response.status = cancel->ToStatus();
   } else if (request.kind == QueryKind::kSourceTopK) {
-    AnswerTopK(request, cancel, &response);
+    AnswerTopK(request, snapshot, cancel, &response);
   } else {
     // kPair / kSingleSource / kAllPairsTopK run the facade directly (no
     // caching: pair answers are cheap relative to their O(n^2) key space,
     // full vectors and all-pairs sweeps are too large to retain).
     // All-pairs runs serially inside this worker — re-entering the
     // service pool from a worker would deadlock its completion barrier.
-    response = cloudwalker_->Execute(request, /*pool=*/nullptr, cancel);
+    response =
+        snapshot->walker->Execute(request, /*pool=*/nullptr, cancel);
     if (response.status.ok()) {
       computed_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -224,6 +245,7 @@ void QueryService::RunTask(const std::shared_ptr<State>& state,
 }
 
 void QueryService::AnswerTopK(const QueryRequest& request,
+                              const SnapshotPtr& snapshot,
                               const CancelToken* cancel,
                               QueryResponse* response) {
   const uint32_t options_id = InternOptions(*request.options);
@@ -231,7 +253,7 @@ void QueryService::AnswerTopK(const QueryRequest& request,
     // Intern table full: no exact key, so no cache and no dedup — but
     // still a correct (freshly computed) answer.
     QueryResponse computed =
-        cloudwalker_->Execute(request, /*pool=*/nullptr, cancel);
+        snapshot->walker->Execute(request, /*pool=*/nullptr, cancel);
     response->status = computed.status;
     response->stats = computed.stats;
     if (computed.status.ok()) {
@@ -240,7 +262,8 @@ void QueryService::AnswerTopK(const QueryRequest& request,
     }
     return;
   }
-  const CacheKey key = TopKKey(request.a, request.k, options_id);
+  const CacheKey key =
+      TopKKey(snapshot->epoch, request.a, request.k, options_id);
   while (true) {
     if (cache_ != nullptr) {
       if (ShardedLruCache::Value hit = cache_->Get(key)) {
@@ -294,7 +317,7 @@ void QueryService::AnswerTopK(const QueryRequest& request,
 
     // Leader (or dedup disabled): run the kernel through the facade.
     QueryResponse computed =
-        cloudwalker_->Execute(request, /*pool=*/nullptr, cancel);
+        snapshot->walker->Execute(request, /*pool=*/nullptr, cancel);
     response->status = computed.status;
     response->stats = computed.stats;
     if (computed.status.ok()) {
@@ -402,6 +425,10 @@ ServeStats QueryService::Stats() const {
   s.rejected = rejected_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  if (const SnapshotPtr current = registry_.Current()) {
+    s.snapshot_version = current->version;
+    s.snapshot_epoch = current->epoch;
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (cache_ != nullptr) {

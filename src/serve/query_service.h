@@ -1,17 +1,28 @@
 // QueryService — the concurrent query-serving layer (DESIGN.md section 6).
 //
-// A QueryService wraps a shared immutable CloudWalker (graph + diagonal
-// index) and executes unified typed QueryRequests (core/request.h) on a
-// ThreadPool through an asynchronous, future-based core:
+// A QueryService serves unified typed QueryRequests (core/request.h) on a
+// ThreadPool through an asynchronous, future-based core, over *versioned,
+// hot-swappable* engine snapshots (DESIGN.md section 9):
 //
-//   CloudWalker cw = ...;            // indexed, immutable
+//   auto cw = CloudWalker::Open("web.cwk");  // or Build(std::move(graph))
 //   ThreadPool pool;
-//   QueryService service(&cw, ServeOptions{}, &pool);
+//   QueryService service(*cw, ServeOptions{}, &pool);
 //   QueryFuture f = service.Submit(          // async: admit + enqueue
 //       QueryRequest::SourceTopK(42, 10).WithTimeout(0.050));
 //   QueryResponse r = f.Wait();              // block for this answer
 //   auto batch = service.ExecuteBatch(requests);   // many, parallel
 //   ServeStats s = service.Stats();                // p50/p95/p99, QPS
+//   ...
+//   auto v2 = CloudWalker::Open("web-v2.cwk");
+//   service.Publish(*v2);      // atomic swap; zero dropped requests
+//
+// Hot swap: every request *pins* the current snapshot entry at admission
+// (one shared_ptr copy — RCU by refcount). A Publish() mid-stream routes
+// new admissions to the new version while in-flight walks finish on the
+// version they pinned; the last pin out the door releases the old engine
+// (and unmaps its snapshot). The result cache and in-flight dedup are
+// keyed by the pinned entry's *epoch*, so a swap can never serve one
+// version's scores for another and two versions never dedup together.
 //
 // Submit() performs *admission*: the request's effective options are
 // validated once (ValidateQueryOptions — same function, same messages as
@@ -27,8 +38,9 @@
 //
 // Three mechanisms make it serve-fast without touching the kernels:
 //   1. a sharded LRU cache over single-source top-k answers, keyed by
-//      (kind, interned options id, source, k) so per-request option
-//      overrides can never share an entry,
+//      (snapshot epoch, kind, interned options id, source, k) so neither
+//      per-request option overrides nor engine versions can ever share an
+//      entry,
 //   2. in-flight deduplication: concurrent identical top-k requests are
 //      computed once and fanned out to every waiter,
 //   3. wait-free latency/throughput accounting (ServeStats); latencies
@@ -68,6 +80,7 @@
 #include "core/cloudwalker.h"
 #include "core/request.h"
 #include "serve/lru_cache.h"
+#include "serve/snapshot_registry.h"
 #include "serve/stats.h"
 
 namespace cloudwalker {
@@ -140,16 +153,38 @@ struct ServeOptions {
   QueryOptions query;
 };
 
-/// Thread-safe serving facade over a shared immutable CloudWalker. All
-/// methods may be called from any thread.
+/// Thread-safe serving facade over versioned immutable CloudWalker
+/// snapshots. All methods may be called from any thread.
 class QueryService {
  public:
-  /// `cloudwalker` is borrowed and must outlive the service. `pool` (also
-  /// borrowed, may be null for synchronous execution) runs submitted
+  /// Serves `cloudwalker` as version 1 of the internal registry. `pool`
+  /// (borrowed, may be null for synchronous execution) runs submitted
   /// requests; with a null pool, Submit() executes inline before
   /// returning an already-completed future.
+  QueryService(std::shared_ptr<const CloudWalker> cloudwalker,
+               const ServeOptions& options = {}, ThreadPool* pool = nullptr);
+
+  /// Legacy borrowing constructor: `cloudwalker` must outlive the service
+  /// (and stays version 1 unless a successor is published).
   QueryService(const CloudWalker* cloudwalker,
                const ServeOptions& options = {}, ThreadPool* pool = nullptr);
+
+  /// Atomically publishes `walker` as the new current version (label =
+  /// previous max + 1) and returns its epoch. In-flight requests finish on
+  /// the version they pinned at admission; every request admitted after
+  /// this returns executes — and caches — under the new version. The old
+  /// version stays resident in the registry (for Retire() or rollback
+  /// re-publication) but receives no new traffic.
+  StatusOr<uint64_t> Publish(std::shared_ptr<const CloudWalker> walker);
+
+  /// The engine versions behind this service: Publish(version, ...) /
+  /// Retire(version) here for explicit version management.
+  SnapshotRegistry& registry() { return registry_; }
+
+  /// The entry new admissions are currently routed to (never null).
+  std::shared_ptr<const SnapshotRegistry::Entry> CurrentSnapshot() const {
+    return registry_.Current();
+  }
 
   /// Blocks until every admitted request has completed.
   ~QueryService();
@@ -193,6 +228,8 @@ class QueryService {
 
  private:
   using State = QueryFuture::State;
+  using Snapshot = SnapshotRegistry::Entry;
+  using SnapshotPtr = std::shared_ptr<const Snapshot>;
 
   // Shared completion state for one in-flight top-k computation.
   struct InFlight {
@@ -211,17 +248,19 @@ class QueryService {
   // traffic uses a handful).
   static constexpr size_t kMaxInternedOptions = 4096;
 
-  // Admission: validate, arm deadline, serve resident cache hits inline,
-  // charge the queue, dispatch.
+  // Admission: pin the current snapshot, validate, arm deadline, serve
+  // resident cache hits inline, charge the queue, dispatch.
   QueryFuture SubmitInternal(const QueryRequest& request, bool block_on_full);
 
-  // Executes one admitted request on the current thread.
+  // Executes one admitted request on the current thread, against the
+  // snapshot it pinned at admission.
   void RunTask(const std::shared_ptr<State>& state,
-               const QueryRequest& request);
+               const QueryRequest& request, const SnapshotPtr& snapshot);
 
-  // Computes (or joins) a top-k answer via cache + dedup.
-  void AnswerTopK(const QueryRequest& request, const CancelToken* cancel,
-                  QueryResponse* response);
+  // Computes (or joins) a top-k answer via cache + dedup, keyed under the
+  // pinned snapshot's epoch.
+  void AnswerTopK(const QueryRequest& request, const SnapshotPtr& snapshot,
+                  const CancelToken* cancel, QueryResponse* response);
 
   // Stamps admission-based latency, bumps counters, publishes the
   // response, and wakes waiters.
@@ -233,7 +272,8 @@ class QueryService {
   // the table is full.
   uint32_t InternOptions(const QueryOptions& options);
 
-  const CloudWalker* cloudwalker_;
+  // Versioned engines; admissions pin registry_.Current() by shared_ptr.
+  SnapshotRegistry registry_;
   ServeOptions options_;
   ThreadPool* pool_;
   std::unique_ptr<ShardedLruCache> cache_;  // null when caching is off

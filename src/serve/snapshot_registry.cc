@@ -1,0 +1,78 @@
+#include "serve/snapshot_registry.h"
+
+#include <string>
+#include <utility>
+
+namespace cloudwalker {
+
+StatusOr<uint64_t> SnapshotRegistry::Publish(
+    uint64_t version, std::shared_ptr<const CloudWalker> walker) {
+  if (walker == nullptr) {
+    return Status::InvalidArgument("cannot publish a null engine");
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->version = version;
+  entry->walker = std::move(walker);
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->epoch = next_epoch_++;
+  std::shared_ptr<const Entry> published = std::move(entry);
+  entries_[version] = published;
+  current_ = std::move(published);
+  return current_->epoch;
+}
+
+StatusOr<uint64_t> SnapshotRegistry::PublishNext(
+    std::shared_ptr<const CloudWalker> walker, uint64_t* version_out) {
+  if (walker == nullptr) {
+    return Status::InvalidArgument("cannot publish a null engine");
+  }
+  auto entry = std::make_shared<Entry>();
+  entry->walker = std::move(walker);
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->version = entries_.empty() ? 1 : entries_.rbegin()->first + 1;
+  entry->epoch = next_epoch_++;
+  if (version_out != nullptr) *version_out = entry->version;
+  std::shared_ptr<const Entry> published = std::move(entry);
+  entries_[published->version] = published;
+  current_ = std::move(published);
+  return current_->epoch;
+}
+
+Status SnapshotRegistry::Retire(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(version);
+  if (it == entries_.end()) {
+    return Status::NotFound("no published version " +
+                            std::to_string(version));
+  }
+  if (current_ != nullptr && current_->version == version) {
+    return Status::FailedPrecondition(
+        "version " + std::to_string(version) +
+        " is current; publish a successor before retiring it");
+  }
+  entries_.erase(it);
+  return Status::Ok();
+}
+
+std::shared_ptr<const SnapshotRegistry::Entry> SnapshotRegistry::Current()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::shared_ptr<const SnapshotRegistry::Entry> SnapshotRegistry::Get(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(version);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::vector<uint64_t> SnapshotRegistry::Versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(entries_.size());
+  for (const auto& [version, entry] : entries_) out.push_back(version);
+  return out;
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,89 @@
+// SnapshotRegistry — named, versioned engine snapshots behind the serving
+// layer, with atomic hot swap (DESIGN.md section 9).
+//
+// The registry holds shared_ptr<const CloudWalker> instances (heap builds
+// or mmap-opened snapshots — the pointer owns everything either way) under
+// caller-chosen version numbers. Publish() makes a version current and
+// assigns it a monotonically increasing *epoch*; readers pin the current
+// entry with one shared_ptr copy (RCU by refcount):
+//
+//   SnapshotRegistry registry;
+//   registry.Publish(1, v1);                 // epoch 1
+//   auto pinned = registry.Current();        // readers pin
+//   registry.Publish(2, v2);                 // epoch 2; v1 readers finish
+//   registry.Retire(1);                      // drop the registry's ref
+//
+// An in-flight request keeps its pinned entry alive until it completes, so
+// Retire() never yanks memory from under a running walk — the last
+// shared_ptr out the door frees the engine (and unmaps its snapshot).
+// QueryService keys its result cache by the pinned epoch, so a swap can
+// never serve one version's scores for another (the cache-versioning
+// invariant of DESIGN.md section 9).
+
+#ifndef CLOUDWALKER_SERVE_SNAPSHOT_REGISTRY_H_
+#define CLOUDWALKER_SERVE_SNAPSHOT_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cloudwalker.h"
+
+namespace cloudwalker {
+
+/// Thread-safe registry of engine versions. All methods may be called from
+/// any thread; Current() is one mutex-protected shared_ptr copy.
+class SnapshotRegistry {
+ public:
+  /// One published engine version. Immutable once published; shared with
+  /// every request pinned to it.
+  struct Entry {
+    uint64_t version = 0;  // caller-chosen label
+    uint64_t epoch = 0;    // registry-assigned, strictly increasing
+    std::shared_ptr<const CloudWalker> walker;
+  };
+
+  SnapshotRegistry() = default;
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Publishes `walker` under `version` and makes it current. Returns the
+  /// assigned epoch. Re-publishing an existing version replaces it (with a
+  /// fresh epoch — epochs never repeat, so stale cache entries stay dead).
+  /// Fails on a null walker.
+  StatusOr<uint64_t> Publish(uint64_t version,
+                             std::shared_ptr<const CloudWalker> walker);
+
+  /// Publish under the next free version label (max resident + 1, or 1 on
+  /// an empty registry), chosen atomically with the publication.
+  /// `version_out` (optional) receives the label.
+  StatusOr<uint64_t> PublishNext(std::shared_ptr<const CloudWalker> walker,
+                                 uint64_t* version_out = nullptr);
+
+  /// Drops the registry's reference to `version`. In-flight requests
+  /// pinned to it are unaffected. The current version cannot be retired —
+  /// publish a successor first.
+  Status Retire(uint64_t version);
+
+  /// The current entry, or null when nothing has been published.
+  std::shared_ptr<const Entry> Current() const;
+
+  /// The entry of `version`, or null when absent.
+  std::shared_ptr<const Entry> Get(uint64_t version) const;
+
+  /// All resident version labels, ascending.
+  std::vector<uint64_t> Versions() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<const Entry>> entries_;
+  std::shared_ptr<const Entry> current_;
+  uint64_t next_epoch_ = 1;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_SERVE_SNAPSHOT_REGISTRY_H_

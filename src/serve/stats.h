@@ -68,6 +68,8 @@ struct ServeStats {
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
   uint64_t cache_entries = 0;    // resident entries at snapshot time
+  uint64_t snapshot_version = 0;  // version label serving new admissions
+  uint64_t snapshot_epoch = 0;    // its epoch (cache-key generation)
   double elapsed_seconds = 0.0;  // since construction / ResetStats
   double qps = 0.0;              // completed requests / elapsed_seconds
   double p50_ms = 0.0;

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <stdexcept>
+#include <string>
 
 #include "common/string_util.h"
 
@@ -112,6 +114,40 @@ Status SaveWorkloadText(const std::vector<QueryRequest>& requests,
   return Status::Ok();
 }
 
+namespace {
+
+// One whitespace token parsed as a 32-bit unsigned value. Rejects
+// negatives, non-numeric junk, and 64-bit overflow with the reason — the
+// loader wraps it with <path>:<line> so a typo in a replay file names its
+// exact location instead of being skipped or mangled.
+Status ParseU32Field(std::istringstream& fields, const char* what,
+                     uint32_t* out) {
+  std::string token;
+  if (!(fields >> token)) {
+    return Status::InvalidArgument(std::string("missing ") + what);
+  }
+  uint64_t value = 0;
+  size_t used = 0;
+  try {
+    if (token.empty() || token[0] == '-') throw std::invalid_argument(token);
+    value = std::stoull(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != token.size()) {
+    return Status::InvalidArgument(std::string(what) + " '" + token +
+                                   "' is not a non-negative integer");
+  }
+  if (value > 0xffffffffull) {
+    return Status::InvalidArgument(std::string(what) + " '" + token +
+                                   "' exceeds 32 bits");
+  }
+  *out = static_cast<uint32_t>(value);
+  return Status::Ok();
+}
+
+}  // namespace
+
 StatusOr<std::vector<QueryRequest>> LoadWorkloadText(
     const std::string& path) {
   std::ifstream in(path);
@@ -123,38 +159,43 @@ StatusOr<std::vector<QueryRequest>> LoadWorkloadText(
     ++line_no;
     const std::string_view stripped = StripWhitespace(line);
     if (stripped.empty() || stripped.front() == '#') continue;
+    const auto bad = [&](const std::string& what) {
+      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
+                                     ": " + what);
+    };
     std::istringstream fields{std::string(stripped)};
     std::string verb;
     fields >> verb;
-    const bool one_field = verb == QueryKindToString(QueryKind::kSingleSource);
-    uint64_t x = 0, y = 0;
-    fields >> x;
-    if (!one_field) fields >> y;
-    if (fields.fail()) {
-      return Status::InvalidArgument(
-          path + ":" + std::to_string(line_no) + ": expected '" +
-          (one_field ? "source <q>'" : "<verb> <a> <b>'"));
-    }
-    if (x > 0xffffffffull || y > 0xffffffffull) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": value exceeds 32 bits");
+    // Verb first, then verb-specific arity — an unknown verb is reported
+    // as such even when the rest of the line would not parse either.
+    uint32_t a = 0, b = 0;
+    if (verb == QueryKindToString(QueryKind::kPair)) {
+      Status s = ParseU32Field(fields, "node i", &a);
+      if (s.ok()) s = ParseU32Field(fields, "node j", &b);
+      if (!s.ok()) {
+        return bad("pair " + s.message() + " (usage: pair <i> <j>)");
+      }
+      requests.push_back(QueryRequest::Pair(a, b));
+    } else if (verb == QueryKindToString(QueryKind::kSourceTopK)) {
+      Status s = ParseU32Field(fields, "source node", &a);
+      if (s.ok()) s = ParseU32Field(fields, "k", &b);
+      if (!s.ok()) {
+        return bad("topk " + s.message() + " (usage: topk <source> <k>)");
+      }
+      requests.push_back(QueryRequest::SourceTopK(a, b));
+    } else if (verb == QueryKindToString(QueryKind::kSingleSource)) {
+      const Status s = ParseU32Field(fields, "source node", &a);
+      if (!s.ok()) {
+        return bad("source " + s.message() + " (usage: source <q>)");
+      }
+      requests.push_back(QueryRequest::SingleSource(a));
+    } else {
+      return bad("unknown verb '" + verb +
+                 "' (expected pair | topk | source)");
     }
     std::string extra;
     if (fields >> extra) {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": trailing content '" + extra + "'");
-    }
-    if (verb == QueryKindToString(QueryKind::kPair)) {
-      requests.push_back(QueryRequest::Pair(static_cast<NodeId>(x),
-                                            static_cast<NodeId>(y)));
-    } else if (verb == QueryKindToString(QueryKind::kSourceTopK)) {
-      requests.push_back(QueryRequest::SourceTopK(static_cast<NodeId>(x),
-                                                  static_cast<uint32_t>(y)));
-    } else if (one_field) {
-      requests.push_back(QueryRequest::SingleSource(static_cast<NodeId>(x)));
-    } else {
-      return Status::InvalidArgument(path + ":" + std::to_string(line_no) +
-                                     ": unknown verb '" + verb + "'");
+      return bad("trailing content '" + extra + "' after " + verb);
     }
   }
   return requests;

@@ -1,0 +1,496 @@
+#include "snapshot/snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/serialize.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CW_SNAPSHOT_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace cloudwalker {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'W', 'S', 'N', 'A', 'P', '1', '\0'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kEndianStamp = 0x01020304u;
+constexpr uint64_t kHeaderBytes = 64;
+constexpr uint64_t kDirEntryBytes = 32;
+constexpr uint64_t kSectionAlign = 64;
+constexpr uint32_t kNumSections = 8;
+
+struct DirEntry {
+  uint32_t id = 0;
+  uint32_t elem_size = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+  uint32_t crc = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(DirEntry) == kDirEntryBytes);
+
+const char* SectionName(uint32_t id) {
+  switch (static_cast<SnapshotSection>(id)) {
+    case SnapshotSection::kOutOffsets:
+      return "out_offsets";
+    case SnapshotSection::kOutTargets:
+      return "out_targets";
+    case SnapshotSection::kInOffsets:
+      return "in_offsets";
+    case SnapshotSection::kInTargets:
+      return "in_targets";
+    case SnapshotSection::kArenaOffsets:
+      return "arena_offsets";
+    case SnapshotSection::kArenaSlots:
+      return "arena_slots";
+    case SnapshotSection::kDiagonal:
+      return "diagonal";
+    case SnapshotSection::kMeta:
+      return "meta";
+  }
+  return "unknown";
+}
+
+void PadTo(BinaryWriter* w, uint64_t alignment) {
+  static const char kZeros[kSectionAlign] = {};
+  const uint64_t rem = w->buffer().size() % alignment;
+  if (rem != 0) w->WriteBytes(kZeros, alignment - rem);
+}
+
+std::string EncodeMetadata(const SimRankParams& params,
+                           const SnapshotMetadata& m) {
+  BinaryWriter w;
+  w.Write(params.decay);
+  w.Write(params.num_steps);
+  w.Write(m.num_walkers);
+  w.Write(m.jacobi_iterations);
+  w.Write(m.seed);
+  w.Write(m.row_mode);
+  w.Write(m.dangling);
+  w.Write(m.initial_diagonal);
+  w.Write(m.query_options_fingerprint);
+  w.Write(m.walk_steps);
+  w.Write(m.build_seconds);
+  w.WriteString(m.builder);
+  return w.buffer();
+}
+
+Status DecodeMetadata(const std::string& bytes, SimRankParams* params,
+                      SnapshotMetadata* m) {
+  BinaryReader r(bytes);
+  CW_RETURN_IF_ERROR(r.Read(&params->decay));
+  CW_RETURN_IF_ERROR(r.Read(&params->num_steps));
+  CW_RETURN_IF_ERROR(r.Read(&m->num_walkers));
+  CW_RETURN_IF_ERROR(r.Read(&m->jacobi_iterations));
+  CW_RETURN_IF_ERROR(r.Read(&m->seed));
+  CW_RETURN_IF_ERROR(r.Read(&m->row_mode));
+  CW_RETURN_IF_ERROR(r.Read(&m->dangling));
+  CW_RETURN_IF_ERROR(r.Read(&m->initial_diagonal));
+  CW_RETURN_IF_ERROR(r.Read(&m->query_options_fingerprint));
+  CW_RETURN_IF_ERROR(r.Read(&m->walk_steps));
+  CW_RETURN_IF_ERROR(r.Read(&m->build_seconds));
+  CW_RETURN_IF_ERROR(r.ReadString(&m->builder));
+  return Status::Ok();
+}
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::DataLoss("snapshot " + path + ": " + what);
+}
+
+}  // namespace
+
+Status SnapshotWriter::Write(const std::string& path, const Graph& graph,
+                             const AliasArena& arena,
+                             const DiagonalIndex& index,
+                             const SnapshotMetadata& metadata) {
+  const uint64_t n = graph.num_nodes();
+  const uint64_t m = graph.num_edges();
+  if (index.num_nodes() != graph.num_nodes()) {
+    return Status::InvalidArgument(
+        "snapshot: index covers " + std::to_string(index.num_nodes()) +
+        " nodes but the graph has " + std::to_string(n));
+  }
+  CW_RETURN_IF_ERROR(index.params().Validate());
+  if (arena.num_rows() != graph.num_nodes() || arena.num_slots() != m ||
+      std::memcmp(arena.Offsets().data(), graph.InOffsets().data(),
+                  (n + 1) * sizeof(uint64_t)) != 0) {
+    return Status::InvalidArgument(
+        "snapshot: alias arena does not mirror the graph's in-adjacency");
+  }
+
+  const std::string meta_bytes = EncodeMetadata(index.params(), metadata);
+
+  struct Payload {
+    SnapshotSection id;
+    uint32_t elem_size;
+    const void* data;
+    uint64_t length;
+  };
+  const Payload payloads[kNumSections] = {
+      {SnapshotSection::kOutOffsets, sizeof(uint64_t),
+       graph.OutOffsets().data(), (n + 1) * sizeof(uint64_t)},
+      {SnapshotSection::kOutTargets, sizeof(NodeId),
+       graph.OutTargets().data(), m * sizeof(NodeId)},
+      {SnapshotSection::kInOffsets, sizeof(uint64_t),
+       graph.InOffsets().data(), (n + 1) * sizeof(uint64_t)},
+      {SnapshotSection::kInTargets, sizeof(NodeId), graph.InTargets().data(),
+       m * sizeof(NodeId)},
+      {SnapshotSection::kArenaOffsets, sizeof(uint64_t),
+       arena.Offsets().data(), (n + 1) * sizeof(uint64_t)},
+      {SnapshotSection::kArenaSlots, sizeof(AliasSlot), arena.Slots().data(),
+       m * sizeof(AliasSlot)},
+      {SnapshotSection::kDiagonal, sizeof(double), index.diagonal().data(),
+       n * sizeof(double)},
+      {SnapshotSection::kMeta, 1, meta_bytes.data(), meta_bytes.size()},
+  };
+
+  // Lay out the payloads after the header + directory, 64-byte aligned.
+  uint64_t cursor = kHeaderBytes + kNumSections * kDirEntryBytes;
+  BinaryWriter dir;
+  for (const Payload& p : payloads) {
+    cursor = (cursor + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+    DirEntry e;
+    e.id = static_cast<uint32_t>(p.id);
+    e.elem_size = p.elem_size;
+    e.offset = cursor;
+    e.length = p.length;
+    e.crc = Crc32(p.data, p.length);
+    dir.Write(e);
+    cursor += p.length;
+  }
+  const uint64_t file_size = cursor;
+
+  // The header CRC covers the whole header (with the CRC field itself
+  // zeroed) plus the directory, so any stray flip in either is caught.
+  BinaryWriter header;
+  header.WriteBytes(kMagic, sizeof(kMagic));
+  header.Write(kFormatVersion);
+  header.Write(kEndianStamp);
+  header.Write(kNumSections);
+  header.Write<uint32_t>(0);  // CRC placeholder
+  header.Write(file_size);
+  header.Write(n);
+  header.Write(m);
+  PadTo(&header, kHeaderBytes);
+  const uint32_t header_crc =
+      Crc32(dir.buffer().data(), dir.buffer().size(),
+            Crc32(header.buffer().data(), header.buffer().size()));
+  std::string header_bytes = header.buffer();
+  std::memcpy(header_bytes.data() + 20, &header_crc, sizeof(header_crc));
+
+  // Stream straight to disk — the payload arrays are already contiguous
+  // spans, so only the ~320-byte header + directory is ever buffered and
+  // persisting a multi-GB engine never doubles resident memory. Write to
+  // .tmp then rename so the published path is always a complete artifact:
+  // a crash mid-write leaves only the .tmp (removed on every error path
+  // below), and replacing a file a live server has mmapped swaps the
+  // directory entry while the old inode stays intact under the existing
+  // mapping (the SIGHUP reload flow).
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + tmp);
+  }
+  const auto put = [f](const void* data, uint64_t size) {
+    return size == 0 || std::fwrite(data, 1, size, f) == size;
+  };
+  static const char kPadZeros[kSectionAlign] = {};
+  uint64_t written = header_bytes.size() + dir.buffer().size();
+  bool ok = put(header_bytes.data(), header_bytes.size()) &&
+            put(dir.buffer().data(), dir.buffer().size());
+  for (const Payload& p : payloads) {
+    if (!ok) break;
+    const uint64_t rem = written % kSectionAlign;
+    const uint64_t pad = rem == 0 ? 0 : kSectionAlign - rem;
+    ok = put(kPadZeros, pad) && put(p.data, p.length);
+    written += pad + p.length;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IoError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::Ok();
+}
+
+SnapshotView::~SnapshotView() {
+#if CW_SNAPSHOT_HAS_MMAP
+  if (mmapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), static_cast<size_t>(size_));
+  }
+#endif
+}
+
+StatusOr<std::shared_ptr<const SnapshotView>> SnapshotView::Open(
+    const std::string& path) {
+  // shared_ptr (not make_shared): the constructor is private, and the
+  // destructor must run even when validation fails below.
+  std::shared_ptr<SnapshotView> view(new SnapshotView());
+#if CW_SNAPSHOT_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open snapshot: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat snapshot: " + path);
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  if (size > 0) {
+    void* base = ::mmap(nullptr, static_cast<size_t>(size), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      return Status::IoError("mmap failed on snapshot: " + path);
+    }
+    view->data_ = static_cast<const char*>(base);
+    view->mmapped_ = true;
+  } else {
+    ::close(fd);
+  }
+  view->size_ = size;
+#else
+  CW_RETURN_IF_ERROR(BinaryReader::LoadFile(path, &view->heap_buffer_));
+  view->data_ = view->heap_buffer_.data();
+  view->size_ = view->heap_buffer_.size();
+#endif
+  CW_RETURN_IF_ERROR(view->Validate(path));
+  return std::shared_ptr<const SnapshotView>(std::move(view));
+}
+
+Status SnapshotView::Validate(const std::string& path) {
+  if (size_ < kHeaderBytes) {
+    return Corrupt(path, "truncated header (" + std::to_string(size_) +
+                             " bytes, need " + std::to_string(kHeaderBytes) +
+                             ")");
+  }
+  if (reinterpret_cast<uintptr_t>(data_) % alignof(uint64_t) != 0) {
+    return Status::Internal("snapshot buffer is not 8-byte aligned");
+  }
+  if (std::memcmp(data_, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a cloudwalker snapshot: " + path);
+  }
+  uint32_t version = 0, endian = 0, sections = 0, dir_crc = 0;
+  uint64_t file_size = 0, n64 = 0, m64 = 0;
+  std::memcpy(&version, data_ + 8, 4);
+  std::memcpy(&endian, data_ + 12, 4);
+  std::memcpy(&sections, data_ + 16, 4);
+  std::memcpy(&dir_crc, data_ + 20, 4);
+  std::memcpy(&file_size, data_ + 24, 8);
+  std::memcpy(&n64, data_ + 32, 8);
+  std::memcpy(&m64, data_ + 40, 8);
+  if (version != kFormatVersion) {
+    return Status::InvalidArgument("unsupported snapshot version " +
+                                   std::to_string(version) + " in " + path);
+  }
+  if (endian != kEndianStamp) {
+    return Status::InvalidArgument(
+        "snapshot " + path +
+        " was written on a machine with a different byte order");
+  }
+  if (sections < kNumSections || sections > 64) {
+    return Corrupt(path,
+                   "implausible section count " + std::to_string(sections));
+  }
+  const uint64_t dir_bytes = uint64_t{sections} * kDirEntryBytes;
+  if (kHeaderBytes + dir_bytes > size_) {
+    return Corrupt(path, "truncated directory");
+  }
+  {
+    char header_copy[kHeaderBytes];
+    std::memcpy(header_copy, data_, kHeaderBytes);
+    std::memset(header_copy + 20, 0, 4);  // the CRC field covers itself as 0
+    const uint32_t actual =
+        Crc32(data_ + kHeaderBytes, dir_bytes,
+              Crc32(header_copy, kHeaderBytes));
+    if (actual != dir_crc) {
+      return Corrupt(path, "header/directory checksum mismatch");
+    }
+  }
+  if (file_size != size_) {
+    return Corrupt(path, "file is " + std::to_string(size_) +
+                             " bytes but the header records " +
+                             std::to_string(file_size));
+  }
+  if (n64 >= kInvalidNode) {
+    return Corrupt(path, "node count exceeds the 32-bit id space");
+  }
+  const uint64_t n = n64;
+  const uint64_t m = m64;
+
+  // Walk the directory: bounds, alignment, element sizing, payload CRC.
+  const DirEntry* entries =
+      reinterpret_cast<const DirEntry*>(data_ + kHeaderBytes);
+  const DirEntry* found[kNumSections] = {};
+  for (uint32_t i = 0; i < sections; ++i) {
+    const DirEntry& e = entries[i];
+    if (e.offset % kSectionAlign != 0 || e.offset > size_ ||
+        e.length > size_ - e.offset) {
+      return Corrupt(path, std::string("section ") + SectionName(e.id) +
+                               " lies outside the file");
+    }
+    if (e.elem_size == 0 || e.length % e.elem_size != 0) {
+      return Corrupt(path, std::string("section ") + SectionName(e.id) +
+                               " has a malformed element size");
+    }
+    if (Crc32(data_ + e.offset, e.length) != e.crc) {
+      return Corrupt(path, std::string("checksum mismatch in section ") +
+                               SectionName(e.id));
+    }
+    const uint32_t id = e.id;
+    if (id >= 1 && id <= kNumSections && found[id - 1] == nullptr) {
+      found[id - 1] = &e;
+    }
+  }
+  // Tamper-evidence for the bytes no section CRC covers: sections must not
+  // overlap, and every gap (alignment padding) must be zero, so a single
+  // flipped byte anywhere in the file is detectable.
+  {
+    std::vector<std::pair<uint64_t, uint64_t>> extents;
+    extents.reserve(sections + 1);
+    extents.emplace_back(0, kHeaderBytes + dir_bytes);
+    for (uint32_t i = 0; i < sections; ++i) {
+      extents.emplace_back(entries[i].offset,
+                           entries[i].offset + entries[i].length);
+    }
+    std::sort(extents.begin(), extents.end());
+    uint64_t cursor = 0;
+    for (const auto& [begin, end] : extents) {
+      if (begin < cursor) {
+        return Corrupt(path, "overlapping sections");
+      }
+      for (uint64_t b = cursor; b < begin; ++b) {
+        if (data_[b] != 0) {
+          return Corrupt(path, "nonzero padding between sections");
+        }
+      }
+      cursor = end;
+    }
+    for (uint64_t b = cursor; b < size_; ++b) {
+      if (data_[b] != 0) {
+        return Corrupt(path, "nonzero trailing bytes");
+      }
+    }
+  }
+
+  struct Expected {
+    SnapshotSection id;
+    uint32_t elem_size;
+    uint64_t count;  // expected element count; meta is free-length
+  };
+  const Expected expect[kNumSections] = {
+      {SnapshotSection::kOutOffsets, sizeof(uint64_t), n + 1},
+      {SnapshotSection::kOutTargets, sizeof(NodeId), m},
+      {SnapshotSection::kInOffsets, sizeof(uint64_t), n + 1},
+      {SnapshotSection::kInTargets, sizeof(NodeId), m},
+      {SnapshotSection::kArenaOffsets, sizeof(uint64_t), n + 1},
+      {SnapshotSection::kArenaSlots, sizeof(AliasSlot), m},
+      {SnapshotSection::kDiagonal, sizeof(double), n},
+      {SnapshotSection::kMeta, 1, 0},
+  };
+  for (const Expected& x : expect) {
+    const DirEntry* e = found[static_cast<uint32_t>(x.id) - 1];
+    if (e == nullptr) {
+      return Corrupt(path, std::string("missing section ") +
+                               SectionName(static_cast<uint32_t>(x.id)));
+    }
+    if (e->elem_size != x.elem_size ||
+        (x.id != SnapshotSection::kMeta &&
+         e->length != x.count * x.elem_size)) {
+      return Corrupt(path, std::string("section ") +
+                               SectionName(static_cast<uint32_t>(x.id)) +
+                               " disagrees with the header's node/edge "
+                               "counts");
+    }
+  }
+
+  const auto section_ptr = [this](const DirEntry* e) {
+    return data_ + e->offset;
+  };
+  const DirEntry* e_out_off =
+      found[static_cast<uint32_t>(SnapshotSection::kOutOffsets) - 1];
+  const DirEntry* e_out_tgt =
+      found[static_cast<uint32_t>(SnapshotSection::kOutTargets) - 1];
+  const DirEntry* e_in_off =
+      found[static_cast<uint32_t>(SnapshotSection::kInOffsets) - 1];
+  const DirEntry* e_in_tgt =
+      found[static_cast<uint32_t>(SnapshotSection::kInTargets) - 1];
+  const DirEntry* e_ar_off =
+      found[static_cast<uint32_t>(SnapshotSection::kArenaOffsets) - 1];
+  const DirEntry* e_ar_slot =
+      found[static_cast<uint32_t>(SnapshotSection::kArenaSlots) - 1];
+  const DirEntry* e_diag =
+      found[static_cast<uint32_t>(SnapshotSection::kDiagonal) - 1];
+  const DirEntry* e_meta =
+      found[static_cast<uint32_t>(SnapshotSection::kMeta) - 1];
+
+  out_offsets_ = {reinterpret_cast<const uint64_t*>(section_ptr(e_out_off)),
+                  n + 1};
+  out_targets_ = {reinterpret_cast<const NodeId*>(section_ptr(e_out_tgt)),
+                  m};
+  in_offsets_ = {reinterpret_cast<const uint64_t*>(section_ptr(e_in_off)),
+                 n + 1};
+  in_targets_ = {reinterpret_cast<const NodeId*>(section_ptr(e_in_tgt)), m};
+  arena_offsets_ = {reinterpret_cast<const uint64_t*>(section_ptr(e_ar_off)),
+                    n + 1};
+  arena_slots_ = {reinterpret_cast<const AliasSlot*>(section_ptr(e_ar_slot)),
+                  m};
+  diagonal_ = {reinterpret_cast<const double*>(section_ptr(e_diag)), n};
+
+  // Structural invariants the zero-copy views rely on: the kernels index
+  // with these values unchecked, so a file that passes here can never
+  // send a walker out of bounds.
+  const auto offsets_ok = [&](std::span<const uint64_t> off) {
+    if (off.front() != 0 || off.back() != m) return false;
+    for (uint64_t v = 0; v < n; ++v) {
+      if (off[v] > off[v + 1]) return false;
+    }
+    return true;
+  };
+  if (!offsets_ok(out_offsets_) || !offsets_ok(in_offsets_)) {
+    return Corrupt(path, "CSR offsets are not monotone over [0, num_edges]");
+  }
+  if (std::memcmp(arena_offsets_.data(), in_offsets_.data(),
+                  (n + 1) * sizeof(uint64_t)) != 0) {
+    return Corrupt(path, "alias arena offsets diverge from the in-CSR");
+  }
+  for (uint64_t i = 0; i < m; ++i) {
+    if (out_targets_[i] >= n || in_targets_[i] >= n) {
+      return Corrupt(path, "edge target out of node range");
+    }
+  }
+  for (uint64_t i = 0; i < m; ++i) {
+    if (arena_slots_[i].alias >= n) {
+      return Corrupt(path, "alias slot target out of node range");
+    }
+  }
+
+  std::string meta_bytes(section_ptr(e_meta), e_meta->length);
+  const Status meta_ok = DecodeMetadata(meta_bytes, &params_, &metadata_);
+  if (!meta_ok.ok()) {
+    return Corrupt(path, "undecodable metadata (" + meta_ok.ToString() + ")");
+  }
+  if (!params_.Validate().ok()) {
+    return Corrupt(path, "metadata carries invalid SimRank parameters");
+  }
+
+  num_nodes_ = static_cast<NodeId>(n);
+  num_edges_ = m;
+  return Status::Ok();
+}
+
+}  // namespace cloudwalker

@@ -1,0 +1,165 @@
+// cloudwalker-snap-v1 — the persistent, mmap-loadable engine snapshot
+// (DESIGN.md section 9).
+//
+// A snapshot freezes everything a query-ready CloudWalker needs — the CSR
+// graph (both adjacency directions: walks follow in-links, the MCSS push
+// follows out-links), the flattened AliasArena, the diag(D) index, and
+// build metadata — into one flat file whose payload arrays are 64-byte
+// aligned and individually CRC-32 stamped. SnapshotView::Open mmaps the
+// file and hands out spans into the mapping; Graph::FromCsrViews,
+// AliasArena::FromViews, and DiagonalIndex::FromView wrap those spans
+// zero-copy, so opening costs one integrity pass instead of an index
+// rebuild, and answers are bit-identical to an in-memory build.
+//
+// Byte layout (all integers little-endian; the header stamps the byte
+// order and a foreign-endian file is rejected rather than byte-swapped):
+//
+//   [0, 64)    header
+//     0   8   magic "CWSNAP1\0"
+//     8   4   format version (1)
+//     12  4   endianness stamp 0x01020304
+//     16  4   section count
+//     20  4   CRC-32 of header (with this field zeroed) + directory
+//     24  8   total file size in bytes
+//     32  8   num_nodes
+//     40  8   num_edges
+//     48  16  reserved (zero)
+//   [64, 64 + 32 * sections)   directory, one 32-byte entry per section
+//     0   4   section id (SnapshotSection)
+//     4   4   element size in bytes
+//     8   8   payload offset from file start (64-byte aligned)
+//     16  8   payload length in bytes (multiple of element size)
+//     24  4   CRC-32 of the payload
+//     28  4   reserved (zero)
+//   payload sections, in directory order, zero-padded to 64-byte
+//   alignment
+//
+// Corruption never reaches the kernels: wrong magic / version / byte
+// order fail with kInvalidArgument, any mismatch between the directory,
+// the checksums, and the bytes on disk fails with kDataLoss, and the
+// structural invariants the zero-copy views rely on (monotone offsets,
+// in-range targets, arena/in-CSR agreement) are verified before a span is
+// ever handed out.
+
+#ifndef CLOUDWALKER_SNAPSHOT_SNAPSHOT_H_
+#define CLOUDWALKER_SNAPSHOT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "core/diagonal.h"
+#include "core/options.h"
+#include "engine/alias.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+
+/// Payload section ids of cloudwalker-snap-v1.
+enum class SnapshotSection : uint32_t {
+  kOutOffsets = 1,    // uint64[num_nodes + 1]
+  kOutTargets = 2,    // NodeId[num_edges]
+  kInOffsets = 3,     // uint64[num_nodes + 1]
+  kInTargets = 4,     // NodeId[num_edges]
+  kArenaOffsets = 5,  // uint64[num_nodes + 1] (mirrors kInOffsets)
+  kArenaSlots = 6,    // AliasSlot[num_edges]
+  kDiagonal = 7,      // double[num_nodes]
+  kMeta = 8,          // BinaryWriter-encoded SnapshotMetadata
+};
+
+/// Build provenance stamped into every snapshot: the indexing knobs the
+/// D-vector was estimated under, the default-QueryOptions fingerprint the
+/// build was validated against, and execution counters.
+struct SnapshotMetadata {
+  /// Indexing fingerprint (params live in the DiagonalIndex itself).
+  uint32_t num_walkers = 0;
+  uint32_t jacobi_iterations = 0;
+  uint64_t seed = 0;
+  uint32_t row_mode = 0;
+  uint32_t dangling = 0;
+  double initial_diagonal = 0.0;
+  /// QueryOptionsFingerprint of the defaults (core/options.h).
+  uint64_t query_options_fingerprint = 0;
+  /// Offline-build counters (core/indexer.h).
+  uint64_t walk_steps = 0;
+  double build_seconds = 0.0;
+  /// Free-form builder tag, e.g. "cloudwalker-0.1.0".
+  std::string builder;
+};
+
+/// Writes one cloudwalker-snap-v1 file. The arena must mirror the graph's
+/// in-adjacency (the layout every CloudWalker build produces) and the
+/// index must cover the graph's nodes.
+class SnapshotWriter {
+ public:
+  static Status Write(const std::string& path, const Graph& graph,
+                      const AliasArena& arena, const DiagonalIndex& index,
+                      const SnapshotMetadata& metadata);
+};
+
+/// An open snapshot: the validated mmap plus typed spans into it. Share
+/// via shared_ptr — every consumer of the spans (Graph views, arena views,
+/// the CloudWalker facade) must keep the view alive, which is exactly what
+/// CloudWalker::Open arranges.
+class SnapshotView {
+ public:
+  /// Opens, maps, and fully validates `path` (header, directory, per-
+  /// section CRC, structural invariants). On platforms without mmap the
+  /// file is read into a heap buffer instead — same API, same spans.
+  static StatusOr<std::shared_ptr<const SnapshotView>> Open(
+      const std::string& path);
+
+  ~SnapshotView();
+  SnapshotView(const SnapshotView&) = delete;
+  SnapshotView& operator=(const SnapshotView&) = delete;
+
+  NodeId num_nodes() const { return num_nodes_; }
+  uint64_t num_edges() const { return num_edges_; }
+
+  std::span<const uint64_t> out_offsets() const { return out_offsets_; }
+  std::span<const NodeId> out_targets() const { return out_targets_; }
+  std::span<const uint64_t> in_offsets() const { return in_offsets_; }
+  std::span<const NodeId> in_targets() const { return in_targets_; }
+  std::span<const uint64_t> arena_offsets() const { return arena_offsets_; }
+  std::span<const AliasSlot> arena_slots() const { return arena_slots_; }
+  std::span<const double> diagonal() const { return diagonal_; }
+
+  /// SimRank parameters of the embedded D-vector.
+  const SimRankParams& params() const { return params_; }
+  const SnapshotMetadata& metadata() const { return metadata_; }
+
+  /// Total bytes of the underlying file.
+  uint64_t file_bytes() const { return size_; }
+
+  /// True when the spans alias an mmap (false on the heap fallback).
+  bool mmapped() const { return mmapped_; }
+
+ private:
+  SnapshotView() = default;
+
+  Status Validate(const std::string& path);
+
+  const char* data_ = nullptr;
+  uint64_t size_ = 0;
+  bool mmapped_ = false;
+  std::string heap_buffer_;  // backing store on the no-mmap fallback
+
+  NodeId num_nodes_ = 0;
+  uint64_t num_edges_ = 0;
+  SimRankParams params_;
+  SnapshotMetadata metadata_;
+
+  std::span<const uint64_t> out_offsets_;
+  std::span<const NodeId> out_targets_;
+  std::span<const uint64_t> in_offsets_;
+  std::span<const NodeId> in_targets_;
+  std::span<const uint64_t> arena_offsets_;
+  std::span<const AliasSlot> arena_slots_;
+  std::span<const double> diagonal_;
+};
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_SNAPSHOT_SNAPSHOT_H_

@@ -56,7 +56,9 @@ INSTANTIATE_TEST_SUITE_P(
         CodeCase{Status::DeadlineExceeded("m"),
                  StatusCode::kDeadlineExceeded, "DeadlineExceeded"},
         CodeCase{Status::Cancelled("m"), StatusCode::kCancelled,
-                 "Cancelled"}));
+                 "Cancelled"},
+        CodeCase{Status::DataLoss("m"), StatusCode::kDataLoss,
+                 "DataLoss"}));
 
 TEST(StatusTest, PredicatesMatchExactlyOneCode) {
   using Predicate = bool (Status::*)() const;
@@ -71,6 +73,7 @@ TEST(StatusTest, PredicatesMatchExactlyOneCode) {
       {Status::Internal("m"), &Status::IsInternal},
       {Status::DeadlineExceeded("m"), &Status::IsDeadlineExceeded},
       {Status::Cancelled("m"), &Status::IsCancelled},
+      {Status::DataLoss("m"), &Status::IsDataLoss},
   };
   for (size_t holder = 0; holder < cases.size(); ++holder) {
     EXPECT_FALSE(cases[holder].first.ok());

@@ -1,0 +1,102 @@
+// Workload replay-file parsing: every malformed line is rejected with a
+// Status naming <path>:<line> and the specific defect — a typo in a replay
+// file must never be silently skipped or mis-parsed.
+
+#include "serve/workload.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cloudwalker {
+namespace {
+
+std::string WriteLines(const std::string& name,
+                       const std::vector<std::string>& lines) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::trunc);
+  for (const std::string& l : lines) out << l << "\n";
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+TEST(WorkloadTextTest, RoundTripsEveryVerb) {
+  WorkloadSpec spec;
+  spec.num_requests = 50;
+  spec.pair_fraction = 0.3;
+  spec.source_fraction = 0.2;
+  auto generated = GenerateWorkload(/*num_nodes=*/100, spec);
+  ASSERT_TRUE(generated.ok());
+  const std::string path = ::testing::TempDir() + "/roundtrip.workload";
+  ASSERT_TRUE(SaveWorkloadText(*generated, path).ok());
+  auto loaded = LoadWorkloadText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, *generated);
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTextTest, ParsesCommentsBlanksAndWhitespace) {
+  const std::string path = WriteLines(
+      "ok.workload", {"# header comment", "", "   ", "pair 1 2",
+                      "  topk 3 10  ", "source 4", "# trailing comment"});
+  auto loaded = LoadWorkloadText(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0], QueryRequest::Pair(1, 2));
+  EXPECT_EQ((*loaded)[1], QueryRequest::SourceTopK(3, 10));
+  EXPECT_EQ((*loaded)[2], QueryRequest::SingleSource(4));
+  std::remove(path.c_str());
+}
+
+TEST(WorkloadTextTest, RejectsMalformedLinesWithLineNumbers) {
+  struct BadLine {
+    const char* line;      // the offending content
+    const char* expected;  // substring the diagnostic must contain
+  };
+  const std::vector<BadLine> table = {
+      {"pari 1 2", "unknown verb 'pari'"},
+      {"PAIR 1 2", "unknown verb 'PAIR'"},
+      {"pair 1", "missing node j"},
+      {"pair", "missing node i"},
+      {"pair 1 2 3", "trailing content '3'"},
+      {"pair one 2", "'one' is not a non-negative integer"},
+      {"pair -1 2", "'-1' is not a non-negative integer"},
+      {"pair 1 99999999999", "'99999999999' exceeds 32 bits"},
+      {"topk 5", "missing k"},
+      {"topk", "missing source node"},
+      {"topk 5 x", "'x' is not a non-negative integer"},
+      {"topk 5 10 extra", "trailing content 'extra'"},
+      {"source", "missing source node"},
+      {"source 1 2", "trailing content '2'"},
+      {"source 1.5", "not a non-negative integer"},
+      {"allpairs 10", "unknown verb 'allpairs'"},
+  };
+  for (const BadLine& bad : table) {
+    // The bad line sits at line 3 behind a comment and a valid request,
+    // so the diagnostic must carry ":3" and nothing must be kept.
+    const std::string path =
+        WriteLines("bad.workload", {"# replay", "pair 1 2", bad.line});
+    auto loaded = LoadWorkloadText(path);
+    ASSERT_FALSE(loaded.ok()) << "accepted malformed line: " << bad.line;
+    EXPECT_TRUE(loaded.status().IsInvalidArgument()) << bad.line;
+    const std::string& message = loaded.status().message();
+    EXPECT_NE(message.find(":3: "), std::string::npos)
+        << "no line number for '" << bad.line << "': " << message;
+    EXPECT_NE(message.find(bad.expected), std::string::npos)
+        << "diagnostic for '" << bad.line << "' lacks '" << bad.expected
+        << "': " << message;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(WorkloadTextTest, MissingFileIsIoError) {
+  auto loaded = LoadWorkloadText(::testing::TempDir() + "/absent.workload");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsIoError());
+}
+
+}  // namespace
+}  // namespace cloudwalker

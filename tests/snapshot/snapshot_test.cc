@@ -1,0 +1,268 @@
+// Snapshot round-trip and durability tests (DESIGN.md section 9).
+//
+// The contract under test: a snapshot written by CloudWalker::WriteSnapshot
+// and reopened via the mmap-backed CloudWalker::Open answers every query
+// kind bit-identically to the instance that wrote it — and any corruption
+// of the file (truncation, flipped bytes, wrong magic/version/endianness)
+// is rejected with a clean kDataLoss / kInvalidArgument before a kernel
+// ever touches a byte.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cloudwalker.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "snapshot/snapshot.h"
+
+namespace cloudwalker {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Graph graph = GenerateRmat(/*num_nodes=*/400, /*num_edges=*/3000,
+                               /*seed=*/11);
+    IndexingOptions options;
+    options.num_walkers = 20;
+    options.params.num_steps = 5;
+    auto built = CloudWalker::Build(std::move(graph), options);
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    built_ = new std::shared_ptr<const CloudWalker>(std::move(built).value());
+    path_ = new std::string(TempPath("roundtrip.cwk"));
+    ASSERT_TRUE((*built_)->WriteSnapshot(*path_).ok());
+  }
+  static void TearDownTestSuite() {
+    std::remove(path_->c_str());
+    delete built_;
+    delete path_;
+    built_ = nullptr;
+    path_ = nullptr;
+  }
+
+  const CloudWalker& built() { return **built_; }
+  const std::string& path() { return *path_; }
+
+  static std::shared_ptr<const CloudWalker>* built_;
+  static std::string* path_;
+};
+
+std::shared_ptr<const CloudWalker>* SnapshotTest::built_ = nullptr;
+std::string* SnapshotTest::path_ = nullptr;
+
+TEST_F(SnapshotTest, OpenIsZeroCopy) {
+  auto opened = CloudWalker::Open(path());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const CloudWalker& cw = **opened;
+  ASSERT_NE(cw.snapshot(), nullptr);
+  EXPECT_TRUE(cw.snapshot()->mmapped());
+  // The flat arrays alias the mapping, not heap vectors.
+  EXPECT_FALSE(cw.graph().owns_storage());
+  EXPECT_FALSE(cw.index().owns_storage());
+  EXPECT_FALSE(cw.walk_context().arena().owns_storage());
+  EXPECT_EQ(cw.graph().num_nodes(), built().graph().num_nodes());
+  EXPECT_EQ(cw.graph().num_edges(), built().graph().num_edges());
+  // Build metadata survived the trip.
+  EXPECT_EQ(cw.indexing_options().num_walkers, 20u);
+  EXPECT_EQ(cw.indexing_options().params.num_steps, 5u);
+  EXPECT_EQ(cw.indexing_stats().walk_steps, built().indexing_stats().walk_steps);
+  EXPECT_EQ(cw.snapshot()->metadata().query_options_fingerprint,
+            QueryOptionsFingerprint(QueryOptions{}));
+}
+
+TEST_F(SnapshotTest, AnswersBitIdenticalForAllQueryKinds) {
+  auto opened = CloudWalker::Open(path());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const CloudWalker& cw = **opened;
+  QueryOptions q;
+  q.num_walkers = 300;
+
+  // kPair.
+  for (const auto& [i, j] : std::vector<std::pair<NodeId, NodeId>>{
+           {1, 2}, {7, 300}, {42, 42}}) {
+    auto a = built().SinglePair(i, j, q);
+    auto b = cw.SinglePair(i, j, q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << "pair (" << i << ", " << j << ")";
+  }
+  // kSingleSource: exact sparse-vector equality.
+  for (NodeId src : {NodeId{0}, NodeId{17}, NodeId{399}}) {
+    auto a = built().SingleSource(src, q);
+    auto b = cw.SingleSource(src, q);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size()) << "source " << src;
+    for (size_t e = 0; e < a->size(); ++e) EXPECT_EQ((*a)[e], (*b)[e]);
+  }
+  // kSourceTopK.
+  auto ta = built().SingleSourceTopK(5, 10, q);
+  auto tb = cw.SingleSourceTopK(5, 10, q);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  EXPECT_EQ(*ta, *tb);
+  // kAllPairsTopK.
+  QueryOptions cheap = q;
+  cheap.num_walkers = 40;
+  auto aa = built().AllPairs(3, cheap);
+  auto ab = cw.AllPairs(3, cheap);
+  ASSERT_TRUE(aa.ok() && ab.ok());
+  EXPECT_EQ(*aa, *ab);
+  // The unified Execute() path agrees too.
+  const QueryResponse ra = built().Execute(QueryRequest::SourceTopK(5, 10)
+                                               .WithOptions(q));
+  const QueryResponse rb = cw.Execute(QueryRequest::SourceTopK(5, 10)
+                                          .WithOptions(q));
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(*ra.topk(), *rb.topk());
+}
+
+TEST_F(SnapshotTest, SnapshotOfSnapshotIsByteStable) {
+  // Writing a snapshot from an opened (view-backed) instance reproduces
+  // the original file byte for byte: the persistent artifact is a fixed
+  // point of Open + WriteSnapshot.
+  auto opened = CloudWalker::Open(path());
+  ASSERT_TRUE(opened.ok());
+  const std::string copy = TempPath("rewrite.cwk");
+  ASSERT_TRUE((*opened)->WriteSnapshot(copy).ok());
+  EXPECT_EQ(ReadFile(path()), ReadFile(copy));
+  std::remove(copy.c_str());
+}
+
+TEST_F(SnapshotTest, RejectsWrongMagicVersionAndEndianness) {
+  const std::string original = ReadFile(path());
+  const std::string mutant = TempPath("mutant.cwk");
+
+  std::string bad = original;
+  bad[0] = 'X';  // magic
+  WriteFile(mutant, bad);
+  auto r1 = CloudWalker::Open(mutant);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_TRUE(r1.status().IsInvalidArgument()) << r1.status().ToString();
+
+  bad = original;
+  bad[8] = 99;  // format version
+  WriteFile(mutant, bad);
+  auto r2 = CloudWalker::Open(mutant);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_TRUE(r2.status().IsInvalidArgument()) << r2.status().ToString();
+
+  bad = original;
+  std::swap(bad[12], bad[15]);  // endianness stamp, byte-swapped
+  WriteFile(mutant, bad);
+  auto r3 = CloudWalker::Open(mutant);
+  ASSERT_FALSE(r3.ok());
+  EXPECT_TRUE(r3.status().IsInvalidArgument()) << r3.status().ToString();
+
+  std::remove(mutant.c_str());
+}
+
+TEST_F(SnapshotTest, RejectsTruncation) {
+  const std::string original = ReadFile(path());
+  const std::string mutant = TempPath("truncated.cwk");
+  for (const size_t keep :
+       {size_t{0}, size_t{9}, size_t{63}, size_t{64}, size_t{200},
+        original.size() / 2, original.size() - 1}) {
+    WriteFile(mutant, original.substr(0, keep));
+    auto r = CloudWalker::Open(mutant);
+    ASSERT_FALSE(r.ok()) << "truncated to " << keep << " bytes";
+    EXPECT_TRUE(r.status().IsDataLoss() || r.status().IsInvalidArgument())
+        << "truncated to " << keep << ": " << r.status().ToString();
+  }
+  std::remove(mutant.c_str());
+}
+
+TEST_F(SnapshotTest, RejectsEveryFlippedByte) {
+  // Fuzz-ish sweep: flip one byte at a stride of offsets covering the
+  // header and directory densely and the payload sections sparsely. Every
+  // mutant must fail cleanly — kDataLoss for payload/directory damage,
+  // kInvalidArgument when the flip lands in magic/version/endianness —
+  // and none may crash or yield a working instance.
+  const std::string original = ReadFile(path());
+  const std::string mutant = TempPath("flipped.cwk");
+  std::vector<size_t> offsets;
+  for (size_t o = 0; o < std::min<size_t>(original.size(), 320); ++o) {
+    offsets.push_back(o);  // header + directory, every byte
+  }
+  for (size_t o = 320; o < original.size(); o += 997) offsets.push_back(o);
+  offsets.push_back(original.size() - 1);
+
+  for (const size_t off : offsets) {
+    std::string bad = original;
+    bad[off] = static_cast<char>(bad[off] ^ 0x40);
+    WriteFile(mutant, bad);
+    auto r = CloudWalker::Open(mutant);
+    ASSERT_FALSE(r.ok()) << "flip at offset " << off << " went undetected";
+    EXPECT_TRUE(r.status().IsDataLoss() || r.status().IsInvalidArgument())
+        << "flip at " << off << ": " << r.status().ToString();
+  }
+  std::remove(mutant.c_str());
+}
+
+TEST_F(SnapshotTest, RejectsFlippedCrcField) {
+  // Flipping a byte of a stored CRC (not the data it covers) must also
+  // fail: the checksum and the payload can never be patched consistently
+  // by a single-byte error.
+  const std::string original = ReadFile(path());
+  const std::string mutant = TempPath("crcflip.cwk");
+  // Section CRCs live at directory offset 64 + 32*i + 24.
+  for (int section = 0; section < 8; ++section) {
+    std::string bad = original;
+    const size_t off = 64 + 32 * static_cast<size_t>(section) + 24;
+    bad[off] = static_cast<char>(bad[off] ^ 0x01);
+    WriteFile(mutant, bad);
+    auto r = CloudWalker::Open(mutant);
+    ASSERT_FALSE(r.ok()) << "section " << section;
+    EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+  }
+  std::remove(mutant.c_str());
+}
+
+TEST_F(SnapshotTest, MissingFileIsIoError) {
+  auto r = CloudWalker::Open(TempPath("does-not-exist.cwk"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIoError()) << r.status().ToString();
+}
+
+TEST(SnapshotWriterTest, RejectsMismatchedInputs) {
+  Graph g1 = GenerateRmat(100, 500, /*seed=*/3);
+  Graph g2 = GenerateRmat(120, 500, /*seed=*/4);
+  IndexingOptions options;
+  options.num_walkers = 5;
+  options.params.num_steps = 3;
+  auto cw = CloudWalker::Build(&g1, options);
+  ASSERT_TRUE(cw.ok());
+  // Index from a different graph: node counts disagree.
+  const Status s = SnapshotWriter::Write(
+      TempPath("bad.cwk"), g2, AliasArena::BuildInLink(g2), cw->index(),
+      SnapshotMetadata{});
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  // Arena from a different graph: in-adjacency diverges.
+  const Status s2 = SnapshotWriter::Write(
+      TempPath("bad.cwk"), g1, AliasArena::BuildInLink(g1.Reversed()),
+      cw->index(), SnapshotMetadata{});
+  ASSERT_FALSE(s2.ok());
+  EXPECT_TRUE(s2.IsInvalidArgument()) << s2.ToString();
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -10,8 +10,11 @@ throughputs, which vary across hosts) are reported for context only.
 
 Usage:
   tools/check_bench.py BASELINE.json CURRENT.json [--max-regression 0.2]
+  tools/check_bench.py --self-test     # checker self-checks (CI lint job)
 
-Exit status: 0 when every gate holds, 1 otherwise.
+Exit status: 0 when every gate holds, 1 otherwise. Malformed input
+(unreadable file, bad JSON, missing/mistyped metric keys) fails with a
+one-line diagnostic naming the file and the defect — never a traceback.
 
 Refreshing a baseline after an intentional perf change (DESIGN.md section 8):
   CW_BENCH_QUICK=1 CW_BENCH_JSON=BENCH_ENGINE.json \
@@ -34,17 +37,155 @@ import sys
 
 
 def load_report(path):
-    with open(path) as f:
-        report = json.load(f)
+    """Loads and validates one cloudwalker-bench-v1 report.
+
+    Every defect a hand-edited or truncated file can have — unreadable
+    path, invalid JSON, non-object root, missing/mistyped metric fields,
+    duplicate metric names — exits with a one-line diagnostic instead of
+    surfacing as a KeyError/TypeError traceback.
+    """
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read ({e.strerror})")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: invalid JSON ({e})")
+    if not isinstance(report, dict):
+        sys.exit(f"{path}: report root must be a JSON object")
     if report.get("schema") != "cloudwalker-bench-v1":
         sys.exit(f"{path}: unknown schema {report.get('schema')!r}")
-    metrics = {m["name"]: m for m in report.get("metrics", [])}
-    if not metrics:
-        sys.exit(f"{path}: no metrics")
+    raw_metrics = report.get("metrics")
+    if not isinstance(raw_metrics, list) or not raw_metrics:
+        sys.exit(f"{path}: missing or empty 'metrics' array")
+    metrics = {}
+    for i, m in enumerate(raw_metrics):
+        if not isinstance(m, dict):
+            sys.exit(f"{path}: metrics[{i}] is not an object")
+        name = m.get("name")
+        if not isinstance(name, str) or not name:
+            sys.exit(f"{path}: metrics[{i}] is missing its 'name'")
+        if not isinstance(m.get("value"), (int, float)) or isinstance(
+            m.get("value"), bool
+        ):
+            sys.exit(f"{path}: metric {name!r} is missing a numeric 'value'")
+        for key, want in (("gate", bool), ("higher_is_better", bool)):
+            if key in m and not isinstance(m[key], want):
+                sys.exit(
+                    f"{path}: metric {name!r} field {key!r} must be "
+                    f"{want.__name__}"
+                )
+        if "min" in m and (
+            not isinstance(m["min"], (int, float)) or isinstance(m["min"], bool)
+        ):
+            sys.exit(f"{path}: metric {name!r} field 'min' must be a number")
+        if name in metrics:
+            sys.exit(f"{path}: duplicate metric {name!r}")
+        metrics[name] = m
     return report, metrics
 
 
-def main():
+def self_test():
+    """Pytest-style checks of the checker itself (run by CI's lint job).
+
+    Each case writes a baseline/current pair to a temp dir, runs main(),
+    and asserts the exit disposition: 0 / 1 / a clean diagnostic string —
+    and never an uncaught KeyError/TypeError.
+    """
+    import contextlib
+    import io
+    import os
+    import tempfile
+
+    def report(metrics, bench="bench_x", schema="cloudwalker-bench-v1"):
+        return {"schema": schema, "bench": bench, "metrics": metrics}
+
+    def metric(name, value, gate=False, floor=None, higher=True):
+        m = {"name": name, "value": value, "gate": gate,
+             "higher_is_better": higher}
+        if floor is not None:
+            m["min"] = floor
+        return m
+
+    failures = []
+
+    def case(name, base, cur, want, extra_args=()):
+        with tempfile.TemporaryDirectory() as tmp:
+            paths = []
+            for tag, content in (("base", base), ("cur", cur)):
+                p = os.path.join(tmp, f"{tag}.json")
+                with open(p, "w") as f:
+                    f.write(content if isinstance(content, str)
+                            else json.dumps(content))
+                paths.append(p)
+            argv = paths + list(extra_args)
+            out, err = io.StringIO(), io.StringIO()
+            try:
+                with contextlib.redirect_stdout(out), \
+                        contextlib.redirect_stderr(err):
+                    code = main(argv)
+            except SystemExit as e:  # sys.exit(message) or sys.exit(code)
+                code = e.code
+            except Exception as e:  # noqa: BLE001 — the bug being tested for
+                failures.append(f"{name}: raised {type(e).__name__}: {e}")
+                return
+            if want == "diagnostic":
+                ok = isinstance(code, str) and code
+            else:
+                ok = code == want
+            if not ok:
+                failures.append(f"{name}: exit {code!r}, wanted {want!r}")
+
+    good = report([metric("speed", 10.0, gate=True, floor=2.0)])
+    case("identical reports pass", good, good, 0)
+    case("regression within tolerance passes", good,
+         report([metric("speed", 9.0, gate=True, floor=2.0)]), 0)
+    case("gated regression fails", good,
+         report([metric("speed", 5.0, gate=True, floor=2.0)]), 1)
+    case("ungated regression passes",
+         report([metric("qps", 100.0)]), report([metric("qps", 10.0)]), 0)
+    case("below absolute floor fails", good,
+         report([metric("speed", 1.0, gate=True, floor=2.0)]), 1)
+    case("baseline floor survives weakened current floor", good,
+         report([metric("speed", 1.0, gate=True, floor=0.5)]), 1)
+    case("missing gated metric fails", good, report([metric("other", 1.0)]), 1)
+    case("new metric below its floor fails", good,
+         report([metric("speed", 10.0, gate=True, floor=2.0),
+                 metric("fresh", 0.0, gate=True, floor=1.0)]), 1)
+    case("lower-is-better regression fails",
+         report([metric("bytes", 10.0, gate=True, higher=False)]),
+         report([metric("bytes", 20.0, gate=True, higher=False)]), 1)
+    case("bench mismatch is diagnosed", good,
+         report([metric("speed", 10.0)], bench="bench_y"), "diagnostic")
+    case("wrong schema is diagnosed", good,
+         report([metric("speed", 10.0)], schema="nope"), "diagnostic")
+    case("invalid JSON is diagnosed", good, "{not json", "diagnostic")
+    case("non-object root is diagnosed", good, "[1, 2]", "diagnostic")
+    case("missing metrics key is diagnosed", good,
+         {"schema": "cloudwalker-bench-v1", "bench": "bench_x"},
+         "diagnostic")
+    case("metric without name is diagnosed", good,
+         report([{"value": 1.0}]), "diagnostic")
+    case("metric without value is diagnosed", good,
+         report([{"name": "speed", "gate": True}]), "diagnostic")
+    case("non-numeric value is diagnosed", good,
+         report([{"name": "speed", "value": "fast"}]), "diagnostic")
+    case("duplicate metric is diagnosed", good,
+         report([metric("speed", 1.0), metric("speed", 2.0)]), "diagnostic")
+    case("wide tolerance accepts larger slips", good,
+         report([metric("speed", 6.5, gate=True, floor=2.0)]), 0,
+         extra_args=("--max-regression", "0.5"))
+
+    if failures:
+        print("check_bench self-test FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("check_bench self-test OK")
+    return 0
+
+
+def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline")
     parser.add_argument("current")
@@ -55,7 +196,7 @@ def main():
         help="allowed fractional slip of gated metrics vs the baseline "
         "(default 0.2 = 20%%)",
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
     base_report, base = load_report(args.baseline)
     cur_report, cur = load_report(args.current)
@@ -133,4 +274,6 @@ def main():
 
 
 if __name__ == "__main__":
+    if "--self-test" in sys.argv[1:]:
+        sys.exit(self_test())
     sys.exit(main())

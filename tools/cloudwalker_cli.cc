@@ -3,26 +3,38 @@
 //   cloudwalker generate --type=rmat --nodes=100000
 //       --edges=1500000 --seed=1 --out=web.graph
 //   cloudwalker stats    --graph=web.graph
-//   cloudwalker index    --graph=web.graph --out=web.cwidx [--walkers=100]
-//       [--steps=10] [--decay=0.6] [--iterations=3] [--regenerate]
-//   cloudwalker pair     --graph=web.graph --index=web.cwidx --i=1 --j=2
-//   cloudwalker source   --graph=web.graph --index=web.cwidx --node=1
-//       [--topk=10]
-//   cloudwalker serve    --graph=web.graph --index=web.cwidx
+//   cloudwalker index    --graph=web.graph --snapshot-out=web.cwk
+//       [--out=web.cwidx] [--walkers=100] [--steps=10] [--decay=0.6]
+//       [--iterations=3] [--regenerate]
+//   cloudwalker pair     --snapshot=web.cwk --i=1 --j=2
+//   cloudwalker source   --snapshot=web.cwk --node=1 [--topk=10]
+//   cloudwalker serve    --snapshot=web.cwk [--reload-on=sighup]
 //       [--workload=reqs.txt | --requests=1000 --skew=zipf]
 //       [--deadline-ms=50] [--max-queue=4096]
 //
-// Graphs are loaded from the binary snapshot format (SaveGraphBinary) or,
+// The query commands take either a --snapshot=PATH (a cloudwalker-snap-v1
+// artifact written by `index --snapshot-out`, mmap-opened in milliseconds)
+// or the legacy --graph=PATH --index=PATH pair (graph reload + arena
+// rebuild at startup). `serve --reload-on=sighup` re-opens the snapshot
+// and hot-swaps it into the running service when the process receives
+// SIGHUP — the operator's zero-downtime reload.
+//
+// Graphs are loaded from the binary graph format (SaveGraphBinary) or,
 // when the path ends in .txt, from a whitespace edge list. `--threads=N`
 // sizes the worker pool of the parallel commands (generate, index, serve);
 // 0 or absent selects the hardware concurrency.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/string_util.h"
@@ -151,7 +163,10 @@ int CmdIndex(const std::map<std::string, std::string>& flags) {
   auto graph = LoadGraph(GetFlag(flags, "graph"));
   if (!graph.ok()) return Fail(graph.status().ToString());
   const std::string out = GetFlag(flags, "out");
-  if (out.empty()) return Fail("index requires --out=PATH");
+  const std::string snapshot_out = GetFlag(flags, "snapshot-out");
+  if (out.empty() && snapshot_out.empty()) {
+    return Fail("index requires --out=PATH and/or --snapshot-out=PATH");
+  }
 
   IndexingOptions o;
   o.num_walkers =
@@ -169,21 +184,40 @@ int CmdIndex(const std::map<std::string, std::string>& flags) {
   ThreadPool pool(GetThreads(flags));
   auto cw = CloudWalker::Build(&*graph, o, &pool);
   if (!cw.ok()) return Fail(cw.status().ToString());
-  const Status s = cw->SaveIndex(out);
-  if (!s.ok()) return Fail(s.ToString());
   const IndexingStats& stats = cw->indexing_stats();
   std::cout << "indexed " << HumanCount(graph->num_nodes()) << " nodes ("
             << HumanCount(stats.walk_steps) << " walk steps, "
             << HumanSeconds(stats.walk_seconds + stats.solve_seconds)
-            << "); wrote " << out << "\n";
+            << ")";
+  if (!out.empty()) {
+    const Status s = cw->SaveIndex(out);
+    if (!s.ok()) return Fail(s.ToString());
+    std::cout << "; wrote index " << out;
+  }
+  if (!snapshot_out.empty()) {
+    const Status s = cw->WriteSnapshot(snapshot_out);
+    if (!s.ok()) return Fail(s.ToString());
+    std::cout << "; wrote snapshot " << snapshot_out;
+  }
+  std::cout << "\n";
   return 0;
 }
 
-StatusOr<CloudWalker> LoadFacade(
-    const Graph* graph, const std::map<std::string, std::string>& flags) {
+// The query commands' engine source: an mmap-opened snapshot artifact
+// (--snapshot), or the legacy --graph + --index pair (owned by the
+// returned facade either way).
+StatusOr<std::shared_ptr<const CloudWalker>> LoadEngine(
+    const std::map<std::string, std::string>& flags) {
+  const std::string snapshot = GetFlag(flags, "snapshot");
+  if (!snapshot.empty()) return CloudWalker::Open(snapshot);
+  if (GetFlag(flags, "graph").empty() || GetFlag(flags, "index").empty()) {
+    return Status::InvalidArgument(
+        "pass --snapshot=PATH, or --graph=PATH with --index=PATH");
+  }
+  CW_ASSIGN_OR_RETURN(Graph graph, LoadGraph(GetFlag(flags, "graph")));
   CW_ASSIGN_OR_RETURN(DiagonalIndex index,
                       DiagonalIndex::Load(GetFlag(flags, "index")));
-  return CloudWalker::FromIndex(graph, std::move(index));
+  return CloudWalker::FromIndex(std::move(graph), std::move(index));
 }
 
 QueryOptions QueryFlags(const std::map<std::string, std::string>& flags) {
@@ -204,15 +238,13 @@ QueryOptions QueryFlags(const std::map<std::string, std::string>& flags) {
 }
 
 int CmdPair(const std::map<std::string, std::string>& flags) {
-  auto graph = LoadGraph(GetFlag(flags, "graph"));
-  if (!graph.ok()) return Fail(graph.status().ToString());
-  auto cw = LoadFacade(&*graph, flags);
+  auto cw = LoadEngine(flags);
   if (!cw.ok()) return Fail(cw.status().ToString());
   const NodeId i =
       static_cast<NodeId>(ParseU64(flags, "i", "0"));
   const NodeId j =
       static_cast<NodeId>(ParseU64(flags, "j", "0"));
-  auto s = cw->SinglePair(i, j, QueryFlags(flags));
+  auto s = (*cw)->SinglePair(i, j, QueryFlags(flags));
   if (!s.ok()) return Fail(s.status().ToString());
   std::cout << "s(" << i << ", " << j << ") = " << FormatDouble(*s, 6)
             << "\n";
@@ -220,14 +252,12 @@ int CmdPair(const std::map<std::string, std::string>& flags) {
 }
 
 int CmdSource(const std::map<std::string, std::string>& flags) {
-  auto graph = LoadGraph(GetFlag(flags, "graph"));
-  if (!graph.ok()) return Fail(graph.status().ToString());
-  auto cw = LoadFacade(&*graph, flags);
+  auto cw = LoadEngine(flags);
   if (!cw.ok()) return Fail(cw.status().ToString());
   const NodeId q =
       static_cast<NodeId>(ParseU64(flags, "node", "0"));
   const size_t k = ParseU64(flags, "topk", "10");
-  auto top = cw->SingleSourceTopK(q, k, QueryFlags(flags));
+  auto top = (*cw)->SingleSourceTopK(q, k, QueryFlags(flags));
   if (!top.ok()) return Fail(top.status().ToString());
   for (const ScoredNode& sn : *top) {
     std::cout << sn.node << "\t" << FormatDouble(sn.score, 6) << "\n";
@@ -235,11 +265,17 @@ int CmdSource(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// SIGHUP flag for `serve --reload-on=sighup` (write of one atomic is all
+// a signal handler may do; the watcher thread does the real work).
+std::atomic<bool> g_sighup{false};
+
+void OnSighup(int) { g_sighup.store(true, std::memory_order_relaxed); }
+
 int CmdServe(const std::map<std::string, std::string>& flags) {
-  auto graph = LoadGraph(GetFlag(flags, "graph"));
-  if (!graph.ok()) return Fail(graph.status().ToString());
-  auto cw = LoadFacade(&*graph, flags);
+  auto cw = LoadEngine(flags);
   if (!cw.ok()) return Fail(cw.status().ToString());
+  const std::shared_ptr<const CloudWalker>& engine = *cw;
+  const Graph& graph = engine->graph();
 
   // Obtain the request stream: replay a file or generate one.
   std::vector<QueryRequest> requests;
@@ -265,7 +301,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     }
     spec.zipf_theta = std::stod(GetFlag(flags, "theta", "0.99"));
     spec.seed = ParseU64(flags, "wseed", "42");
-    auto generated = GenerateWorkload(graph->num_nodes(), spec);
+    auto generated = GenerateWorkload(graph.num_nodes(), spec);
     if (!generated.ok()) return Fail(generated.status().ToString());
     requests = std::move(generated).value();
   }
@@ -291,9 +327,57 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     for (QueryRequest& r : requests) r.timeout_seconds = deadline_seconds;
   }
 
+  // --reload-on=sighup: a watcher thread re-opens the snapshot artifact
+  // and hot-swaps it into the service whenever SIGHUP arrives — traffic
+  // keeps flowing through the swap (DESIGN.md section 9).
+  const std::string reload_on = GetFlag(flags, "reload-on");
+  const std::string snapshot_path = GetFlag(flags, "snapshot");
+  if (!reload_on.empty()) {
+    if (reload_on != "sighup" && reload_on != "SIGHUP") {
+      return Fail("unknown --reload-on (sighup)");
+    }
+    if (snapshot_path.empty()) {
+      return Fail("--reload-on=sighup requires --snapshot=PATH to reload");
+    }
+    std::signal(SIGHUP, OnSighup);
+  }
+
   ThreadPool pool(GetThreads(flags));
-  QueryService service(&*cw, options, &pool);
+  QueryService service(engine, options, &pool);
+
+  std::atomic<bool> replay_done{false};
+  uint64_t reloads = 0;
+  std::thread reload_watcher;
+  if (!reload_on.empty()) {
+    reload_watcher = std::thread([&] {
+      while (!replay_done.load(std::memory_order_relaxed)) {
+        if (g_sighup.exchange(false, std::memory_order_relaxed)) {
+          auto reopened = CloudWalker::Open(snapshot_path);
+          if (!reopened.ok()) {
+            std::cerr << "reload failed: " << reopened.status().ToString()
+                      << "\n";
+          } else {
+            const auto previous = service.CurrentSnapshot();
+            if (auto epoch = service.Publish(*reopened); epoch.ok()) {
+              ++reloads;
+              // Retire the superseded version so a long-running server
+              // holds at most two engines (in-flight pins keep the old
+              // one alive until its last request completes).
+              (void)service.registry().Retire(previous->version);
+              std::cerr << "reloaded " << snapshot_path << " as v"
+                        << service.Stats().snapshot_version << " (epoch "
+                        << *epoch << ")\n";
+            }
+          }
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+    });
+  }
+
   service.ExecuteBatch(requests);
+  replay_done.store(true, std::memory_order_relaxed);
+  if (reload_watcher.joinable()) reload_watcher.join();
 
   const ServeStats stats = service.Stats();
   std::cout << "served " << stats.total_queries() << " requests ("
@@ -315,7 +399,9 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
             << "admission:      " << stats.deadline_exceeded
             << " deadline-exceeded, " << stats.cancelled << " cancelled, "
             << stats.rejected << " rejected\n"
-            << "kernel runs:    " << stats.computed << "\n";
+            << "kernel runs:    " << stats.computed << "\n"
+            << "engine:         v" << stats.snapshot_version << " (epoch "
+            << stats.snapshot_epoch << ", " << reloads << " live reloads)\n";
   const uint64_t hard_errors = stats.errors - stats.deadline_exceeded -
                                stats.cancelled - stats.rejected;
   if (hard_errors != 0) {
@@ -337,21 +423,26 @@ void Usage() {
       "            --attach=K (8, ba only), --threads=N\n"
       "  stats     Print degree/memory statistics of a graph.\n"
       "            --graph=PATH (required)\n"
-      "  index     Run offline indexing (estimate diag(D)) and save it.\n"
-      "            --graph=PATH --out=PATH (required), --walkers=R (100),\n"
+      "  index     Run offline indexing (estimate diag(D)) and persist.\n"
+      "            --graph=PATH plus --snapshot-out=PATH (full snapshot,\n"
+      "            mmap-loadable with --snapshot below) and/or --out=PATH\n"
+      "            (diagonal-only index); --walkers=R (100),\n"
       "            --steps=T (10), --decay=c (0.6), --iterations=L (3),\n"
       "            --seed=S (1), --regenerate (row regeneration mode),\n"
       "            --threads=N\n"
       "  pair      MCSP: estimate s(i, j).\n"
-      "            --graph=PATH --index=PATH (required), --i=A --j=B (0),\n"
-      "            --walkers=R' (10000), --seed=S (97), --exact-push\n"
-      "  source    MCSS: the k nodes most similar to one node.\n"
-      "            --graph=PATH --index=PATH (required), --node=Q (0),\n"
-      "            --topk=K (10), --walkers=R' (10000), --seed=S (97),\n"
+      "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
+      "            --i=A --j=B (0), --walkers=R' (10000), --seed=S (97),\n"
       "            --exact-push\n"
+      "  source    MCSS: the k nodes most similar to one node.\n"
+      "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
+      "            --node=Q (0), --topk=K (10), --walkers=R' (10000),\n"
+      "            --seed=S (97), --exact-push\n"
       "  serve     Replay a request workload through the concurrent\n"
       "            QueryService and report QPS / latency / cache stats.\n"
-      "            --graph=PATH --index=PATH (required);\n"
+      "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
+      "            --reload-on=sighup re-opens --snapshot and hot-swaps\n"
+      "            it into the running service on SIGHUP;\n"
       "            workload: --workload=PATH to replay a file, else\n"
       "            generated from --requests=N (1000), --skew=zipf|uniform\n"
       "            (zipf), --theta=T (0.99), --pair-frac=F (0.2),\n"
