@@ -28,6 +28,7 @@
 #include "common/timer.h"
 #include "engine/alias.h"
 #include "engine/walk.h"
+#include "engine/walk_program.h"
 #include "graph/generators.h"
 
 using namespace cloudwalker;
@@ -227,6 +228,47 @@ int main() {
                     false, -1.0});
   report.AddMetric({"walk_batched_speedup_vs_legacy", speedup, "x", true,
                     /*gate=*/true, /*min=*/2.0});
+
+  // --- Table 1b: walk-program throughput. --------------------------------
+  // Every program rides the same batched kernel (DESIGN.md section 10), so
+  // their throughputs are reported side by side: SimRank is the gated
+  // reference; PPR pays one extra stop coin per step; node2vec pays the
+  // second-order rejection loop (graph-dependent, up to max_trials row
+  // probes per step). Tracked ungated — absolute Msteps/s is hardware- and
+  // graph-bound — but present in every baseline so a program-specific
+  // regression is visible in CI's report diff.
+  {
+    const Throughput ppr = MeasureWalkThroughput(
+        n, min_seconds, [&](NodeId source, WalkStats* stats) {
+          SimulatePprEndpoints(graph, &context, source, cfg, PprParams{},
+                               &scratch, nullptr, stats);
+        });
+    Node2VecParams n2v_params;
+    n2v_params.return_p = 0.5;
+    n2v_params.in_out_q = 2.0;
+    const Throughput n2v = MeasureWalkThroughput(
+        n, min_seconds, [&](NodeId source, WalkStats* stats) {
+          SimulateNode2VecVisits(graph, &context, source, cfg, n2v_params,
+                                 &scratch, nullptr, stats);
+        });
+    TablePrinter t({"program", "Msteps/s", "vs simrank"});
+    auto add = [&](const std::string& name, const Throughput& tp) {
+      t.AddRow({name, FormatDouble(tp.steps_per_sec / 1e6, 2),
+                FormatDouble(
+                    tp.steps_per_sec / batched_arena.steps_per_sec, 2) +
+                    "x"});
+    };
+    add("simrank endpoints", batched_arena);
+    add("ppr endpoints (alpha=0.85)", ppr);
+    add("node2vec visits (p=0.5, q=2)", n2v);
+    std::cout << "Table 1b — walk-program throughput on the shared kernel:\n";
+    t.RenderText(std::cout);
+    std::cout << "\n";
+    report.AddMetric({"ppr_msteps_per_sec", ppr.steps_per_sec / 1e6,
+                      "Msteps/s", true, false, -1.0});
+    report.AddMetric({"n2v_msteps_per_sec", n2v.steps_per_sec / 1e6,
+                      "Msteps/s", true, false, -1.0});
+  }
 
   // --- Determinism spot-check (full coverage lives in tests/engine). -----
   bool determinism_ok = true;

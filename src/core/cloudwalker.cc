@@ -186,6 +186,28 @@ StatusOr<std::vector<std::vector<ScoredNode>>> CloudWalker::AllPairsInternal(
   return result;
 }
 
+StatusOr<std::vector<ScoredNode>> CloudWalker::PprTopK(
+    NodeId q, size_t k, const QueryOptions& options, QueryStats* stats,
+    const CancelToken* cancel) const {
+  const SparseVector endpoints =
+      PersonalizedPageRankQuery(*graph_, index_, q, options, stats,
+                                /*owner=*/nullptr, walk_context_.get(),
+                                cancel);
+  if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  // Endpoint frequencies are already in [0, 1]; no clamping needed.
+  return TopKFromSparse(endpoints, /*exclude=*/q, k);
+}
+
+StatusOr<std::vector<ScoredNode>> CloudWalker::N2vTopK(
+    NodeId q, size_t k, const QueryOptions& options, QueryStats* stats,
+    const CancelToken* cancel) const {
+  const SparseVector visits =
+      Node2VecVisitQuery(*graph_, index_, q, options, stats,
+                         /*owner=*/nullptr, walk_context_.get(), cancel);
+  if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  return TopKFromSparse(visits, /*exclude=*/q, k);
+}
+
 QueryResponse CloudWalker::Execute(const QueryRequest& request,
                                    ThreadPool* pool,
                                    const CancelToken* cancel) const {
@@ -252,6 +274,28 @@ QueryResponse CloudWalker::Execute(const QueryRequest& request,
         }
         break;
       }
+      case QueryKind::kPersonalizedPageRank: {
+        auto top = PprTopK(request.a, request.k, options, &response.stats,
+                           cancel);
+        if (top.ok()) {
+          response.payload =
+              std::make_shared<const TopKResult>(std::move(top).value());
+        } else {
+          response.status = top.status();
+        }
+        break;
+      }
+      case QueryKind::kNode2Vec: {
+        auto top = N2vTopK(request.a, request.k, options, &response.stats,
+                           cancel);
+        if (top.ok()) {
+          response.payload =
+              std::make_shared<const TopKResult>(std::move(top).value());
+        } else {
+          response.status = top.status();
+        }
+        break;
+      }
     }
   }
   response.latency_seconds = timer.Seconds();
@@ -282,6 +326,18 @@ StatusOr<std::vector<std::vector<ScoredNode>>> CloudWalker::AllPairs(
   CW_RETURN_IF_ERROR(ValidateQueryOptions(options));
   return AllPairsInternal(k, options, pool, /*stats=*/nullptr,
                           /*cancel=*/nullptr);
+}
+
+StatusOr<std::vector<ScoredNode>> CloudWalker::PersonalizedPageRankTopK(
+    NodeId q, size_t k, const QueryOptions& options) const {
+  CW_RETURN_IF_ERROR(ValidateQuery(q, options));
+  return PprTopK(q, k, options, /*stats=*/nullptr, /*cancel=*/nullptr);
+}
+
+StatusOr<std::vector<ScoredNode>> CloudWalker::Node2VecTopK(
+    NodeId q, size_t k, const QueryOptions& options) const {
+  CW_RETURN_IF_ERROR(ValidateQuery(q, options));
+  return N2vTopK(q, k, options, /*stats=*/nullptr, /*cancel=*/nullptr);
 }
 
 }  // namespace cloudwalker

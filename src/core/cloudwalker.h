@@ -14,7 +14,9 @@
 //   // Legacy blocking methods remain and answer bit-identically:
 //   double s2 = cw->SinglePair(12, 34).value();  // == s
 //
-// Execute() covers all four query kinds (DESIGN.md section 6.1), honors
+// Execute() covers every query kind (DESIGN.md section 6.1) — the four
+// SimRank shapes plus the walk-program kinds kPersonalizedPageRank and
+// kNode2Vec (DESIGN.md section 10) — honors
 // per-request QueryOptions overrides and deadlines, and fills execution
 // metadata (QueryStats, latency). The per-kind methods and Execute()
 // funnel into the same internal helpers, so their answers are
@@ -124,6 +126,19 @@ class CloudWalker {
       size_t k, const QueryOptions& options = {},
       ThreadPool* pool = nullptr) const;
 
+  /// Personalized PageRank: the k nodes with the highest teleport-walk
+  /// endpoint frequency around q (self excluded); options.ppr_alpha is the
+  /// continuation probability. Walk-program kind — scores are frequencies,
+  /// not SimRank values.
+  StatusOr<std::vector<ScoredNode>> PersonalizedPageRankTopK(
+      NodeId q, size_t k, const QueryOptions& options = {}) const;
+
+  /// node2vec: the k nodes with the highest average visit frequency over
+  /// second-order biased walks from q (self excluded);
+  /// options.n2v_return_p / options.n2v_in_out_q are the p / q biases.
+  StatusOr<std::vector<ScoredNode>> Node2VecTopK(
+      NodeId q, size_t k, const QueryOptions& options = {}) const;
+
   /// The offline index.
   const DiagonalIndex& index() const { return index_; }
 
@@ -186,6 +201,14 @@ class CloudWalker {
   StatusOr<std::vector<std::vector<ScoredNode>>> AllPairsInternal(
       size_t k, const QueryOptions& options, ThreadPool* pool,
       QueryStats* stats, const CancelToken* cancel) const;
+  StatusOr<std::vector<ScoredNode>> PprTopK(NodeId q, size_t k,
+                                            const QueryOptions& options,
+                                            QueryStats* stats,
+                                            const CancelToken* cancel) const;
+  StatusOr<std::vector<ScoredNode>> N2vTopK(NodeId q, size_t k,
+                                            const QueryOptions& options,
+                                            QueryStats* stats,
+                                            const CancelToken* cancel) const;
 
   const Graph* graph_;
   DiagonalIndex index_;

@@ -39,6 +39,15 @@ Status ValidateQueryOptions(const QueryOptions& options) {
   if (options.prune_threshold < 0.0) {
     return Status::InvalidArgument("prune_threshold must be >= 0");
   }
+  if (!(options.ppr_alpha > 0.0) || !(options.ppr_alpha < 1.0)) {
+    return Status::InvalidArgument("ppr_alpha must lie in (0, 1)");
+  }
+  if (!(options.n2v_return_p > 0.0)) {
+    return Status::InvalidArgument("n2v_return_p must be > 0");
+  }
+  if (!(options.n2v_in_out_q > 0.0)) {
+    return Status::InvalidArgument("n2v_in_out_q must be > 0");
+  }
   return Status::Ok();
 }
 
@@ -47,7 +56,10 @@ uint64_t QueryOptionsFingerprint(const QueryOptions& o) {
   h = DeriveSeed(h, (static_cast<uint64_t>(o.push_fanout) << 8) |
                         (static_cast<uint64_t>(o.push) << 4) |
                         static_cast<uint64_t>(o.dangling));
-  return DeriveSeed(h, std::bit_cast<uint64_t>(o.prune_threshold));
+  h = DeriveSeed(h, std::bit_cast<uint64_t>(o.prune_threshold));
+  h = DeriveSeed(h, std::bit_cast<uint64_t>(o.ppr_alpha));
+  h = DeriveSeed(h, std::bit_cast<uint64_t>(o.n2v_return_p));
+  return DeriveSeed(h, std::bit_cast<uint64_t>(o.n2v_in_out_q));
 }
 
 }  // namespace cloudwalker

@@ -88,9 +88,18 @@ struct QueryOptions {
   double prune_threshold = 0.0;
   /// Behaviour at dangling nodes (must match the index to be meaningful).
   DanglingPolicy dangling = DanglingPolicy::kDie;
+  /// kPersonalizedPageRank: continuation probability alpha in (0, 1).
+  double ppr_alpha = 0.85;
+  /// kNode2Vec: return parameter p (> 0); revisiting the previous node is
+  /// weighted 1/p.
+  double n2v_return_p = 1.0;
+  /// kNode2Vec: in-out parameter q (> 0); distance-2 nodes are weighted
+  /// 1/q (distance-1 nodes keep weight 1).
+  double n2v_in_out_q = 1.0;
 
-  /// InvalidArgument unless num_walkers >= 1, push_fanout >= 1 and
-  /// prune_threshold >= 0. Shim over ValidateQueryOptions() below.
+  /// InvalidArgument unless num_walkers >= 1, push_fanout >= 1,
+  /// prune_threshold >= 0, 0 < ppr_alpha < 1, n2v_return_p > 0 and
+  /// n2v_in_out_q > 0. Shim over ValidateQueryOptions() below.
   Status Validate() const;
 
   /// Two option sets are equal iff every knob matches — the relation the

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "engine/walk.h"
+#include "engine/walk_program.h"
 
 namespace cloudwalker {
 namespace {
@@ -202,6 +203,62 @@ SparseVector SingleSourceQuery(const Graph& graph, const DiagonalIndex& index,
     stats->walk_crossings += wq.partition_crossings;
   }
   return result.ToSortedVector();
+}
+
+SparseVector PersonalizedPageRankQuery(const Graph& graph,
+                                       const DiagonalIndex& index, NodeId q,
+                                       const QueryOptions& options,
+                                       QueryStats* stats,
+                                       const NodeOwnerFn* owner,
+                                       const WalkContext* context,
+                                       const CancelToken* cancel) {
+  CW_CHECK_LT(q, graph.num_nodes());
+  CW_CHECK_EQ(index.num_nodes(), graph.num_nodes());
+  const WalkConfig cfg = WalkConfigFromQuery(index, options, cancel);
+  PprParams params;
+  params.alpha = options.ppr_alpha;
+  WalkStats wq;
+  SparseVector endpoints = SimulatePprEndpoints(graph, context, q, cfg,
+                                                params, nullptr, owner, &wq);
+  if (stats != nullptr) {
+    stats->walk_steps += wq.steps;
+    stats->walk_crossings += wq.partition_crossings;
+  }
+  if (Stopped(cancel)) return SparseVector();  // caller discards
+  return endpoints;
+}
+
+SparseVector Node2VecVisitQuery(const Graph& graph, const DiagonalIndex& index,
+                                NodeId q, const QueryOptions& options,
+                                QueryStats* stats, const NodeOwnerFn* owner,
+                                const WalkContext* context,
+                                const CancelToken* cancel) {
+  CW_CHECK_LT(q, graph.num_nodes());
+  CW_CHECK_EQ(index.num_nodes(), graph.num_nodes());
+  const WalkConfig cfg = WalkConfigFromQuery(index, options, cancel);
+  Node2VecParams params;
+  params.return_p = options.n2v_return_p;
+  params.in_out_q = options.n2v_in_out_q;
+  WalkStats wq;
+  const WalkDistributions dists = SimulateNode2VecVisits(
+      graph, context, q, cfg, params, nullptr, owner, &wq);
+  if (stats != nullptr) {
+    stats->walk_steps += wq.steps;
+    stats->walk_crossings += wq.partition_crossings;
+  }
+  if (Stopped(cancel)) return SparseVector();  // caller discards
+
+  // Average the per-level visit frequencies over steps 1..T (level 0 is
+  // the source itself and would trivially dominate its own ranking).
+  const uint32_t t_steps = cfg.num_steps;
+  SparseAccumulator acc(options.num_walkers * 2);
+  const double inv_t = 1.0 / static_cast<double>(t_steps);
+  for (size_t t = 1; t < dists.levels.size(); ++t) {
+    for (const SparseEntry& e : dists.levels[t]) {
+      acc.Add(e.index, e.value * inv_t);
+    }
+  }
+  return acc.ToSortedVector();
 }
 
 std::vector<ScoredNode> TopKFromSparse(const SparseVector& scores,

@@ -90,6 +90,34 @@ struct ScoredNode {
 std::vector<ScoredNode> TopKFromSparse(const SparseVector& scores,
                                        NodeId exclude, size_t k);
 
+/// Personalized PageRank query kernel (QueryKind::kPersonalizedPageRank):
+/// the empirical endpoint distribution of options.num_walkers teleport
+/// walks from q (continuation probability options.ppr_alpha, truncated
+/// after the index's T steps; engine/walk_program.h). Scores are endpoint
+/// frequencies in [0, 1]. Uses the index only for T, keeping every query
+/// kind's walk length governed by the same snapshot parameter.
+SparseVector PersonalizedPageRankQuery(const Graph& graph,
+                                       const DiagonalIndex& index, NodeId q,
+                                       const QueryOptions& options,
+                                       QueryStats* stats = nullptr,
+                                       const NodeOwnerFn* owner = nullptr,
+                                       const WalkContext* context = nullptr,
+                                       const CancelToken* cancel = nullptr);
+
+/// node2vec visit-frequency query kernel (QueryKind::kNode2Vec): runs
+/// second-order biased walks from q (options.n2v_return_p /
+/// options.n2v_in_out_q; engine/walk_program.h) and scores each node by
+/// its average visit frequency over steps 1..T,
+///   score(v) = (1/T) sum_{t=1..T} û_t(v),
+/// a number in [0, 1] (1 = every walker sits on v at every step).
+SparseVector Node2VecVisitQuery(const Graph& graph,
+                                const DiagonalIndex& index, NodeId q,
+                                const QueryOptions& options,
+                                QueryStats* stats = nullptr,
+                                const NodeOwnerFn* owner = nullptr,
+                                const WalkContext* context = nullptr,
+                                const CancelToken* cancel = nullptr);
+
 /// MCAP: runs MCSS from every node (parallel across sources) and keeps the
 /// top-k similar nodes per source. O(n T^2 R') — the n x n result is never
 /// materialized. `total_walk_steps` (optional) accumulates walk counters.

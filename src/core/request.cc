@@ -25,8 +25,19 @@ std::string_view QueryKindToString(QueryKind kind) {
       return "topk";
     case QueryKind::kAllPairsTopK:
       return "allpairs";
+    case QueryKind::kPersonalizedPageRank:
+      return "ppr";
+    case QueryKind::kNode2Vec:
+      return "n2v";
   }
   return "unknown";
+}
+
+std::optional<QueryKind> QueryKindFromString(std::string_view name) {
+  for (const QueryKind kind : kAllQueryKinds) {
+    if (QueryKindToString(kind) == name) return kind;
+  }
+  return std::nullopt;
 }
 
 Status ValidateQueryRequest(const QueryRequest& request, NodeId num_nodes,
@@ -39,6 +50,8 @@ Status ValidateQueryRequest(const QueryRequest& request, NodeId num_nodes,
       return NodeInRange("pair", request.b, num_nodes);
     case QueryKind::kSingleSource:
     case QueryKind::kSourceTopK:
+    case QueryKind::kPersonalizedPageRank:
+    case QueryKind::kNode2Vec:
       return NodeInRange("source", request.a, num_nodes);
     case QueryKind::kAllPairsTopK:
       return Status::Ok();

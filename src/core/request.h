@@ -15,6 +15,10 @@
 //   kSingleSource — MCSS s(a, *), the full vector    -> SparseVector
 //   kSourceTopK   — MCSS + top-k                     -> vector<ScoredNode>
 //   kAllPairsTopK — MCAP, per-source top-k, all a    -> vector<vector<...>>
+// plus two walk-program kinds served by the same engine / cache / snapshot
+// stack (DESIGN.md section 10):
+//   kPersonalizedPageRank — PPR endpoint top-k around a  -> vector<ScoredNode>
+//   kNode2Vec             — node2vec visit top-k around a -> vector<ScoredNode>
 //
 // A request may carry a per-request QueryOptions override; it is validated
 // once at admission (ValidateQueryRequest) and folded into the serving
@@ -42,17 +46,37 @@
 
 namespace cloudwalker {
 
-/// Every query shape the library answers, as one closed enum.
+/// Every query shape the library answers, as one closed enum. Kinds
+/// kPersonalizedPageRank / kNode2Vec rank by walk-program scores
+/// (engine/walk_program.h) instead of SimRank; the serving layer encodes
+/// the kind into its 128-bit cache key in a 4-bit field, so values must
+/// stay <= 15.
 enum class QueryKind : uint8_t {
-  kPair = 0,          // MCSP: s(a, b)
-  kSingleSource = 1,  // MCSS: the full sparse similarity vector of a
-  kSourceTopK = 2,    // MCSS + top-k: the k nodes most similar to a
-  kAllPairsTopK = 3,  // MCAP: per-source top-k over every source
+  kPair = 0,                  // MCSP: s(a, b)
+  kSingleSource = 1,          // MCSS: the full sparse similarity vector of a
+  kSourceTopK = 2,            // MCSS + top-k: the k nodes most similar to a
+  kAllPairsTopK = 3,          // MCAP: per-source top-k over every source
+  kPersonalizedPageRank = 4,  // PPR top-k around a source (teleport walks)
+  kNode2Vec = 5,              // node2vec visit-frequency top-k around a source
+};
+
+/// Every QueryKind, for exhaustive iteration (tests, workload tooling).
+/// Keep in sync with the enum — request_test cross-checks each entry
+/// round-trips through QueryKindToString / QueryKindFromString.
+inline constexpr QueryKind kAllQueryKinds[] = {
+    QueryKind::kPair,          QueryKind::kSingleSource,
+    QueryKind::kSourceTopK,    QueryKind::kAllPairsTopK,
+    QueryKind::kPersonalizedPageRank, QueryKind::kNode2Vec,
 };
 
 /// Canonical lower-case name of `kind` ("pair", "source", "topk",
-/// "allpairs") — also the verb vocabulary of workload replay files.
+/// "allpairs", "ppr", "n2v") — also the verb vocabulary of workload
+/// replay files.
 std::string_view QueryKindToString(QueryKind kind);
+
+/// Inverse of QueryKindToString: parses a canonical kind name; nullopt for
+/// anything else (including "unknown").
+std::optional<QueryKind> QueryKindFromString(std::string_view name);
 
 /// One typed query. Build with the factory helpers; `a`/`b`/`k` are only
 /// meaningful for the kinds documented on each factory.
@@ -95,6 +119,20 @@ struct QueryRequest {
   static QueryRequest AllPairsTopK(uint32_t k) {
     QueryRequest r;
     r.kind = QueryKind::kAllPairsTopK;
+    r.k = k;
+    return r;
+  }
+  static QueryRequest PersonalizedPageRank(NodeId q, uint32_t k) {
+    QueryRequest r;
+    r.kind = QueryKind::kPersonalizedPageRank;
+    r.a = q;
+    r.k = k;
+    return r;
+  }
+  static QueryRequest Node2Vec(NodeId q, uint32_t k) {
+    QueryRequest r;
+    r.kind = QueryKind::kNode2Vec;
+    r.a = q;
     r.k = k;
     return r;
   }
@@ -152,6 +190,14 @@ template <>
 struct QueryPayload<QueryKind::kAllPairsTopK> {
   using type = AllPairsPtr;
 };
+template <>
+struct QueryPayload<QueryKind::kPersonalizedPageRank> {
+  using type = TopKPtr;
+};
+template <>
+struct QueryPayload<QueryKind::kNode2Vec> {
+  using type = TopKPtr;
+};
 }  // namespace internal
 
 /// One answered query: a uniform Status, the kind-typed payload, and
@@ -184,7 +230,9 @@ struct QueryResponse {
     return std::get<typename internal::QueryPayload<K>::type>(payload);
   }
 
-  /// Kind-named conveniences over Get<>().
+  /// Kind-named conveniences over Get<>(). `topk()` resolves by payload
+  /// type, so it also reads kPersonalizedPageRank / kNode2Vec answers
+  /// (all three carry a TopKPtr).
   double score() const { return Get<QueryKind::kPair>(); }
   const SingleSourcePtr& scores() const {
     return Get<QueryKind::kSingleSource>();

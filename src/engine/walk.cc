@@ -3,21 +3,9 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "engine/walk_kernel.h"
 
 namespace cloudwalker {
-namespace {
-
-// 11-bit digits: one counting pass covers 2048 ids, two cover 4.2M-node
-// graphs, three cover the full 32-bit id space. The counter array stays L1
-// resident (8 KB).
-constexpr uint32_t kRadixBits = 11;
-constexpr uint32_t kRadixBuckets = 1u << kRadixBits;
-
-// Below this many endpoints a comparison sort beats zeroing the radix
-// counters.
-constexpr uint32_t kSmallSortCutoff = 64;
-
-}  // namespace
 
 WalkScratch::WalkScratch(uint32_t expected_walkers) {
   positions_.reserve(expected_walkers);
@@ -25,209 +13,17 @@ WalkScratch::WalkScratch(uint32_t expected_walkers) {
   sort_buffer_.reserve(expected_walkers);
 }
 
-/// The engine's internal implementation. All entry points funnel into
-/// Simulate(), whose results depend only on (graph, source, config) — the
-/// arena is purely an access-path accelerator, and every random draw is the
-/// stateless CounterRandom of (per-source key, walker, step).
-struct WalkKernel {
-  /// LSD radix sort of a[0, n); returns a pointer to the sorted data,
-  /// which lives in either `a` or `tmp`. `id_bits` bounds the ids.
-  static NodeId* RadixSort(NodeId* a, NodeId* tmp, uint32_t n,
-                           uint32_t id_bits) {
-    uint32_t counts[kRadixBuckets];
-    NodeId* in = a;
-    NodeId* out = tmp;
-    for (uint32_t shift = 0; shift < id_bits; shift += kRadixBits) {
-      std::fill(counts, counts + kRadixBuckets, 0u);
-      for (uint32_t i = 0; i < n; ++i) {
-        ++counts[(in[i] >> shift) & (kRadixBuckets - 1)];
-      }
-      uint32_t running = 0;
-      for (uint32_t b = 0; b < kRadixBuckets; ++b) {
-        const uint32_t c = counts[b];
-        counts[b] = running;
-        running += c;
-      }
-      for (uint32_t i = 0; i < n; ++i) {
-        out[counts[(in[i] >> shift) & (kRadixBuckets - 1)]++] = in[i];
-      }
-      std::swap(in, out);
-    }
-    return in;
-  }
-
-  /// Sorts the level's `n_live` endpoints and run-length encodes them into
-  /// the level distribution: value(id) = multiplicity * inv_r. Identical
-  /// counts for every walker order, so the result is independent of batch
-  /// width and pass structure.
-  static SparseVector DrainLevel(WalkScratch& s, uint32_t n_live,
-                                 double inv_r, uint32_t id_bits) {
-    if (n_live == 0) return SparseVector();
-    NodeId* data = s.endpoints_.data();
-    if (n_live < kSmallSortCutoff) {
-      std::sort(data, data + n_live);
-    } else {
-      data = RadixSort(data, s.sort_buffer_.data(), n_live, id_bits);
-    }
-    std::vector<SparseEntry> entries;
-    entries.reserve(std::min<uint32_t>(n_live, 256));
-    uint32_t run_begin = 0;
-    for (uint32_t i = 1; i <= n_live; ++i) {
-      if (i == n_live || data[i] != data[run_begin]) {
-        entries.push_back(SparseEntry{
-            data[run_begin], static_cast<double>(i - run_begin) * inv_r});
-        run_begin = i;
-      }
-    }
-    return SparseVector::FromSorted(std::move(entries));
-  }
-
-  static WalkDistributions Simulate(const Graph& graph,
-                                    const AliasArena* arena, NodeId source,
-                                    const WalkConfig& config,
-                                    WalkScratch* scratch,
-                                    const NodeOwnerFn* owner,
-                                    WalkStats* stats) {
-    CW_CHECK_LT(source, graph.num_nodes());
-    CW_CHECK_GT(config.num_walkers, 0u);
-
-    WalkDistributions out;
-    out.levels.resize(config.num_steps + 1);
-    // Level 0 is exactly e_source.
-    out.levels[0] = SparseVector::FromSorted({SparseEntry{source, 1.0}});
-
-    const uint32_t r = config.num_walkers;
-    const double inv_r = 1.0 / static_cast<double>(r);
-    const uint64_t key = DeriveSeed(config.seed, source);
-    const uint32_t width =
-        std::clamp(config.batch_width, 1u, kMaxWalkBatchWidth);
-    const bool self_loop = config.dangling == DanglingPolicy::kSelfLoop;
-    uint32_t id_bits = 1;
-    while ((static_cast<uint64_t>(graph.num_nodes()) - 1) >> id_bits) {
-      ++id_bits;
-    }
-
-    WalkScratch local(scratch == nullptr ? r : 0);
-    WalkScratch& s = scratch != nullptr ? *scratch : local;
-    s.positions_.assign(r, source);
-    s.endpoints_.resize(r);
-    s.sort_buffer_.resize(r);
-    NodeId* const pos = s.positions_.data();
-    NodeId* const endpoints = s.endpoints_.data();
-    uint32_t alive = r;
-
-    // Stack-resident SoA cursors of the in-flight block (arena path): the
-    // pending walkers between the slot-prefetch and slot-resolve passes.
-    uint64_t pending_global[kMaxWalkBatchWidth];
-    uint32_t pending_accept[kMaxWalkBatchWidth];
-    uint32_t pending_slot[kMaxWalkBatchWidth];
-    uint32_t pending_walker[kMaxWalkBatchWidth];
-
-    for (uint32_t t = 1; t <= config.num_steps && alive > 0; ++t) {
-      // Cooperative stop: one poll per level (the clock read is too costly
-      // per block). A stopped run is abandoned by the caller wholesale, so
-      // leaving the remaining levels empty is safe.
-      if (config.cancel != nullptr && config.cancel->ShouldStop()) break;
-      uint32_t n_live = 0;
-      for (uint32_t w0 = 0; w0 < r; w0 += width) {
-        const uint32_t wn = std::min(width, r - w0);
-        if (arena != nullptr) {
-          // Pass 1: prefetch the offset entries of the block's frontier.
-          for (uint32_t i = 0; i < wn; ++i) {
-            if (pos[w0 + i] != kInvalidNode) {
-              arena->PrefetchOffsets(pos[w0 + i]);
-            }
-          }
-          // Pass 2: draw, pick slots, prefetch the packed slots.
-          uint32_t pending = 0;
-          for (uint32_t i = 0; i < wn; ++i) {
-            const uint32_t w = w0 + i;
-            const NodeId v = pos[w];
-            if (v == kInvalidNode) continue;
-            const uint32_t deg = arena->RowDegree(v);
-            if (deg == 0) {
-              if (stats != nullptr) ++stats->steps;
-              if (self_loop) {
-                endpoints[n_live++] = v;
-              } else {
-                pos[w] = kInvalidNode;
-                --alive;
-              }
-              continue;
-            }
-            const uint64_t raw =
-                CounterRandom(key, (static_cast<uint64_t>(w) << 32) | t);
-            const uint32_t slot = AliasArena::PickSlot(raw, deg);
-            const uint64_t global = arena->RowOffset(v) + slot;
-            arena->PrefetchSlot(global);
-            pending_global[pending] = global;
-            pending_accept[pending] = static_cast<uint32_t>(raw);
-            pending_slot[pending] = slot;
-            pending_walker[pending] = w;
-            ++pending;
-          }
-          // Pass 3: resolve the prefetched slots and record endpoints.
-          for (uint32_t j = 0; j < pending; ++j) {
-            const uint32_t w = pending_walker[j];
-            const NodeId prev = pos[w];
-            const AliasSlot slot = arena->slot(pending_global[j]);
-            const NodeId next = pending_accept[j] < slot.accept
-                                    ? graph.InNeighbor(prev, pending_slot[j])
-                                    : slot.alias;
-            if (stats != nullptr) {
-              ++stats->steps;
-              if (owner != nullptr && (*owner)(prev) != (*owner)(next)) {
-                ++stats->partition_crossings;
-              }
-            }
-            pos[w] = next;
-            endpoints[n_live++] = next;
-          }
-        } else {
-          // Plain-CSR fallback: same draws, same endpoints, no prefetch.
-          for (uint32_t i = 0; i < wn; ++i) {
-            const uint32_t w = w0 + i;
-            const NodeId v = pos[w];
-            if (v == kInvalidNode) continue;
-            const uint32_t deg = graph.InDegree(v);
-            if (deg == 0) {
-              if (stats != nullptr) ++stats->steps;
-              if (self_loop) {
-                endpoints[n_live++] = v;
-              } else {
-                pos[w] = kInvalidNode;
-                --alive;
-              }
-              continue;
-            }
-            const uint64_t raw =
-                CounterRandom(key, (static_cast<uint64_t>(w) << 32) | t);
-            const NodeId next =
-                graph.InNeighbor(v, AliasArena::PickSlot(raw, deg));
-            if (stats != nullptr) {
-              ++stats->steps;
-              if (owner != nullptr && (*owner)(v) != (*owner)(next)) {
-                ++stats->partition_crossings;
-              }
-            }
-            pos[w] = next;
-            endpoints[n_live++] = next;
-          }
-        }
-      }
-      out.levels[t] = DrainLevel(s, n_live, inv_r, id_bits);
-    }
-    return out;
-  }
-};
-
 WalkDistributions SimulateWalkDistributions(const Graph& graph, NodeId source,
                                             const WalkConfig& config,
                                             WalkScratch* scratch,
                                             const NodeOwnerFn* owner,
                                             WalkStats* stats) {
-  return WalkKernel::Simulate(graph, /*arena=*/nullptr, source, config,
-                              scratch, owner, stats);
+  WalkDistributions out;
+  internal::SimRankEndpointsProgram program;
+  program.out = &out;
+  WalkKernel::Run(graph, /*arena=*/nullptr, source, config, scratch, owner,
+                  stats, program);
+  return out;
 }
 
 WalkDistributions SimulateWalkDistributions(const WalkContext& context,
@@ -236,8 +32,12 @@ WalkDistributions SimulateWalkDistributions(const WalkContext& context,
                                             WalkScratch* scratch,
                                             const NodeOwnerFn* owner,
                                             WalkStats* stats) {
-  return WalkKernel::Simulate(context.graph(), &context.arena(), source,
-                              config, scratch, owner, stats);
+  WalkDistributions out;
+  internal::SimRankEndpointsProgram program;
+  program.out = &out;
+  WalkKernel::Run(context.graph(), &context.arena(), source, config, scratch,
+                  owner, stats, program);
+  return out;
 }
 
 void SimulateAllSources(

@@ -11,6 +11,12 @@
 // (engine/alias.h) with software prefetch when a WalkContext is supplied
 // (DESIGN.md section 8).
 //
+// SimRank's endpoint-per-level walk is the first *walk program* of the
+// shared engine (DESIGN.md section 10): the per-step policy lives in a
+// compile-time program (engine/walk_kernel.h), the cursors / prefetch /
+// aggregation in the kernel. Further programs — personalized PageRank and
+// second-order node2vec walks — are declared in engine/walk_program.h.
+//
 // Determinism: every draw is the stateless CounterRandom of
 // (DeriveSeed(config.seed, source), walker, step), so results are
 // bit-identical across thread counts, batch widths, and the arena /
@@ -149,6 +155,8 @@ class alignas(kCacheLineBytes) WalkScratch {
   friend struct WalkKernel;  // the engine's internal implementation
 
   std::vector<NodeId> positions_;  // SoA cursor: walker -> current node
+  std::vector<NodeId> previous_;   // walker -> previous node (second-order
+                                   // programs only; empty otherwise)
   std::vector<NodeId> endpoints_;  // live endpoints of the current level
   std::vector<NodeId> sort_buffer_;  // radix ping-pong partner
 };

@@ -15,12 +15,21 @@ namespace {
 // key — the epoch field (28 bits; epochs are assigned sequentially, so
 // exhausting it would take 268M publishes against one service) is what
 // makes a hot swap unable to serve one version's scores for another.
-CacheKey TopKKey(uint64_t epoch, NodeId source, uint32_t k,
+CacheKey TopKKey(uint64_t epoch, QueryKind kind, NodeId source, uint32_t k,
                  uint32_t options_id) {
   return CacheKey{
-      (epoch << 36) |
-          (static_cast<uint64_t>(QueryKind::kSourceTopK) << 32) | options_id,
+      (epoch << 36) | (static_cast<uint64_t>(kind) << 32) | options_id,
       (static_cast<uint64_t>(source) << 32) | k};
+}
+
+// The kinds served through the (source, k) top-k cache + dedup path: all
+// carry a TopKPtr payload and are keyed by the same (source, k) pair, so
+// one cache and one in-flight table serve all three (the 4-bit kind tag
+// in the key keeps their answers apart).
+bool CacheableTopKKind(QueryKind kind) {
+  return kind == QueryKind::kSourceTopK ||
+         kind == QueryKind::kPersonalizedPageRank ||
+         kind == QueryKind::kNode2Vec;
 }
 
 }  // namespace
@@ -159,12 +168,12 @@ QueryFuture QueryService::SubmitInternal(const QueryRequest& request,
   // miss here is speculative (the worker re-probes authoritatively,
   // catching answers published while the request sat in the queue) and
   // is therefore not counted.
-  if (task.kind == QueryKind::kSourceTopK && cache_ != nullptr &&
+  if (CacheableTopKKind(task.kind) && cache_ != nullptr &&
       !state->cancel.ShouldStop()) {
     const uint32_t options_id = InternOptions(*task.options);
     if (options_id != kUncachedOptionsId) {
       if (ShardedLruCache::Value hit =
-              cache_->Get(TopKKey(snapshot->epoch, task.a, task.k,
+              cache_->Get(TopKKey(snapshot->epoch, task.kind, task.a, task.k,
                                   options_id),
                           /*count_miss=*/false)) {
         QueryResponse response;
@@ -219,7 +228,7 @@ void QueryService::RunTask(const std::shared_ptr<State>& state,
     // Expired in the queue (or cancelled before a worker got to it):
     // complete without running a kernel.
     response.status = cancel->ToStatus();
-  } else if (request.kind == QueryKind::kSourceTopK) {
+  } else if (CacheableTopKKind(request.kind)) {
     AnswerTopK(request, snapshot, cancel, &response);
   } else {
     // kPair / kSingleSource / kAllPairsTopK run the facade directly (no
@@ -263,7 +272,7 @@ void QueryService::AnswerTopK(const QueryRequest& request,
     return;
   }
   const CacheKey key =
-      TopKKey(snapshot->epoch, request.a, request.k, options_id);
+      TopKKey(snapshot->epoch, request.kind, request.a, request.k, options_id);
   while (true) {
     if (cache_ != nullptr) {
       if (ShardedLruCache::Value hit = cache_->Get(key)) {
@@ -369,6 +378,12 @@ void QueryService::Publish(const std::shared_ptr<State>& state,
       case QueryKind::kAllPairsTopK:
         all_pairs_queries_.fetch_add(1, std::memory_order_relaxed);
         break;
+      case QueryKind::kPersonalizedPageRank:
+        ppr_queries_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case QueryKind::kNode2Vec:
+        n2v_queries_.fetch_add(1, std::memory_order_relaxed);
+        break;
     }
     if (!response.status.ok()) {
       errors_.fetch_add(1, std::memory_order_relaxed);
@@ -419,6 +434,8 @@ ServeStats QueryService::Stats() const {
   s.source_queries = source_queries_.load(std::memory_order_relaxed);
   s.topk_queries = topk_queries_.load(std::memory_order_relaxed);
   s.all_pairs_queries = all_pairs_queries_.load(std::memory_order_relaxed);
+  s.ppr_queries = ppr_queries_.load(std::memory_order_relaxed);
+  s.n2v_queries = n2v_queries_.load(std::memory_order_relaxed);
   s.errors = errors_.load(std::memory_order_relaxed);
   s.computed = computed_.load(std::memory_order_relaxed);
   s.dedup_shared = dedup_shared_.load(std::memory_order_relaxed);
@@ -455,6 +472,8 @@ void QueryService::ResetStats() {
   source_queries_.store(0, std::memory_order_relaxed);
   topk_queries_.store(0, std::memory_order_relaxed);
   all_pairs_queries_.store(0, std::memory_order_relaxed);
+  ppr_queries_.store(0, std::memory_order_relaxed);
+  n2v_queries_.store(0, std::memory_order_relaxed);
   errors_.store(0, std::memory_order_relaxed);
   computed_.store(0, std::memory_order_relaxed);
   dedup_shared_.store(0, std::memory_order_relaxed);

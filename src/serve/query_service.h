@@ -37,10 +37,11 @@
 // the cache (only OK answers are inserted).
 //
 // Three mechanisms make it serve-fast without touching the kernels:
-//   1. a sharded LRU cache over single-source top-k answers, keyed by
-//      (snapshot epoch, kind, interned options id, source, k) so neither
-//      per-request option overrides nor engine versions can ever share an
-//      entry,
+//   1. a sharded LRU cache over per-source top-k answers (kSourceTopK,
+//      kPersonalizedPageRank, kNode2Vec — every kind whose answer is a
+//      (source, k) top-k list), keyed by (snapshot epoch, kind, interned
+//      options id, source, k) so neither per-request option overrides nor
+//      engine versions nor query kinds can ever share an entry,
 //   2. in-flight deduplication: concurrent identical top-k requests are
 //      computed once and fanned out to every waiter,
 //   3. wait-free latency/throughput accounting (ServeStats); latencies
@@ -301,6 +302,8 @@ class QueryService {
   std::atomic<uint64_t> source_queries_{0};
   std::atomic<uint64_t> topk_queries_{0};
   std::atomic<uint64_t> all_pairs_queries_{0};
+  std::atomic<uint64_t> ppr_queries_{0};
+  std::atomic<uint64_t> n2v_queries_{0};
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> computed_{0};
   std::atomic<uint64_t> dedup_shared_{0};

@@ -58,6 +58,8 @@ struct ServeStats {
   uint64_t source_queries = 0;     // completed kSingleSource requests
   uint64_t topk_queries = 0;       // completed kSourceTopK requests
   uint64_t all_pairs_queries = 0;  // completed kAllPairsTopK requests
+  uint64_t ppr_queries = 0;        // completed kPersonalizedPageRank requests
+  uint64_t n2v_queries = 0;        // completed kNode2Vec requests
   uint64_t errors = 0;             // requests that returned a non-OK status
   uint64_t computed = 0;           // requests that ran a query kernel
   uint64_t dedup_shared = 0;       // requests that joined an in-flight twin
@@ -83,7 +85,8 @@ struct ServeStats {
   /// drag the latency histogram and QPS toward zero-cost work and make
   /// overload look fast.
   uint64_t total_queries() const {
-    return pair_queries + source_queries + topk_queries + all_pairs_queries;
+    return pair_queries + source_queries + topk_queries + all_pairs_queries +
+           ppr_queries + n2v_queries;
   }
 
   /// Hits / (hits + misses), or 0 when the cache saw no lookups.

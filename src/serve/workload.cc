@@ -22,9 +22,15 @@ Status WorkloadSpec::Validate() const {
   if (source_fraction < 0.0 || source_fraction > 1.0) {
     return Status::InvalidArgument("source_fraction must be in [0, 1]");
   }
-  if (pair_fraction + source_fraction > 1.0) {
+  if (ppr_fraction < 0.0 || ppr_fraction > 1.0) {
+    return Status::InvalidArgument("ppr_fraction must be in [0, 1]");
+  }
+  if (n2v_fraction < 0.0 || n2v_fraction > 1.0) {
+    return Status::InvalidArgument("n2v_fraction must be in [0, 1]");
+  }
+  if (pair_fraction + source_fraction + ppr_fraction + n2v_fraction > 1.0) {
     return Status::InvalidArgument(
-        "pair_fraction + source_fraction must not exceed 1");
+        "request-kind fractions must not exceed 1 in total");
   }
   if (skew == WorkloadSkew::kZipf && !(zipf_theta > 0.0)) {
     return Status::InvalidArgument("zipf_theta must be > 0");
@@ -71,13 +77,20 @@ StatusOr<std::vector<QueryRequest>> GenerateWorkload(
   std::vector<QueryRequest> requests;
   requests.reserve(spec.num_requests);
   for (uint64_t r = 0; r < spec.num_requests; ++r) {
-    // One draw splits [0, 1) into pair / source / top-k bands, so the
-    // stream stays deterministic as fractions change.
+    // One draw splits [0, 1) into pair / source / ppr / n2v / top-k
+    // bands, so the stream stays deterministic as fractions change (and
+    // new bands at fraction 0 leave old streams byte-identical).
     const double band = type_rng.NextDouble();
-    if (band < spec.pair_fraction) {
+    double edge = spec.pair_fraction;
+    if (band < edge) {
       requests.push_back(QueryRequest::Pair(draw_node(), draw_node()));
-    } else if (band < spec.pair_fraction + spec.source_fraction) {
+    } else if (band < (edge += spec.source_fraction)) {
       requests.push_back(QueryRequest::SingleSource(draw_node()));
+    } else if (band < (edge += spec.ppr_fraction)) {
+      requests.push_back(
+          QueryRequest::PersonalizedPageRank(draw_node(), spec.topk));
+    } else if (band < (edge += spec.n2v_fraction)) {
+      requests.push_back(QueryRequest::Node2Vec(draw_node(), spec.topk));
     } else {
       requests.push_back(QueryRequest::SourceTopK(draw_node(), spec.topk));
     }
@@ -102,6 +115,8 @@ Status SaveWorkloadText(const std::vector<QueryRequest>& requests,
         out << QueryKindToString(r.kind) << " " << r.a << "\n";
         break;
       case QueryKind::kSourceTopK:
+      case QueryKind::kPersonalizedPageRank:
+      case QueryKind::kNode2Vec:
         out << QueryKindToString(r.kind) << " " << r.a << " " << r.k
             << "\n";
         break;
@@ -189,9 +204,23 @@ StatusOr<std::vector<QueryRequest>> LoadWorkloadText(
         return bad("source " + s.message() + " (usage: source <q>)");
       }
       requests.push_back(QueryRequest::SingleSource(a));
+    } else if (verb == QueryKindToString(QueryKind::kPersonalizedPageRank)) {
+      Status s = ParseU32Field(fields, "source node", &a);
+      if (s.ok()) s = ParseU32Field(fields, "k", &b);
+      if (!s.ok()) {
+        return bad("ppr " + s.message() + " (usage: ppr <source> <k>)");
+      }
+      requests.push_back(QueryRequest::PersonalizedPageRank(a, b));
+    } else if (verb == QueryKindToString(QueryKind::kNode2Vec)) {
+      Status s = ParseU32Field(fields, "source node", &a);
+      if (s.ok()) s = ParseU32Field(fields, "k", &b);
+      if (!s.ok()) {
+        return bad("n2v " + s.message() + " (usage: n2v <source> <k>)");
+      }
+      requests.push_back(QueryRequest::Node2Vec(a, b));
     } else {
       return bad("unknown verb '" + verb +
-                 "' (expected pair | topk | source)");
+                 "' (expected pair | topk | source | ppr | n2v)");
     }
     std::string extra;
     if (fields >> extra) {

@@ -15,6 +15,8 @@
 //   pair <i> <j>
 //   topk <source> <k>
 //   source <q>
+//   ppr <source> <k>
+//   n2v <source> <k>
 
 #ifndef CLOUDWALKER_SERVE_WORKLOAD_H_
 #define CLOUDWALKER_SERVE_WORKLOAD_H_
@@ -42,10 +44,14 @@ struct WorkloadSpec {
   uint64_t num_requests = 1000;
   /// Fraction of requests that are single-pair.
   double pair_fraction = 0.2;
-  /// Fraction of requests that are full single-source vectors (the
-  /// remainder after pair_fraction + source_fraction are top-k).
+  /// Fraction of requests that are full single-source vectors.
   double source_fraction = 0.0;
-  /// k of every top-k request.
+  /// Fraction of requests that are personalized-PageRank top-k.
+  double ppr_fraction = 0.0;
+  /// Fraction of requests that are node2vec top-k (the remainder after all
+  /// four fractions are SimRank top-k).
+  double n2v_fraction = 0.0;
+  /// k of every top-k request (SimRank, ppr and n2v alike).
   uint32_t topk = 10;
   /// Source-node skew.
   WorkloadSkew skew = WorkloadSkew::kZipf;
@@ -54,9 +60,8 @@ struct WorkloadSpec {
   /// Master seed for the request stream.
   uint64_t seed = 42;
 
-  /// InvalidArgument unless num_requests >= 1, pair_fraction and
-  /// source_fraction are in [0, 1] and sum to at most 1, and
-  /// zipf_theta > 0.
+  /// InvalidArgument unless num_requests >= 1, every fraction is in
+  /// [0, 1], the fractions sum to at most 1, and zipf_theta > 0.
   Status Validate() const;
 };
 

@@ -211,6 +211,89 @@ TEST_F(QueryServiceTest, ResetStatsZeroesTheWindow) {
   EXPECT_EQ(service.Stats().cache_hits, 1u);
 }
 
+TEST_F(QueryServiceTest, ProgramKindsBitIdenticalCachedAndCounted) {
+  QueryService service(cloudwalker_, Options());
+  const QueryResponse ppr =
+      service.Execute(QueryRequest::PersonalizedPageRank(7, 6));
+  ASSERT_TRUE(ppr.status.ok()) << ppr.status.ToString();
+  const auto ppr_direct =
+      cloudwalker_->PersonalizedPageRankTopK(7, 6, Options().query);
+  ASSERT_TRUE(ppr_direct.ok());
+  EXPECT_EQ(*ppr.topk(), *ppr_direct);  // bit-identical to the facade
+
+  const QueryResponse n2v = service.Execute(QueryRequest::Node2Vec(7, 6));
+  ASSERT_TRUE(n2v.status.ok()) << n2v.status.ToString();
+  const auto n2v_direct = cloudwalker_->Node2VecTopK(7, 6, Options().query);
+  ASSERT_TRUE(n2v_direct.ok());
+  EXPECT_EQ(*n2v.topk(), *n2v_direct);
+
+  // Same (source, k) under three different kinds: three distinct cache
+  // entries (the kind sits in the key), each replaying as a hit that
+  // shares the cached object.
+  const QueryResponse topk = service.Execute(QueryRequest::SourceTopK(7, 6));
+  EXPECT_FALSE(topk.cache_hit);
+  const QueryResponse ppr2 =
+      service.Execute(QueryRequest::PersonalizedPageRank(7, 6));
+  EXPECT_TRUE(ppr2.cache_hit);
+  EXPECT_EQ(ppr2.topk(), ppr.topk());
+  const QueryResponse n2v2 = service.Execute(QueryRequest::Node2Vec(7, 6));
+  EXPECT_TRUE(n2v2.cache_hit);
+  EXPECT_EQ(n2v2.topk(), n2v.topk());
+
+  const ServeStats s = service.Stats();
+  EXPECT_EQ(s.ppr_queries, 2u);
+  EXPECT_EQ(s.n2v_queries, 2u);
+  EXPECT_EQ(s.topk_queries, 1u);
+  EXPECT_EQ(s.total_queries(), 5u);
+  EXPECT_EQ(s.cache_entries, 3u);
+}
+
+TEST_F(QueryServiceTest, ProgramOptionKnobsSplitTheCacheKey) {
+  QueryService service(cloudwalker_, Options());
+  const QueryResponse base =
+      service.Execute(QueryRequest::PersonalizedPageRank(3, 5));
+  ASSERT_TRUE(base.status.ok());
+  QueryOptions tweaked = Options().query;
+  tweaked.ppr_alpha = 0.4;
+  const QueryRequest request =
+      QueryRequest::PersonalizedPageRank(3, 5).WithOptions(tweaked);
+  const QueryResponse other = service.Execute(request);
+  ASSERT_TRUE(other.status.ok());
+  EXPECT_FALSE(other.cache_hit);  // alpha is part of the options id
+  const QueryResponse replay = service.Execute(request);
+  EXPECT_TRUE(replay.cache_hit);
+  EXPECT_EQ(replay.topk(), other.topk());
+}
+
+TEST_F(QueryServiceTest, ProgramKindsSubmitAsyncAndDedup) {
+  ThreadPool pool(4);
+  ServeOptions options = Options();
+  options.cache_capacity = 0;  // isolate dedup
+  QueryService service(cloudwalker_, options, &pool);
+  std::vector<QueryRequest> storm;
+  for (int r = 0; r < 16; ++r) {
+    storm.push_back(QueryRequest::PersonalizedPageRank(11, 4));
+    storm.push_back(QueryRequest::Node2Vec(11, 4));
+  }
+  const std::vector<QueryResponse> responses = service.ExecuteBatch(storm);
+  const auto ppr_direct =
+      cloudwalker_->PersonalizedPageRankTopK(11, 4, options.query);
+  const auto n2v_direct = cloudwalker_->Node2VecTopK(11, 4, options.query);
+  ASSERT_TRUE(ppr_direct.ok());
+  ASSERT_TRUE(n2v_direct.ok());
+  for (size_t r = 0; r < storm.size(); ++r) {
+    ASSERT_TRUE(responses[r].status.ok()) << responses[r].status.ToString();
+    const auto& expect = storm[r].kind == QueryKind::kPersonalizedPageRank
+                             ? *ppr_direct
+                             : *n2v_direct;
+    EXPECT_EQ(*responses[r].topk(), expect);  // never cross-kind answers
+  }
+  const ServeStats s = service.Stats();
+  EXPECT_EQ(s.ppr_queries, 16u);
+  EXPECT_EQ(s.n2v_queries, 16u);
+  EXPECT_EQ(s.computed + s.dedup_shared, 32u);
+}
+
 TEST_F(QueryServiceTest, OutOfRangeRequestsReportErrors) {
   QueryService service(cloudwalker_, Options());
   const QueryResponse pair = service.Pair(0, 100000);

@@ -25,17 +25,60 @@ std::string WriteLines(const std::string& name,
 
 TEST(WorkloadTextTest, RoundTripsEveryVerb) {
   WorkloadSpec spec;
-  spec.num_requests = 50;
-  spec.pair_fraction = 0.3;
-  spec.source_fraction = 0.2;
+  spec.num_requests = 200;
+  spec.pair_fraction = 0.25;
+  spec.source_fraction = 0.15;
+  spec.ppr_fraction = 0.2;
+  spec.n2v_fraction = 0.15;
   auto generated = GenerateWorkload(/*num_nodes=*/100, spec);
   ASSERT_TRUE(generated.ok());
+  // Every savable verb must actually appear, or the round trip proves
+  // less than its name claims.
+  size_t counts[6] = {};
+  for (const QueryRequest& r : *generated) ++counts[static_cast<int>(r.kind)];
+  for (const QueryKind kind :
+       {QueryKind::kPair, QueryKind::kSingleSource, QueryKind::kSourceTopK,
+        QueryKind::kPersonalizedPageRank, QueryKind::kNode2Vec}) {
+    EXPECT_GT(counts[static_cast<int>(kind)], 0u)
+        << QueryKindToString(kind);
+  }
   const std::string path = ::testing::TempDir() + "/roundtrip.workload";
   ASSERT_TRUE(SaveWorkloadText(*generated, path).ok());
   auto loaded = LoadWorkloadText(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(*loaded, *generated);
   std::remove(path.c_str());
+}
+
+TEST(WorkloadSpecTest, RejectsFractionsSummingPastOne) {
+  WorkloadSpec spec;
+  spec.pair_fraction = 0.4;
+  spec.source_fraction = 0.3;
+  spec.ppr_fraction = 0.2;
+  spec.n2v_fraction = 0.2;
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+  spec.n2v_fraction = 0.1;
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.ppr_fraction = -0.1;
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+}
+
+TEST(WorkloadSpecTest, ZeroProgramFractionsKeepTheLegacyStream) {
+  // The request-kind bands accumulate left to right, so adding the ppr /
+  // n2v bands at fraction 0 must leave a pre-existing spec's request
+  // stream byte-identical — replayed benchmarks stay comparable.
+  WorkloadSpec legacy;
+  legacy.num_requests = 100;
+  legacy.pair_fraction = 0.3;
+  legacy.source_fraction = 0.2;
+  WorkloadSpec with_programs = legacy;
+  with_programs.ppr_fraction = 0.0;
+  with_programs.n2v_fraction = 0.0;
+  auto a = GenerateWorkload(/*num_nodes=*/64, legacy);
+  auto b = GenerateWorkload(/*num_nodes=*/64, with_programs);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
 }
 
 TEST(WorkloadTextTest, ParsesCommentsBlanksAndWhitespace) {
@@ -72,6 +115,13 @@ TEST(WorkloadTextTest, RejectsMalformedLinesWithLineNumbers) {
       {"source", "missing source node"},
       {"source 1 2", "trailing content '2'"},
       {"source 1.5", "not a non-negative integer"},
+      {"ppr 5", "missing k"},
+      {"ppr", "missing source node"},
+      {"ppr x 3", "'x' is not a non-negative integer"},
+      {"ppr 5 10 junk", "trailing content 'junk'"},
+      {"n2v 5", "missing k"},
+      {"n2v -2 3", "'-2' is not a non-negative integer"},
+      {"n2v 5 10 junk", "trailing content 'junk'"},
       {"allpairs 10", "unknown verb 'allpairs'"},
   };
   for (const BadLine& bad : table) {

@@ -5,8 +5,12 @@ baseline (the BENCH_*.json files at the repo root).
 Gated metrics (``"gate": true``) are machine-portable numbers — speedups,
 ratios, bytes-per-edge — and fail the check when they move more than
 --max-regression in the losing direction relative to the baseline, or when
-they fall below their absolute ``"min"`` floor. Ungated metrics (absolute
-throughputs, which vary across hosts) are reported for context only.
+they fall below their absolute ``"min"`` floor. A baseline metric may carry
+its own ``"max_regression"`` field, which overrides the command-line
+tolerance for that one metric — the reviewed escape hatch for gates that
+are deliberately noisier (or tighter) than the rest of the file. Ungated
+metrics (absolute throughputs, which vary across hosts) are reported for
+context only.
 
 Usage:
   tools/check_bench.py BASELINE.json CURRENT.json [--max-regression 0.2]
@@ -79,6 +83,18 @@ def load_report(path):
             not isinstance(m["min"], (int, float)) or isinstance(m["min"], bool)
         ):
             sys.exit(f"{path}: metric {name!r} field 'min' must be a number")
+        if "max_regression" in m:
+            mr = m["max_regression"]
+            if not isinstance(mr, (int, float)) or isinstance(mr, bool):
+                sys.exit(
+                    f"{path}: metric {name!r} field 'max_regression' must "
+                    f"be a number"
+                )
+            if mr < 0:
+                sys.exit(
+                    f"{path}: metric {name!r} field 'max_regression' must "
+                    f"be >= 0"
+                )
         if name in metrics:
             sys.exit(f"{path}: duplicate metric {name!r}")
         metrics[name] = m
@@ -100,11 +116,14 @@ def self_test():
     def report(metrics, bench="bench_x", schema="cloudwalker-bench-v1"):
         return {"schema": schema, "bench": bench, "metrics": metrics}
 
-    def metric(name, value, gate=False, floor=None, higher=True):
+    def metric(name, value, gate=False, floor=None, higher=True,
+               max_regression=None):
         m = {"name": name, "value": value, "gate": gate,
              "higher_is_better": higher}
         if floor is not None:
             m["min"] = floor
+        if max_regression is not None:
+            m["max_regression"] = max_regression
         return m
 
     failures = []
@@ -175,6 +194,27 @@ def self_test():
     case("wide tolerance accepts larger slips", good,
          report([metric("speed", 6.5, gate=True, floor=2.0)]), 0,
          extra_args=("--max-regression", "0.5"))
+    noisy = report(
+        [metric("speed", 10.0, gate=True, floor=2.0, max_regression=0.5)])
+    case("per-metric override widens the gate", noisy,
+         report([metric("speed", 6.0, gate=True, floor=2.0)]), 0)
+    case("per-metric override is still a gate", noisy,
+         report([metric("speed", 4.0, gate=True, floor=2.0)]), 1)
+    case("per-metric override can tighten below the default",
+         report([metric("speed", 10.0, gate=True, floor=2.0,
+                        max_regression=0.01)]),
+         report([metric("speed", 9.0, gate=True, floor=2.0)]), 1)
+    case("per-metric override never weakens the absolute floor", noisy,
+         report([metric("speed", 1.0, gate=True, floor=2.0)]), 1)
+    case("current-run override cannot loosen the gate", good,
+         report([metric("speed", 5.0, gate=True, floor=2.0,
+                        max_regression=0.9)]), 1)
+    case("non-numeric max_regression is diagnosed",
+         report([metric("speed", 10.0, gate=True, max_regression="lots")]),
+         good, "diagnostic")
+    case("negative max_regression is diagnosed",
+         report([metric("speed", 10.0, gate=True, max_regression=-0.1)]),
+         good, "diagnostic")
 
     if failures:
         print("check_bench self-test FAILED:", file=sys.stderr)
@@ -223,13 +263,18 @@ def main(argv=None):
             slip = (bv - cv) / abs(bv) if higher else (cv - bv) / abs(bv)
         else:
             slip = 0.0 if cv == bv else (-1.0 if higher else 1.0)
+        # The committed baseline may widen or tighten the tolerance for
+        # this one metric; only the baseline is honored — a bench-source
+        # edit shipping a lax "max_regression" in the current run cannot
+        # loosen the gate.
+        allowed = bm.get("max_regression", args.max_regression)
         verdict = "ok"
-        if gated and slip > args.max_regression:
+        if gated and slip > allowed:
             verdict = "REGRESSED"
             failures.append(
                 f"{name}: {cv:g} vs baseline {bv:g} "
                 f"({slip:+.1%} in the losing direction, "
-                f"allowed {args.max_regression:.0%})"
+                f"allowed {allowed:.0%})"
             )
         # The committed baseline's floor is authoritative: a bench-source
         # edit that weakens its own "min" cannot loosen the gate.

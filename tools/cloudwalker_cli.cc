@@ -8,8 +8,13 @@
 //       [--iterations=3] [--regenerate]
 //   cloudwalker pair     --snapshot=web.cwk --i=1 --j=2
 //   cloudwalker source   --snapshot=web.cwk --node=1 [--topk=10]
+//   cloudwalker ppr      --snapshot=web.cwk --node=1 [--topk=10]
+//       [--alpha=0.85]
+//   cloudwalker n2v      --snapshot=web.cwk --node=1 [--topk=10]
+//       [--p=1] [--q=1]
 //   cloudwalker serve    --snapshot=web.cwk [--reload-on=sighup]
-//       [--workload=reqs.txt | --requests=1000 --skew=zipf]
+//       [--workload=reqs.txt | --requests=1000 --skew=zipf
+//        --ppr-frac=0.1 --n2v-frac=0.1]
 //       [--deadline-ms=50] [--max-queue=4096]
 //
 // The query commands take either a --snapshot=PATH (a cloudwalker-snap-v1
@@ -229,6 +234,9 @@ QueryOptions QueryFlags(const std::map<std::string, std::string>& flags) {
     q.push = PushStrategy::kExact;
     q.prune_threshold = 1e-6;
   }
+  q.ppr_alpha = std::stod(GetFlag(flags, "alpha", "0.85"));
+  q.n2v_return_p = std::stod(GetFlag(flags, "p", "1"));
+  q.n2v_in_out_q = std::stod(GetFlag(flags, "q", "1"));
   // Centralized validation (core/options.h): the CLI rejects bad query
   // options with exactly the message the facade and QueryService would
   // use, surfaced by the invalid-flag handler in main.
@@ -265,6 +273,34 @@ int CmdSource(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdPpr(const std::map<std::string, std::string>& flags) {
+  auto cw = LoadEngine(flags);
+  if (!cw.ok()) return Fail(cw.status().ToString());
+  const NodeId q =
+      static_cast<NodeId>(ParseU64(flags, "node", "0"));
+  const size_t k = ParseU64(flags, "topk", "10");
+  auto top = (*cw)->PersonalizedPageRankTopK(q, k, QueryFlags(flags));
+  if (!top.ok()) return Fail(top.status().ToString());
+  for (const ScoredNode& sn : *top) {
+    std::cout << sn.node << "\t" << FormatDouble(sn.score, 6) << "\n";
+  }
+  return 0;
+}
+
+int CmdN2v(const std::map<std::string, std::string>& flags) {
+  auto cw = LoadEngine(flags);
+  if (!cw.ok()) return Fail(cw.status().ToString());
+  const NodeId q =
+      static_cast<NodeId>(ParseU64(flags, "node", "0"));
+  const size_t k = ParseU64(flags, "topk", "10");
+  auto top = (*cw)->Node2VecTopK(q, k, QueryFlags(flags));
+  if (!top.ok()) return Fail(top.status().ToString());
+  for (const ScoredNode& sn : *top) {
+    std::cout << sn.node << "\t" << FormatDouble(sn.score, 6) << "\n";
+  }
+  return 0;
+}
+
 // SIGHUP flag for `serve --reload-on=sighup` (write of one atomic is all
 // a signal handler may do; the watcher thread does the real work).
 std::atomic<bool> g_sighup{false};
@@ -289,6 +325,8 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     spec.num_requests = ParseU64(flags, "requests", "1000");
     spec.pair_fraction = std::stod(GetFlag(flags, "pair-frac", "0.2"));
     spec.source_fraction = std::stod(GetFlag(flags, "source-frac", "0"));
+    spec.ppr_fraction = std::stod(GetFlag(flags, "ppr-frac", "0"));
+    spec.n2v_fraction = std::stod(GetFlag(flags, "n2v-frac", "0"));
     spec.topk =
         static_cast<uint32_t>(ParseU64(flags, "topk", "10"));
     const std::string skew = GetFlag(flags, "skew", "zipf");
@@ -382,7 +420,9 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   const ServeStats stats = service.Stats();
   std::cout << "served " << stats.total_queries() << " requests ("
             << stats.pair_queries << " pair, " << stats.source_queries
-            << " source, " << stats.topk_queries << " topk, " << stats.errors
+            << " source, " << stats.topk_queries << " topk, "
+            << stats.ppr_queries << " ppr, " << stats.n2v_queries
+            << " n2v, " << stats.errors
             << " errors) on " << pool.num_threads()
             << " threads in " << HumanSeconds(stats.elapsed_seconds) << "\n"
             << "throughput:     " << FormatDouble(stats.qps, 1) << " QPS\n"
@@ -438,6 +478,16 @@ void Usage() {
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --node=Q (0), --topk=K (10), --walkers=R' (10000),\n"
       "            --seed=S (97), --exact-push\n"
+      "  ppr       Personalized PageRank: top-k by teleport-walk endpoint\n"
+      "            frequency around one node.\n"
+      "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
+      "            --node=Q (0), --topk=K (10), --alpha=A (0.85),\n"
+      "            --walkers=R' (10000), --seed=S (97)\n"
+      "  n2v       node2vec: top-k by second-order biased-walk visit\n"
+      "            frequency around one node.\n"
+      "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
+      "            --node=Q (0), --topk=K (10), --p=P (1), --q=Q (1),\n"
+      "            --walkers=R' (10000), --seed=S (97)\n"
       "  serve     Replay a request workload through the concurrent\n"
       "            QueryService and report QPS / latency / cache stats.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
@@ -446,19 +496,21 @@ void Usage() {
       "            workload: --workload=PATH to replay a file, else\n"
       "            generated from --requests=N (1000), --skew=zipf|uniform\n"
       "            (zipf), --theta=T (0.99), --pair-frac=F (0.2),\n"
-      "            --source-frac=F (0), --topk=K (10), --wseed=S (42);\n"
+      "            --source-frac=F (0), --ppr-frac=F (0), --n2v-frac=F (0),\n"
+      "            --topk=K (10), --wseed=S (42);\n"
       "            --save-workload=PATH writes the generated stream;\n"
       "            serving: --threads=N (hardware), --cache=ENTRIES\n"
       "            (16384, 0 disables), --shards=S (8), --no-dedup,\n"
       "            --max-queue=N (4096, 0 unbounded), --deadline-ms=D\n"
       "            (0 = none, applied per request),\n"
-      "            --walkers=R' (10000), --seed=S (97), --exact-push\n"
+      "            --walkers=R' (10000), --seed=S (97), --exact-push,\n"
+      "            --alpha=A (0.85), --p=P (1), --q=Q (1)\n"
       "  help      Show this message (also --help).\n"
       "\n"
       "--threads=N sizes the worker pool (0 = hardware concurrency).\n"
       "graph paths ending in .txt are parsed as 'from to' edge lists.\n"
-      "workload files are text: one 'pair I J', 'topk Q K', or\n"
-      "'source Q' per line.\n";
+      "workload files are text: one 'pair I J', 'topk Q K', 'source Q',\n"
+      "'ppr Q K', or 'n2v Q K' per line.\n";
 }
 
 }  // namespace
@@ -483,6 +535,8 @@ int main(int argc, char** argv) {
     if (cmd == "index") return CmdIndex(flags);
     if (cmd == "pair") return CmdPair(flags);
     if (cmd == "source") return CmdSource(flags);
+    if (cmd == "ppr") return CmdPpr(flags);
+    if (cmd == "n2v") return CmdN2v(flags);
     if (cmd == "serve") return CmdServe(flags);
   } catch (const std::invalid_argument& e) {
     return Fail(std::string("invalid flag value (") + e.what() +
