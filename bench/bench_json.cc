@@ -81,6 +81,9 @@ std::string JsonReporter::Render() const {
         << ", \"higher_is_better\": " << (m.higher_is_better ? "true" : "false")
         << ", \"gate\": " << (m.gate ? "true" : "false");
     if (m.min >= 0.0) out << ", \"min\": " << NumberJson(m.min);
+    if (m.max_regression >= 0.0) {
+      out << ", \"max_regression\": " << NumberJson(m.max_regression);
+    }
     out << "}";
   }
   out << "\n  ]\n";

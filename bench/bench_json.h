@@ -31,6 +31,12 @@ struct BenchMetric {
   bool higher_is_better = true;
   bool gate = false;
   double min = -1.0;
+  /// Per-metric relative tolerance written into the baseline; overrides
+  /// the checker's --max-regression for this metric when >= 0. The
+  /// reviewed escape hatch for gates that are deliberately noisier than
+  /// the rest of the file (e.g. parallel-efficiency ratios whose value
+  /// depends on the host's core count).
+  double max_regression = -1.0;
 };
 
 /// Collects context strings and metrics; renders cloudwalker-bench-v1 JSON.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "shard/sharded_engine.h"
 #include "snapshot/snapshot.h"
 
 namespace cloudwalker {
@@ -58,6 +59,25 @@ StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::FromIndex(
   built.owned_graph_ = std::move(owned);
   return std::shared_ptr<const CloudWalker>(
       new CloudWalker(std::move(built)));
+}
+
+StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Shard(
+    const std::shared_ptr<const CloudWalker>& base,
+    const ShardingOptions& options) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("base engine must not be null");
+  }
+  CW_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ShardedWalkEngine> engine,
+      ShardedWalkEngine::Build(base->graph(), base->walk_context_.get(),
+                               options));
+  // The copy shares the graph / arena / snapshot ownership with `base`, so
+  // the borrowed pointers inside the engine stay pinned even after the
+  // caller drops `base`. (A borrowed-graph base keeps its original
+  // contract: the external graph must outlive the sharded instance too.)
+  CloudWalker sharded(*base);
+  sharded.walk_backend_ = std::move(engine);
+  return std::shared_ptr<const CloudWalker>(new CloudWalker(std::move(sharded)));
 }
 
 StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Open(
@@ -129,7 +149,7 @@ StatusOr<double> CloudWalker::PairScore(NodeId i, NodeId j,
                                         const CancelToken* cancel) const {
   const double raw = SinglePairQuery(*graph_, index_, i, j, options, stats,
                                      /*owner=*/nullptr, walk_context_.get(),
-                                     cancel);
+                                     cancel, walk_backend_.get());
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   return Clamp01(raw);
 }
@@ -139,7 +159,8 @@ StatusOr<SparseVector> CloudWalker::SourceVector(
     const CancelToken* cancel) const {
   const SparseVector raw =
       SingleSourceQuery(*graph_, index_, q, options, stats,
-                        /*owner=*/nullptr, walk_context_.get(), cancel);
+                        /*owner=*/nullptr, walk_context_.get(), cancel,
+                        walk_backend_.get());
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   std::vector<SparseEntry> entries;
   entries.reserve(raw.size() + 1);
@@ -165,7 +186,8 @@ StatusOr<std::vector<ScoredNode>> CloudWalker::SourceTopK(
     const CancelToken* cancel) const {
   const SparseVector raw =
       SingleSourceQuery(*graph_, index_, q, options, stats,
-                        /*owner=*/nullptr, walk_context_.get(), cancel);
+                        /*owner=*/nullptr, walk_context_.get(), cancel,
+                        walk_backend_.get());
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   std::vector<ScoredNode> top = TopKFromSparse(raw, /*exclude=*/q, k);
   for (ScoredNode& s : top) s.score = Clamp01(s.score);
@@ -177,7 +199,8 @@ StatusOr<std::vector<std::vector<ScoredNode>>> CloudWalker::AllPairsInternal(
     QueryStats* stats, const CancelToken* cancel) const {
   uint64_t walk_steps = 0;
   auto result = AllPairsTopK(*graph_, index_, options, k, pool, &walk_steps,
-                             walk_context_.get(), cancel);
+                             walk_context_.get(), cancel,
+                             walk_backend_.get());
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   if (stats != nullptr) stats->walk_steps += walk_steps;
   for (auto& per_source : result) {
@@ -192,7 +215,7 @@ StatusOr<std::vector<ScoredNode>> CloudWalker::PprTopK(
   const SparseVector endpoints =
       PersonalizedPageRankQuery(*graph_, index_, q, options, stats,
                                 /*owner=*/nullptr, walk_context_.get(),
-                                cancel);
+                                cancel, walk_backend_.get());
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   // Endpoint frequencies are already in [0, 1]; no clamping needed.
   return TopKFromSparse(endpoints, /*exclude=*/q, k);
@@ -203,7 +226,8 @@ StatusOr<std::vector<ScoredNode>> CloudWalker::N2vTopK(
     const CancelToken* cancel) const {
   const SparseVector visits =
       Node2VecVisitQuery(*graph_, index_, q, options, stats,
-                         /*owner=*/nullptr, walk_context_.get(), cancel);
+                         /*owner=*/nullptr, walk_context_.get(), cancel,
+                         walk_backend_.get());
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   return TopKFromSparse(visits, /*exclude=*/q, k);
 }

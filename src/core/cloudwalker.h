@@ -47,6 +47,8 @@
 namespace cloudwalker {
 
 class SnapshotView;
+class WalkBackend;
+struct ShardingOptions;
 
 /// An indexed graph ready to answer SimRank queries. Query methods are
 /// const and thread-safe (independent RNG streams per call).
@@ -95,6 +97,19 @@ class CloudWalker {
   /// (graph, index) pair for publication without re-estimating rows.
   static StatusOr<std::shared_ptr<const CloudWalker>> FromIndex(
       Graph&& graph, DiagonalIndex index);
+
+  /// Re-backs `base` with the in-process sharded BSP walk engine
+  /// (shard/sharded_engine.h, DESIGN.md section 11): every walk phase of
+  /// every query kind fans out across options.num_shards shard workers and
+  /// merges at the level barriers. Results are bit-identical to `base` at
+  /// every shard count, so a sharded instance can transparently replace
+  /// the single-node one anywhere — including behind QueryService, which
+  /// preserves cache keys, dedup, deadlines, and cancellation unchanged.
+  /// The returned instance shares base's graph / index / arena / snapshot
+  /// (base itself may be released).
+  static StatusOr<std::shared_ptr<const CloudWalker>> Shard(
+      const std::shared_ptr<const CloudWalker>& base,
+      const ShardingOptions& options);
 
   /// The unified entry point: dispatches any QueryRequest kind, applying
   /// the request's per-request options (default QueryOptions{} otherwise)
@@ -164,6 +179,10 @@ class CloudWalker {
   /// every query of this instance runs through.
   const WalkContext& walk_context() const { return *walk_context_; }
 
+  /// The walk backend override installed by Shard(), or null when queries
+  /// run the single-node batched kernel.
+  const WalkBackend* walk_backend() const { return walk_backend_.get(); }
+
   /// Persists the index; reload with DiagonalIndex::Load + FromIndex.
   Status SaveIndex(const std::string& path) const { return index_.Save(path); }
 
@@ -216,6 +235,9 @@ class CloudWalker {
   IndexingOptions indexing_options_;
   // Shared so copies of the facade reuse one arena (immutable after build).
   std::shared_ptr<const WalkContext> walk_context_;
+  // Walk backend override (Shard()); null runs the single-node kernel. The
+  // backend borrows graph_ / walk_context_, which this instance pins.
+  std::shared_ptr<const WalkBackend> walk_backend_;
   // Ownership plumbing of the shared_ptr factories: the heap graph (owning
   // Build / FromIndex / Open) and the backing mapping (Open). Null when
   // the graph is merely borrowed. graph_ aliases owned_graph_ when set.

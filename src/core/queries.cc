@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "engine/walk.h"
+#include "engine/walk_backend.h"
 #include "engine/walk_program.h"
 
 namespace cloudwalker {
@@ -83,19 +84,20 @@ void ExactPushStep(const Graph& graph, const SparseVector& z,
 double SinglePairQuery(const Graph& graph, const DiagonalIndex& index,
                        NodeId i, NodeId j, const QueryOptions& options,
                        QueryStats* stats, const NodeOwnerFn* owner,
-                       const WalkContext* context, const CancelToken* cancel) {
+                       const WalkContext* context, const CancelToken* cancel,
+                       const WalkBackend* backend) {
   CW_CHECK_LT(i, graph.num_nodes());
   CW_CHECK_LT(j, graph.num_nodes());
   CW_CHECK_EQ(index.num_nodes(), graph.num_nodes());
   if (i == j) return 1.0;
 
+  const LocalWalkBackend local(graph, context, owner);
+  if (backend == nullptr) backend = &local;
   const WalkConfig cfg = WalkConfigFromQuery(index, options, cancel);
   WalkStats wi, wj;
-  const WalkDistributions di =
-      SimulateWalkDistributions(graph, context, i, cfg, nullptr, owner, &wi);
+  const WalkDistributions di = backend->SimRankLevels(i, cfg, &wi);
   if (Stopped(cancel)) return 0.0;  // caller discards (request.h contract)
-  const WalkDistributions dj =
-      SimulateWalkDistributions(graph, context, j, cfg, nullptr, owner, &wj);
+  const WalkDistributions dj = backend->SimRankLevels(j, cfg, &wj);
   if (stats != nullptr) {
     stats->walk_steps += wi.steps + wj.steps;
     stats->walk_crossings += wi.partition_crossings + wj.partition_crossings;
@@ -156,14 +158,16 @@ SparseVector SingleSourceQuery(const Graph& graph, const DiagonalIndex& index,
                                NodeId q, const QueryOptions& options,
                                QueryStats* stats, const NodeOwnerFn* owner,
                                const WalkContext* context,
-                               const CancelToken* cancel) {
+                               const CancelToken* cancel,
+                               const WalkBackend* backend) {
   CW_CHECK_LT(q, graph.num_nodes());
   CW_CHECK_EQ(index.num_nodes(), graph.num_nodes());
 
+  const LocalWalkBackend local(graph, context, owner);
+  if (backend == nullptr) backend = &local;
   const WalkConfig cfg = WalkConfigFromQuery(index, options, cancel);
   WalkStats wq;
-  const WalkDistributions dists =
-      SimulateWalkDistributions(graph, context, q, cfg, nullptr, owner, &wq);
+  const WalkDistributions dists = backend->SimRankLevels(q, cfg, &wq);
 
   const std::span<const double> diag = index.diagonal();
   Xoshiro256 rng =
@@ -211,15 +215,17 @@ SparseVector PersonalizedPageRankQuery(const Graph& graph,
                                        QueryStats* stats,
                                        const NodeOwnerFn* owner,
                                        const WalkContext* context,
-                                       const CancelToken* cancel) {
+                                       const CancelToken* cancel,
+                                       const WalkBackend* backend) {
   CW_CHECK_LT(q, graph.num_nodes());
   CW_CHECK_EQ(index.num_nodes(), graph.num_nodes());
+  const LocalWalkBackend local(graph, context, owner);
+  if (backend == nullptr) backend = &local;
   const WalkConfig cfg = WalkConfigFromQuery(index, options, cancel);
   PprParams params;
   params.alpha = options.ppr_alpha;
   WalkStats wq;
-  SparseVector endpoints = SimulatePprEndpoints(graph, context, q, cfg,
-                                                params, nullptr, owner, &wq);
+  SparseVector endpoints = backend->PprEndpoints(q, cfg, params, &wq);
   if (stats != nullptr) {
     stats->walk_steps += wq.steps;
     stats->walk_crossings += wq.partition_crossings;
@@ -232,16 +238,18 @@ SparseVector Node2VecVisitQuery(const Graph& graph, const DiagonalIndex& index,
                                 NodeId q, const QueryOptions& options,
                                 QueryStats* stats, const NodeOwnerFn* owner,
                                 const WalkContext* context,
-                                const CancelToken* cancel) {
+                                const CancelToken* cancel,
+                                const WalkBackend* backend) {
   CW_CHECK_LT(q, graph.num_nodes());
   CW_CHECK_EQ(index.num_nodes(), graph.num_nodes());
+  const LocalWalkBackend local(graph, context, owner);
+  if (backend == nullptr) backend = &local;
   const WalkConfig cfg = WalkConfigFromQuery(index, options, cancel);
   Node2VecParams params;
   params.return_p = options.n2v_return_p;
   params.in_out_q = options.n2v_in_out_q;
   WalkStats wq;
-  const WalkDistributions dists = SimulateNode2VecVisits(
-      graph, context, q, cfg, params, nullptr, owner, &wq);
+  const WalkDistributions dists = backend->Node2VecLevels(q, cfg, params, &wq);
   if (stats != nullptr) {
     stats->walk_steps += wq.steps;
     stats->walk_crossings += wq.partition_crossings;
@@ -283,10 +291,10 @@ std::vector<std::vector<ScoredNode>> AllPairsTopK(
     const Graph& graph, const DiagonalIndex& index,
     const QueryOptions& options, size_t k, ThreadPool* pool,
     uint64_t* total_walk_steps, const WalkContext* context,
-    const CancelToken* cancel) {
+    const CancelToken* cancel, const WalkBackend* backend) {
   std::vector<std::vector<ScoredNode>> out(graph.num_nodes());
   std::optional<WalkContext> local_context;
-  if (context == nullptr) {
+  if (context == nullptr && backend == nullptr) {
     local_context.emplace(graph);  // amortized over all sources
     context = &*local_context;
   }
@@ -300,7 +308,7 @@ std::vector<std::vector<ScoredNode>> AllPairsTopK(
                   const SparseVector scores =
                       SingleSourceQuery(graph, index, static_cast<NodeId>(q),
                                         options, &qs, /*owner=*/nullptr,
-                                        context, cancel);
+                                        context, cancel, backend);
                   local_steps += qs.walk_steps;
                   out[q] = TopKFromSparse(scores, static_cast<NodeId>(q), k);
                 }

@@ -25,6 +25,8 @@
 
 namespace cloudwalker {
 
+class WalkBackend;
+
 /// Execution counters of one query. Crossing counters are only filled when
 /// an owner function is supplied (simulated-cluster accounting).
 struct QueryStats {
@@ -50,12 +52,19 @@ struct QueryStats {
 /// threaded into the walk engine's level loop and the push phases; a
 /// stopped kernel returns early with a truncated (meaningless) value that
 /// the caller must discard after observing cancel->ShouldStop().
+///
+/// `backend` (optional, every walk-running kernel) supplies the walk phase
+/// (engine/walk_backend.h) — e.g. the in-process sharded BSP engine. Null
+/// runs the single-node batched kernel over (graph, context, owner). The
+/// combine phases are shared, so any backend that reproduces the
+/// single-node walk distributions yields bit-identical query results.
 double SinglePairQuery(const Graph& graph, const DiagonalIndex& index,
                        NodeId i, NodeId j, const QueryOptions& options,
                        QueryStats* stats = nullptr,
                        const NodeOwnerFn* owner = nullptr,
                        const WalkContext* context = nullptr,
-                       const CancelToken* cancel = nullptr);
+                       const CancelToken* cancel = nullptr,
+                       const WalkBackend* backend = nullptr);
 
 /// Classic paired-walker MCSP estimator (ablation; DESIGN.md section 5.3):
 /// R' walker *pairs* advance in lockstep and the estimate is
@@ -74,7 +83,8 @@ SparseVector SingleSourceQuery(const Graph& graph, const DiagonalIndex& index,
                                QueryStats* stats = nullptr,
                                const NodeOwnerFn* owner = nullptr,
                                const WalkContext* context = nullptr,
-                               const CancelToken* cancel = nullptr);
+                               const CancelToken* cancel = nullptr,
+                               const WalkBackend* backend = nullptr);
 
 /// A node with its similarity score.
 struct ScoredNode {
@@ -102,7 +112,8 @@ SparseVector PersonalizedPageRankQuery(const Graph& graph,
                                        QueryStats* stats = nullptr,
                                        const NodeOwnerFn* owner = nullptr,
                                        const WalkContext* context = nullptr,
-                                       const CancelToken* cancel = nullptr);
+                                       const CancelToken* cancel = nullptr,
+                                       const WalkBackend* backend = nullptr);
 
 /// node2vec visit-frequency query kernel (QueryKind::kNode2Vec): runs
 /// second-order biased walks from q (options.n2v_return_p /
@@ -116,7 +127,8 @@ SparseVector Node2VecVisitQuery(const Graph& graph,
                                 QueryStats* stats = nullptr,
                                 const NodeOwnerFn* owner = nullptr,
                                 const WalkContext* context = nullptr,
-                                const CancelToken* cancel = nullptr);
+                                const CancelToken* cancel = nullptr,
+                                const WalkBackend* backend = nullptr);
 
 /// MCAP: runs MCSS from every node (parallel across sources) and keeps the
 /// top-k similar nodes per source. O(n T^2 R') — the n x n result is never
@@ -128,7 +140,8 @@ std::vector<std::vector<ScoredNode>> AllPairsTopK(
     const QueryOptions& options, size_t k, ThreadPool* pool,
     uint64_t* total_walk_steps = nullptr,
     const WalkContext* context = nullptr,
-    const CancelToken* cancel = nullptr);
+    const CancelToken* cancel = nullptr,
+    const WalkBackend* backend = nullptr);
 
 }  // namespace cloudwalker
 

@@ -1,7 +1,9 @@
 // Internal header — the templated level-synchronous walk kernel shared by
 // every walk program (DESIGN.md section 10). Include only from engine/*.cc
-// translation units; the public entry points live in engine/walk.h
-// (SimRank) and engine/walk_program.h (PPR, node2vec).
+// and shard/*.cc translation units (the sharded BSP engine reuses the
+// radix aggregation and id-width helpers so its per-level output is
+// bit-identical to the single-node kernel); the public entry points live
+// in engine/walk.h (SimRank) and engine/walk_program.h (PPR, node2vec).
 //
 // A *walk program* supplies the per-step policy; the kernel supplies
 // everything else — the SoA walker cursors, the blocked advance with

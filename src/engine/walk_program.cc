@@ -10,20 +10,6 @@
 namespace cloudwalker {
 namespace {
 
-// Acceptance threshold against the low 32 bits of a counter draw:
-// accept iff (raw & 0xffffffff) < Threshold(prob). prob == 1 maps to 2^32,
-// which every 32-bit value is below — certain acceptance costs no
-// precision.
-uint64_t Threshold(double prob) {
-  return static_cast<uint64_t>(prob * 4294967296.0);
-}
-
-// The unit-interval value of a 64-bit draw (the Xoshiro256::NextDouble
-// convention: top 53 bits).
-double ToUnit(uint64_t raw) {
-  return static_cast<double>(raw >> 11) * 0x1.0p-53;
-}
-
 /// Personalized PageRank as a walk program: the canonical move stream
 /// advances the walker, an independent per-source stop channel decides —
 /// before each move — whether the walker teleports home instead, making
@@ -52,7 +38,7 @@ struct PprEndpointsProgram {
   bool PreStep(uint32_t w, uint32_t t, NodeId v) {
     const uint64_t coin =
         CounterRandom(stop_key, (static_cast<uint64_t>(w) << 32) | t);
-    if (ToUnit(coin) >= alpha) {
+    if (DrawToUnit(coin) >= alpha) {
       terminals.push_back(v);
       return false;
     }
@@ -95,9 +81,9 @@ struct Node2VecProgram {
     const double w_return = 1.0 / params.return_p;
     const double w_far = 1.0 / params.in_out_q;
     const double w_max = std::max({1.0, w_return, w_far});
-    thr_return = Threshold(w_return / w_max);
-    thr_near = Threshold(1.0 / w_max);
-    thr_far = Threshold(w_far / w_max);
+    thr_return = AcceptThreshold(w_return / w_max);
+    thr_near = AcceptThreshold(1.0 / w_max);
+    thr_far = AcceptThreshold(w_far / w_max);
     max_trials = params.max_trials;
   }
   void Begin(NodeId source, const WalkConfig& config) {
@@ -163,11 +149,10 @@ struct Node2VecProgram {
   void Finish(const NodeId*, uint32_t) {}
 };
 
-// Sort + run-length encode a bag of endpoint nodes into the empirical
-// distribution (multiplicity * inv_r per node) — the same aggregation
-// DrainLevel applies per level, over the program's own terminal list.
-SparseVector AggregateEndpoints(std::vector<NodeId>& nodes, double inv_r,
-                                uint32_t id_bits) {
+}  // namespace
+
+SparseVector AggregateEndpointNodes(std::vector<NodeId>& nodes, double inv_r,
+                                    uint32_t id_bits) {
   if (nodes.empty()) return SparseVector();
   const uint32_t n = static_cast<uint32_t>(nodes.size());
   NodeId* data = nodes.data();
@@ -191,8 +176,6 @@ SparseVector AggregateEndpoints(std::vector<NodeId>& nodes, double inv_r,
   return SparseVector::FromSorted(std::move(entries));
 }
 
-}  // namespace
-
 SparseVector SimulatePprEndpoints(const Graph& graph,
                                   const WalkContext* context_or_null,
                                   NodeId source, const WalkConfig& config,
@@ -209,8 +192,8 @@ SparseVector SimulatePprEndpoints(const Graph& graph,
   WalkKernel::Run(graph, arena, source, config, scratch, owner, stats,
                   program);
   const double inv_r = 1.0 / static_cast<double>(config.num_walkers);
-  return AggregateEndpoints(program.terminals, inv_r,
-                            WalkKernel::IdBits(graph));
+  return AggregateEndpointNodes(program.terminals, inv_r,
+                                WalkKernel::IdBits(graph));
 }
 
 WalkDistributions SimulateNode2VecVisits(const Graph& graph,

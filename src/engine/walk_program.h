@@ -19,6 +19,7 @@
 #define CLOUDWALKER_ENGINE_WALK_PROGRAM_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/sparse.h"
 #include "engine/walk.h"
@@ -33,6 +34,31 @@ namespace cloudwalker {
 /// same counter stream.
 inline constexpr uint64_t kPprStopChannel = 0x7070722d73746f70ull;   // "ppr-stop"
 inline constexpr uint64_t kNode2VecTrialChannel = 0x6e32762d7472ull;  // "n2v-tr"
+
+/// Acceptance threshold against the low 32 bits of a counter draw:
+/// accept iff (raw & 0xffffffff) < AcceptThreshold(prob). prob == 1 maps
+/// to 2^32, which every 32-bit value is below — certain acceptance costs
+/// no precision. Shared by every backend so rejection decisions are
+/// bit-identical wherever the walker runs.
+inline uint64_t AcceptThreshold(double prob) {
+  return static_cast<uint64_t>(prob * 4294967296.0);
+}
+
+/// The unit-interval value of a 64-bit draw (the Xoshiro256::NextDouble
+/// convention: top 53 bits).
+inline double DrawToUnit(uint64_t raw) {
+  return static_cast<double>(raw >> 11) * 0x1.0p-53;
+}
+
+/// Sorts a bag of endpoint nodes and run-length encodes it into the
+/// empirical distribution value(id) = multiplicity * inv_r — the same
+/// aggregation the kernel's DrainLevel applies per level. Order
+/// independent: any permutation of `nodes` (it is sorted in place)
+/// produces the bit-identical SparseVector, which is what lets a sharded
+/// backend concatenate per-shard endpoint lists and still match the
+/// single-node kernel exactly. `id_bits` bounds the ids (radix digits).
+SparseVector AggregateEndpointNodes(std::vector<NodeId>& nodes, double inv_r,
+                                    uint32_t id_bits);
 
 /// Personalized PageRank parameters.
 struct PprParams {

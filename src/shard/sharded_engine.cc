@@ -1,0 +1,401 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "engine/walk_kernel.h"
+
+namespace cloudwalker {
+namespace {
+
+// One walker in flight between shards: its id (the RNG stream index), its
+// current node, and — for second-order programs — the node it came from.
+// This is the exchange wire record; everything else a shard needs to
+// advance the walker is derivable from (config, walker, step).
+struct WalkerRec {
+  uint32_t walker = 0;
+  NodeId cur = kInvalidNode;
+  NodeId prev = kInvalidNode;
+};
+
+// Uniform in-neighbor pick against a shard slice, resolved exactly like
+// the single-node kernel's pass 3 (and its plain-CSR fallback): the slice
+// either mirrors the alias rows (accept test, then target or alias) or
+// indexes the local CSR row directly. In-link rows are uniform, so both
+// consume `raw` identically — the arena-vs-CSR half of the bit-identity
+// matrix.
+inline NodeId ResolveUniform(const ShardSlice& sl, uint32_t row,
+                             uint64_t raw, uint32_t deg) {
+  const uint32_t slot = AliasArena::PickSlot(raw, deg);
+  const uint64_t off = sl.offsets[row];
+  if (!sl.slots.empty()) {
+    const AliasSlot s = sl.slots[off + slot];
+    return static_cast<uint32_t>(raw) < s.accept ? sl.targets[off + slot]
+                                                 : s.alias;
+  }
+  return sl.targets[off + slot];
+}
+
+// The three walk programs, restated as shard policies. Every draw below
+// matches the corresponding single-node program (engine/walk_kernel.h,
+// engine/walk_program.cc) bit for bit: the canonical move stream
+// CounterRandom(DeriveSeed(seed, source), walker << 32 | step) plus the
+// per-program channels. A policy is shared read-only across shard
+// workers; all mutable walk state stays in the per-shard cursors.
+
+struct SimRankShardPolicy {
+  static constexpr bool kMayRetire = false;
+  static constexpr bool kSecondOrder = false;
+  static constexpr bool kEmitsLevels = true;
+
+  uint64_t key = 0;  // DeriveSeed(config.seed, source)
+
+  uint64_t Draw(uint32_t w, uint32_t t) const {
+    return CounterRandom(key, (static_cast<uint64_t>(w) << 32) | t);
+  }
+};
+
+struct PprShardPolicy {
+  static constexpr bool kMayRetire = true;
+  static constexpr bool kSecondOrder = false;
+  static constexpr bool kEmitsLevels = false;
+
+  double alpha = 0.85;
+  uint64_t key = 0;
+  uint64_t stop_key = 0;  // DeriveSeed(key, kPprStopChannel)
+
+  uint64_t Draw(uint32_t w, uint32_t t) const {
+    return CounterRandom(key, (static_cast<uint64_t>(w) << 32) | t);
+  }
+  bool Retire(uint32_t w, uint32_t t) const {
+    const uint64_t coin =
+        CounterRandom(stop_key, (static_cast<uint64_t>(w) << 32) | t);
+    return DrawToUnit(coin) >= alpha;
+  }
+};
+
+struct Node2VecShardPolicy {
+  static constexpr bool kMayRetire = false;
+  static constexpr bool kSecondOrder = true;
+  static constexpr bool kEmitsLevels = true;
+
+  const ShardPlan* plan = nullptr;
+  uint32_t max_trials = 64;
+  uint64_t key = 0;
+  uint64_t trial_base = 0;  // DeriveSeed(key, kNode2VecTrialChannel)
+  uint64_t thr_return = 0;
+  uint64_t thr_near = 0;
+  uint64_t thr_far = 0;
+
+  void Configure(const Node2VecParams& params) {
+    CW_CHECK_GT(params.return_p, 0.0);
+    CW_CHECK_GT(params.in_out_q, 0.0);
+    CW_CHECK_GT(params.max_trials, 0u);
+    const double w_return = 1.0 / params.return_p;
+    const double w_far = 1.0 / params.in_out_q;
+    const double w_max = std::max({1.0, w_return, w_far});
+    thr_return = AcceptThreshold(w_return / w_max);
+    thr_near = AcceptThreshold(1.0 / w_max);
+    thr_far = AcceptThreshold(w_far / w_max);
+    max_trials = params.max_trials;
+  }
+
+  uint64_t Draw(uint32_t w, uint32_t t) const {
+    return CounterRandom(key, (static_cast<uint64_t>(w) << 32) | t);
+  }
+
+  // Full second-order step. In(prev) may live on another shard — the
+  // fetch goes through the plan's owning slice and is counted as a remote
+  // row read, the in-process stand-in for a cross-worker adjacency
+  // message.
+  NodeId Advance(uint32_t w, uint32_t t, NodeId cur, NodeId prev,
+                 const ShardSlice& sl, uint32_t row, uint32_t deg,
+                 int shard, uint64_t* remote_rows) const {
+    (void)cur;
+    if (prev == kInvalidNode) {
+      // First step: uniform on the canonical move stream — the same draw
+      // SimRank would make.
+      return ResolveUniform(sl, row, Draw(w, t), deg);
+    }
+    const uint64_t trial_key =
+        DeriveSeed(trial_base, (static_cast<uint64_t>(w) << 32) | t);
+    bool remote = false;
+    const auto in_prev = plan->InRow(prev, shard, &remote);
+    if (remote) ++*remote_rows;
+    NodeId candidate = kInvalidNode;
+    for (uint32_t trial = 0; trial < max_trials; ++trial) {
+      const uint64_t raw = CounterRandom(trial_key, trial);
+      candidate = ResolveUniform(sl, row, raw, deg);
+      uint64_t threshold;
+      if (candidate == prev) {
+        threshold = thr_return;
+      } else if (std::binary_search(in_prev.begin(), in_prev.end(),
+                                    candidate)) {
+        threshold = thr_near;
+      } else {
+        threshold = thr_far;
+      }
+      if ((raw & 0xffffffffull) < threshold) return candidate;
+    }
+    return candidate;  // trial cap: accept the last candidate
+  }
+};
+
+}  // namespace
+
+ShardedWalkEngine::ShardedWalkEngine(const Graph& graph, ShardPlan plan,
+                                     int num_threads)
+    : graph_(&graph),
+      plan_(std::move(plan)),
+      id_bits_(WalkKernel::IdBits(graph)),
+      pool_(num_threads > 0 ? std::make_unique<ThreadPool>(num_threads)
+                            : nullptr) {}
+
+StatusOr<std::shared_ptr<const ShardedWalkEngine>> ShardedWalkEngine::Build(
+    const Graph& graph, const WalkContext* context_or_null,
+    const ShardingOptions& options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1, got " +
+                                   std::to_string(options.num_shards));
+  }
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot shard an empty graph");
+  }
+  const AliasArena* arena =
+      context_or_null != nullptr ? &context_or_null->arena() : nullptr;
+  ShardPlan plan = ShardPlan::Build(graph, arena, options);
+  return std::shared_ptr<const ShardedWalkEngine>(new ShardedWalkEngine(
+      graph, std::move(plan), options.num_threads));
+}
+
+template <typename Policy>
+void ShardedWalkEngine::RunSupersteps(NodeId source, const WalkConfig& config,
+                                      const Policy& policy, WalkStats* stats,
+                                      std::vector<SparseVector>* levels,
+                                      std::vector<NodeId>* terminals) const {
+  CW_CHECK_LT(source, graph_->num_nodes());
+  CW_CHECK_GT(config.num_walkers, 0u);
+  const uint32_t r = config.num_walkers;
+  const double inv_r = 1.0 / static_cast<double>(r);
+  const bool self_loop = config.dangling == DanglingPolicy::kSelfLoop;
+  const int num_shards = plan_.num_shards();
+
+  if constexpr (Policy::kEmitsLevels) {
+    levels->assign(config.num_steps + 1, SparseVector());
+    (*levels)[0] = SparseVector::FromSorted({SparseEntry{source, 1.0}});
+  }
+
+  // Per-shard cursors. A shard worker writes only its own state during the
+  // advance phase; the exchange phase gives each *destination* exclusive
+  // access to the outboxes addressed to it. Cache-line aligned so adjacent
+  // shards' counters never share a line.
+  struct alignas(kCacheLineBytes) ShardState {
+    std::vector<WalkerRec> inbox;   // residents entering this superstep
+    std::vector<WalkerRec> keep;    // residents staying for the next one
+    std::vector<std::vector<WalkerRec>> outbox;  // emigrants, per dest
+    std::vector<NodeId> endpoints;  // this level's recorded endpoints
+    std::vector<NodeId> terminals;  // retired walkers (kMayRetire)
+    WalkStats stats;
+    uint64_t dead = 0;         // deaths this level (retire / dangling)
+    uint64_t remote_rows = 0;  // cross-shard adjacency reads
+  };
+  std::vector<ShardState> shards(static_cast<size_t>(num_shards));
+  for (ShardState& st : shards) {
+    st.outbox.resize(static_cast<size_t>(num_shards));
+  }
+
+  // Every walker starts at the source, resident on its owning shard.
+  {
+    ShardState& home = shards[static_cast<size_t>(plan_.Owner(source))];
+    home.inbox.reserve(r);
+    for (uint32_t w = 0; w < r; ++w) {
+      home.inbox.push_back(WalkerRec{w, source, kInvalidNode});
+    }
+  }
+
+  uint64_t alive = r;
+  uint64_t supersteps = 0;
+  uint64_t exchanged = 0;
+  std::vector<NodeId> merged;  // coordinator's level merge buffer
+  if constexpr (Policy::kEmitsLevels) merged.reserve(r);
+
+  for (uint32_t t = 1; t <= config.num_steps && alive > 0; ++t) {
+    // Cooperative stop, polled once per superstep like the single-node
+    // kernel polls per level: a stopped job leaves the remaining levels
+    // empty and the caller discards the truncated result wholesale.
+    if (config.cancel != nullptr && config.cancel->ShouldStop()) break;
+
+    // Phase A — advance. Each shard moves its residents one level using
+    // only its slice; emigrants batch into per-destination outboxes.
+    ParallelFor(
+        pool_.get(), 0, static_cast<uint64_t>(num_shards), /*grain=*/1,
+        [&](uint64_t begin, uint64_t end) {
+          for (uint64_t si = begin; si < end; ++si) {
+            ShardState& st = shards[si];
+            const ShardSlice& sl = plan_.slice(static_cast<int>(si));
+            st.endpoints.clear();
+            st.keep.clear();
+            for (WalkerRec& rec : st.inbox) {
+              const NodeId v = rec.cur;
+              if constexpr (Policy::kMayRetire) {
+                if (policy.Retire(rec.walker, t)) {
+                  st.terminals.push_back(v);
+                  ++st.dead;
+                  continue;
+                }
+              }
+              const uint32_t row = plan_.LocalRow(v);
+              const uint32_t deg = sl.RowDegree(row);
+              if (deg == 0) {
+                ++st.stats.steps;
+                if (self_loop) {
+                  if constexpr (Policy::kSecondOrder) rec.prev = v;
+                  if constexpr (Policy::kEmitsLevels) {
+                    st.endpoints.push_back(v);
+                  }
+                  st.keep.push_back(rec);
+                } else {
+                  ++st.dead;
+                }
+                continue;
+              }
+              NodeId next;
+              if constexpr (Policy::kSecondOrder) {
+                next = policy.Advance(rec.walker, t, v, rec.prev, sl, row,
+                                      deg, static_cast<int>(si),
+                                      &st.remote_rows);
+                rec.prev = v;
+              } else {
+                next = ResolveUniform(sl, row,
+                                      policy.Draw(rec.walker, t), deg);
+              }
+              ++st.stats.steps;
+              if constexpr (Policy::kEmitsLevels) {
+                st.endpoints.push_back(next);
+              }
+              rec.cur = next;
+              const int dest = plan_.Owner(next);
+              if (dest == static_cast<int>(si)) {
+                st.keep.push_back(rec);
+              } else {
+                ++st.stats.partition_crossings;
+                st.outbox[static_cast<size_t>(dest)].push_back(rec);
+              }
+            }
+            st.inbox.clear();
+          }
+        });
+
+    // Coordinator — merge the level. Concatenating the shards' endpoint
+    // lists yields the same multiset the single-node kernel drains, and
+    // the shared sort-and-RLE aggregation is order independent, so the
+    // level vector is bit-identical at every shard count.
+    for (ShardState& st : shards) {
+      alive -= st.dead;
+      st.dead = 0;
+    }
+    if constexpr (Policy::kEmitsLevels) {
+      merged.clear();
+      for (const ShardState& st : shards) {
+        merged.insert(merged.end(), st.endpoints.begin(),
+                      st.endpoints.end());
+      }
+      (*levels)[t] = AggregateEndpointNodes(merged, inv_r, id_bits_);
+    }
+
+    for (const ShardState& st : shards) {
+      for (const auto& box : st.outbox) exchanged += box.size();
+    }
+
+    // Phase B — exchange at the barrier: each destination drains every
+    // peer's outbox addressed to it (plus its own kept residents) into
+    // its next inbox. Disjoint writes per destination; the ParallelFor
+    // barriers on both sides order phase A's writes before these reads.
+    ParallelFor(
+        pool_.get(), 0, static_cast<uint64_t>(num_shards), /*grain=*/1,
+        [&](uint64_t begin, uint64_t end) {
+          for (uint64_t di = begin; di < end; ++di) {
+            ShardState& st = shards[di];
+            std::swap(st.inbox, st.keep);
+            for (int src = 0; src < num_shards; ++src) {
+              std::vector<WalkerRec>& box =
+                  shards[static_cast<size_t>(src)].outbox[di];
+              st.inbox.insert(st.inbox.end(), box.begin(), box.end());
+              box.clear();
+            }
+          }
+        });
+    ++supersteps;
+  }
+
+  // Epilogue: surviving walkers terminate where they stand (PPR), and the
+  // per-shard counters fold into the job's stats and the engine telemetry.
+  if (terminals != nullptr) {
+    for (const ShardState& st : shards) {
+      terminals->insert(terminals->end(), st.terminals.begin(),
+                        st.terminals.end());
+    }
+    for (const ShardState& st : shards) {
+      for (const WalkerRec& rec : st.inbox) terminals->push_back(rec.cur);
+    }
+  }
+  uint64_t remote_rows = 0;
+  if (stats != nullptr) {
+    for (const ShardState& st : shards) {
+      stats->steps += st.stats.steps;
+      stats->partition_crossings += st.stats.partition_crossings;
+    }
+  }
+  for (const ShardState& st : shards) remote_rows += st.remote_rows;
+  supersteps_.fetch_add(supersteps, std::memory_order_relaxed);
+  exchanged_.fetch_add(exchanged, std::memory_order_relaxed);
+  remote_rows_.fetch_add(remote_rows, std::memory_order_relaxed);
+}
+
+WalkDistributions ShardedWalkEngine::SimRankLevels(NodeId source,
+                                                   const WalkConfig& config,
+                                                   WalkStats* stats) const {
+  SimRankShardPolicy policy;
+  policy.key = DeriveSeed(config.seed, source);
+  WalkDistributions out;
+  RunSupersteps(source, config, policy, stats, &out.levels,
+                /*terminals=*/nullptr);
+  return out;
+}
+
+SparseVector ShardedWalkEngine::PprEndpoints(NodeId source,
+                                             const WalkConfig& config,
+                                             const PprParams& params,
+                                             WalkStats* stats) const {
+  CW_CHECK_GT(params.alpha, 0.0);
+  CW_CHECK_LT(params.alpha, 1.0);
+  PprShardPolicy policy;
+  policy.alpha = params.alpha;
+  policy.key = DeriveSeed(config.seed, source);
+  policy.stop_key = DeriveSeed(policy.key, kPprStopChannel);
+  std::vector<NodeId> terminals;
+  terminals.reserve(config.num_walkers);
+  RunSupersteps(source, config, policy, stats, /*levels=*/nullptr,
+                &terminals);
+  const double inv_r = 1.0 / static_cast<double>(config.num_walkers);
+  return AggregateEndpointNodes(terminals, inv_r, id_bits_);
+}
+
+WalkDistributions ShardedWalkEngine::Node2VecLevels(
+    NodeId source, const WalkConfig& config, const Node2VecParams& params,
+    WalkStats* stats) const {
+  Node2VecShardPolicy policy;
+  policy.plan = &plan_;
+  policy.Configure(params);
+  policy.key = DeriveSeed(config.seed, source);
+  policy.trial_base = DeriveSeed(policy.key, kNode2VecTrialChannel);
+  WalkDistributions out;
+  RunSupersteps(source, config, policy, stats, &out.levels,
+                /*terminals=*/nullptr);
+  return out;
+}
+
+}  // namespace cloudwalker

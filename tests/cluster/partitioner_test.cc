@@ -82,5 +82,90 @@ TEST(PartitionerDeathTest, OwnedRangeOnHashPartitionerAborts) {
   EXPECT_DEATH(p.OwnedRange(0, &b, &e), "range partitioner");
 }
 
+// --- Property tests (shard-engine prerequisites, DESIGN.md section 11):
+// every vertex owned by exactly one valid worker, shard sizes within the
+// balance bound, and assignments deterministic across constructions, for
+// both strategies over a grid of (num_nodes, num_workers) shapes
+// including primes, n < W, n == W, and n = 0.
+
+constexpr NodeId kPropertyNodeCounts[] = {0, 1, 2, 3, 7, 8, 64,
+                                          97, 103, 256, 1000};
+constexpr int kPropertyWorkerCounts[] = {1, 2, 3, 4, 7, 8, 16};
+
+TEST(PartitionerPropertyTest, EveryVertexOwnedByExactlyOneValidWorker) {
+  for (const NodeId n : kPropertyNodeCounts) {
+    for (const int w : kPropertyWorkerCounts) {
+      for (const PartitionStrategy strategy :
+           {PartitionStrategy::kHash, PartitionStrategy::kRange}) {
+        const Partitioner p(strategy, n, w);
+        std::vector<uint32_t> counts(w, 0);
+        for (NodeId v = 0; v < n; ++v) {
+          const int owner = p.Owner(v);
+          ASSERT_GE(owner, 0) << "n=" << n << " w=" << w;
+          ASSERT_LT(owner, w) << "n=" << n << " w=" << w;
+          ++counts[owner];
+        }
+        NodeId total = 0;
+        for (const uint32_t c : counts) total += c;
+        EXPECT_EQ(total, n) << "n=" << n << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(PartitionerPropertyTest, RangeShardSizesWithinBalanceBound) {
+  // Range shards are at most ceil(n / W) nodes — the strategy's contract.
+  for (const NodeId n : kPropertyNodeCounts) {
+    for (const int w : kPropertyWorkerCounts) {
+      const Partitioner p(PartitionStrategy::kRange, n, w);
+      const NodeId bound = n == 0 ? 0 : (n + w - 1) / w;
+      std::vector<NodeId> counts(w, 0);
+      for (NodeId v = 0; v < n; ++v) ++counts[p.Owner(v)];
+      for (int s = 0; s < w; ++s) {
+        EXPECT_LE(counts[s], bound) << "n=" << n << " w=" << w;
+        // Owner() and OwnedRange() must tell the same story.
+        NodeId b = 0, e = 0;
+        p.OwnedRange(s, &b, &e);
+        EXPECT_EQ(counts[s], e - b) << "n=" << n << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(PartitionerPropertyTest, HashShardSizesWithinBalanceBound) {
+  // Fibonacci hashing of sequential ids is low-discrepancy; at reasonable
+  // sizes every shard must land within 25% of the ideal n / W.
+  const NodeId n = 4096;
+  for (const int w : kPropertyWorkerCounts) {
+    const Partitioner p(PartitionStrategy::kHash, n, w);
+    std::vector<NodeId> counts(w, 0);
+    for (NodeId v = 0; v < n; ++v) ++counts[p.Owner(v)];
+    const double ideal = static_cast<double>(n) / w;
+    for (const NodeId c : counts) {
+      EXPECT_GT(c, ideal * 0.75) << "w=" << w;
+      EXPECT_LT(c, ideal * 1.25) << "w=" << w;
+    }
+  }
+}
+
+TEST(PartitionerPropertyTest, AssignmentsDeterministicAcrossConstructions) {
+  for (const NodeId n : kPropertyNodeCounts) {
+    for (const int w : kPropertyWorkerCounts) {
+      for (const PartitionStrategy strategy :
+           {PartitionStrategy::kHash, PartitionStrategy::kRange}) {
+        const Partitioner first(strategy, n, w);
+        const Partitioner second(strategy, n, w);
+        const Partitioner copy = first;
+        for (NodeId v = 0; v < n; ++v) {
+          ASSERT_EQ(first.Owner(v), second.Owner(v))
+              << "n=" << n << " w=" << w;
+          ASSERT_EQ(first.Owner(v), copy.Owner(v))
+              << "n=" << n << " w=" << w;
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace cloudwalker

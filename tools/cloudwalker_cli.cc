@@ -49,6 +49,7 @@
 #include "graph/stats.h"
 #include "serve/query_service.h"
 #include "serve/workload.h"
+#include "shard/sharding.h"
 
 using namespace cloudwalker;
 
@@ -208,13 +209,29 @@ int CmdIndex(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// --shards=N on a query/serve command routes the walk phases through the
+// in-process sharded engine (DESIGN.md section 11); answers stay
+// bit-identical to single-node. Empty / absent means no sharding.
+StatusOr<std::shared_ptr<const CloudWalker>> MaybeShard(
+    std::shared_ptr<const CloudWalker> engine,
+    const std::map<std::string, std::string>& flags) {
+  const std::string shards = GetFlag(flags, "shards");
+  if (shards.empty()) return engine;
+  ShardingOptions options;
+  options.num_shards = std::stoi(shards);
+  return CloudWalker::Shard(engine, options);
+}
+
 // The query commands' engine source: an mmap-opened snapshot artifact
 // (--snapshot), or the legacy --graph + --index pair (owned by the
-// returned facade either way).
+// returned facade either way), optionally wrapped by --shards=N.
 StatusOr<std::shared_ptr<const CloudWalker>> LoadEngine(
     const std::map<std::string, std::string>& flags) {
   const std::string snapshot = GetFlag(flags, "snapshot");
-  if (!snapshot.empty()) return CloudWalker::Open(snapshot);
+  if (!snapshot.empty()) {
+    CW_ASSIGN_OR_RETURN(auto opened, CloudWalker::Open(snapshot));
+    return MaybeShard(std::move(opened), flags);
+  }
   if (GetFlag(flags, "graph").empty() || GetFlag(flags, "index").empty()) {
     return Status::InvalidArgument(
         "pass --snapshot=PATH, or --graph=PATH with --index=PATH");
@@ -222,7 +239,9 @@ StatusOr<std::shared_ptr<const CloudWalker>> LoadEngine(
   CW_ASSIGN_OR_RETURN(Graph graph, LoadGraph(GetFlag(flags, "graph")));
   CW_ASSIGN_OR_RETURN(DiagonalIndex index,
                       DiagonalIndex::Load(GetFlag(flags, "index")));
-  return CloudWalker::FromIndex(std::move(graph), std::move(index));
+  CW_ASSIGN_OR_RETURN(
+      auto built, CloudWalker::FromIndex(std::move(graph), std::move(index)));
+  return MaybeShard(std::move(built), flags);
 }
 
 QueryOptions QueryFlags(const std::map<std::string, std::string>& flags) {
@@ -353,7 +372,7 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
 
   ServeOptions options;
   options.cache_capacity = ParseU64(flags, "cache", "16384");
-  options.cache_shards = std::stoi(GetFlag(flags, "shards", "8"));
+  options.cache_shards = std::stoi(GetFlag(flags, "cache-shards", "8"));
   options.dedup_in_flight = GetFlag(flags, "no-dedup") != "true";
   options.max_queue_depth = ParseU64(flags, "max-queue", "4096");
   options.query = QueryFlags(flags);
@@ -390,7 +409,10 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     reload_watcher = std::thread([&] {
       while (!replay_done.load(std::memory_order_relaxed)) {
         if (g_sighup.exchange(false, std::memory_order_relaxed)) {
+          // Re-apply --shards so a reload serves through the same engine
+          // shape the process started with.
           auto reopened = CloudWalker::Open(snapshot_path);
+          if (reopened.ok()) reopened = MaybeShard(*reopened, flags);
           if (!reopened.ok()) {
             std::cerr << "reload failed: " << reopened.status().ToString()
                       << "\n";
@@ -473,21 +495,21 @@ void Usage() {
       "  pair      MCSP: estimate s(i, j).\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --i=A --j=B (0), --walkers=R' (10000), --seed=S (97),\n"
-      "            --exact-push\n"
+      "            --exact-push, --shards=N\n"
       "  source    MCSS: the k nodes most similar to one node.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --node=Q (0), --topk=K (10), --walkers=R' (10000),\n"
-      "            --seed=S (97), --exact-push\n"
+      "            --seed=S (97), --exact-push, --shards=N\n"
       "  ppr       Personalized PageRank: top-k by teleport-walk endpoint\n"
       "            frequency around one node.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --node=Q (0), --topk=K (10), --alpha=A (0.85),\n"
-      "            --walkers=R' (10000), --seed=S (97)\n"
+      "            --walkers=R' (10000), --seed=S (97), --shards=N\n"
       "  n2v       node2vec: top-k by second-order biased-walk visit\n"
       "            frequency around one node.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --node=Q (0), --topk=K (10), --p=P (1), --q=Q (1),\n"
-      "            --walkers=R' (10000), --seed=S (97)\n"
+      "            --walkers=R' (10000), --seed=S (97), --shards=N\n"
       "  serve     Replay a request workload through the concurrent\n"
       "            QueryService and report QPS / latency / cache stats.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
@@ -500,11 +522,15 @@ void Usage() {
       "            --topk=K (10), --wseed=S (42);\n"
       "            --save-workload=PATH writes the generated stream;\n"
       "            serving: --threads=N (hardware), --cache=ENTRIES\n"
-      "            (16384, 0 disables), --shards=S (8), --no-dedup,\n"
+      "            (16384, 0 disables), --cache-shards=S (8), --no-dedup,\n"
       "            --max-queue=N (4096, 0 unbounded), --deadline-ms=D\n"
       "            (0 = none, applied per request),\n"
       "            --walkers=R' (10000), --seed=S (97), --exact-push,\n"
       "            --alpha=A (0.85), --p=P (1), --q=Q (1)\n"
+      "\n"
+      "--shards=N on pair/source/ppr/n2v/serve runs the walk phases on\n"
+      "the in-process sharded engine (N shard slices, BSP walker\n"
+      "exchange); answers are bit-identical to single-node.\n"
       "  help      Show this message (also --help).\n"
       "\n"
       "--threads=N sizes the worker pool (0 = hardware concurrency).\n"
