@@ -53,7 +53,11 @@ JsonReporter::JsonReporter(std::string bench_name)
 
 void JsonReporter::AddContext(const std::string& key,
                               const std::string& value) {
-  context_.emplace_back(key, value);
+  context_.push_back(ContextEntry{key, value, /*numeric=*/false});
+}
+
+void JsonReporter::AddContextNumber(const std::string& key, double value) {
+  context_.push_back(ContextEntry{key, NumberJson(value), /*numeric=*/true});
 }
 
 void JsonReporter::AddMetric(const BenchMetric& metric) {
@@ -67,9 +71,13 @@ std::string JsonReporter::Render() const {
   out << "  \"bench\": \"" << EscapeJson(bench_name_) << "\",\n";
   out << "  \"context\": {";
   for (size_t i = 0; i < context_.size(); ++i) {
-    out << (i == 0 ? "\n" : ",\n") << "    \""
-        << EscapeJson(context_[i].first) << "\": \""
-        << EscapeJson(context_[i].second) << "\"";
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << EscapeJson(context_[i].key)
+        << "\": ";
+    if (context_[i].numeric) {
+      out << context_[i].value;
+    } else {
+      out << "\"" << EscapeJson(context_[i].value) << "\"";
+    }
   }
   out << "\n  },\n";
   out << "  \"metrics\": [";
@@ -84,6 +92,7 @@ std::string JsonReporter::Render() const {
     if (m.max_regression >= 0.0) {
       out << ", \"max_regression\": " << NumberJson(m.max_regression);
     }
+    if (m.optional) out << ", \"optional\": true";
     out << "}";
   }
   out << "\n  ]\n";

@@ -37,6 +37,11 @@ struct BenchMetric {
   /// the rest of the file (e.g. parallel-efficiency ratios whose value
   /// depends on the host's core count).
   double max_regression = -1.0;
+  /// Marks a gated metric the bench only emits when the host supports it
+  /// (e.g. SIMD ratios on AVX2 hosts). The checker treats a baseline
+  /// metric carrying `"optional": true` that is absent from the current
+  /// report as SKIPPED instead of a failure.
+  bool optional = false;
 };
 
 /// Collects context strings and metrics; renders cloudwalker-bench-v1 JSON.
@@ -44,8 +49,13 @@ class JsonReporter {
  public:
   explicit JsonReporter(std::string bench_name);
 
-  /// Adds a free-form context string (hardware threads, scale, ...).
+  /// Adds a free-form context string (scale label, SIMD level, ...).
   void AddContext(const std::string& key, const std::string& value);
+
+  /// Adds a numeric context value, rendered unquoted (hardware threads,
+  /// bench thread counts, ...). Keep counts numeric so downstream tooling
+  /// can compare them without string parsing.
+  void AddContextNumber(const std::string& key, double value);
 
   void AddMetric(const BenchMetric& metric);
 
@@ -61,8 +71,14 @@ class JsonReporter {
   bool WriteIfRequested() const;
 
  private:
+  struct ContextEntry {
+    std::string key;
+    std::string value;  // Pre-rendered for numeric entries.
+    bool numeric = false;
+  };
+
   std::string bench_name_;
-  std::vector<std::pair<std::string, std::string>> context_;
+  std::vector<ContextEntry> context_;
   std::vector<BenchMetric> metrics_;
 };
 

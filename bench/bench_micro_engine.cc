@@ -164,13 +164,14 @@ int main() {
   cfg.num_walkers = 1000;  // the serving layer's R'
   cfg.seed = 2015;
 
-  report.AddContext("hardware_threads",
-                    std::to_string(std::thread::hardware_concurrency()));
+  report.AddContextNumber("hardware_threads",
+                          std::thread::hardware_concurrency());
+  report.AddContextNumber("bench_threads", 1);  // single-threaded kernel
   report.AddContext("scale", FormatDouble(scale, 3));
-  report.AddContext("graph_nodes", std::to_string(graph.num_nodes()));
-  report.AddContext("graph_edges", std::to_string(graph.num_edges()));
-  report.AddContext("walkers", std::to_string(cfg.num_walkers));
-  report.AddContext("steps", std::to_string(cfg.num_steps));
+  report.AddContextNumber("graph_nodes", graph.num_nodes());
+  report.AddContextNumber("graph_edges", graph.num_edges());
+  report.AddContextNumber("walkers", cfg.num_walkers);
+  report.AddContextNumber("steps", cfg.num_steps);
 
   // --- Arena build. ------------------------------------------------------
   WallTimer arena_timer;

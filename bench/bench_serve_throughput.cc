@@ -74,8 +74,9 @@ int main() {
                      "Serving layer: QPS / latency vs threads and cache "
                      "(DESIGN.md section 6; not a paper artifact)");
   bench::JsonReporter report("bench_serve_throughput");
-  report.AddContext("hardware_threads",
-                    std::to_string(std::thread::hardware_concurrency()));
+  report.AddContextNumber("hardware_threads",
+                          std::thread::hardware_concurrency());
+  report.AddContextNumber("bench_threads", 8);  // widest Table 1 pool
   report.AddContext("scale", FormatDouble(bench::BenchScale(), 3));
   ThreadPool build_pool;
   const PaperDatasetInstance ds = MakePaperDataset(

@@ -180,7 +180,9 @@ int main() {
             << "bit-identical across backends: "
             << (identical ? "PASS" : "FAIL") << "\n";
 
-  report.AddContext("threads", std::to_string(hw));
+  report.AddContextNumber("hardware_threads",
+                          std::thread::hardware_concurrency());
+  report.AddContextNumber("bench_threads", hw > 1 ? std::min(4u, hw) : 1);
   report.AddMetric({"shard_single_node_steps_per_second",
                     single.StepsPerSecond(), "steps/s", true, false, -1.0});
   report.AddMetric({"shard_1_steps_per_second", run1.StepsPerSecond(),

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -82,7 +83,9 @@ int main() {
             << "; answers bit-identical after reopen: "
             << (all_identical ? "PASS" : "FAIL") << "\n";
 
-  report.AddContext("threads", std::to_string(pool.num_threads()));
+  report.AddContextNumber("hardware_threads",
+                          std::thread::hardware_concurrency());
+  report.AddContextNumber("bench_threads", pool.num_threads());
   report.AddMetric({"snapshot_cold_build_seconds", largest_build_seconds,
                     "s", /*higher_is_better=*/false, false, -1.0});
   report.AddMetric({"snapshot_open_seconds", largest_open_seconds, "s",

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "engine/parallel_walk.h"
 #include "shard/sharded_engine.h"
 #include "snapshot/snapshot.h"
 
@@ -78,6 +79,24 @@ StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Shard(
   CloudWalker sharded(*base);
   sharded.walk_backend_ = std::move(engine);
   return std::shared_ptr<const CloudWalker>(new CloudWalker(std::move(sharded)));
+}
+
+StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Parallelize(
+    const std::shared_ptr<const CloudWalker>& base,
+    const ParallelWalkOptions& options) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("base engine must not be null");
+  }
+  CW_ASSIGN_OR_RETURN(
+      std::shared_ptr<const ParallelWalkExecutor> executor,
+      ParallelWalkExecutor::Build(base->graph(), base->walk_context_.get(),
+                                  options));
+  // Same ownership story as Shard(): the copy pins base's graph / arena /
+  // snapshot for the executor's borrowed pointers.
+  CloudWalker parallel(*base);
+  parallel.walk_backend_ = std::move(executor);
+  return std::shared_ptr<const CloudWalker>(
+      new CloudWalker(std::move(parallel)));
 }
 
 StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Open(

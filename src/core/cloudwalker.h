@@ -49,6 +49,7 @@ namespace cloudwalker {
 class SnapshotView;
 class WalkBackend;
 struct ShardingOptions;
+struct ParallelWalkOptions;
 
 /// An indexed graph ready to answer SimRank queries. Query methods are
 /// const and thread-safe (independent RNG streams per call).
@@ -110,6 +111,19 @@ class CloudWalker {
   static StatusOr<std::shared_ptr<const CloudWalker>> Shard(
       const std::shared_ptr<const CloudWalker>& base,
       const ShardingOptions& options);
+
+  /// Re-backs `base` with the multi-threaded walk executor
+  /// (engine/parallel_walk.h, DESIGN.md section 12): every walk phase
+  /// partitions its walker batch across options.num_threads workers and
+  /// merges raw endpoints before the single aggregation pass. Results are
+  /// bit-identical to `base` at every thread count (the counter RNG keys
+  /// on global walker ids, never threads), so a parallel instance can
+  /// transparently replace the single-threaded one anywhere — including
+  /// behind QueryService (ServeOptions::walk_threads wires this up). The
+  /// returned instance shares base's graph / index / arena / snapshot.
+  static StatusOr<std::shared_ptr<const CloudWalker>> Parallelize(
+      const std::shared_ptr<const CloudWalker>& base,
+      const ParallelWalkOptions& options);
 
   /// The unified entry point: dispatches any QueryRequest kind, applying
   /// the request's per-request options (default QueryOptions{} otherwise)

@@ -41,6 +41,13 @@
 //   void EmitLevel(uint32_t t, SparseVector level);        [kEmitsLevels]
 //     The aggregated endpoint distribution of level t (walker-order
 //     independent, so bit-identical across batch widths and threads).
+//   void EmitRawLevel(uint32_t t, const NodeId* data, uint32_t n);
+//     Optional override of EmitLevel (detected by a requires expression):
+//     receives the level's raw, unsorted endpoint multiset instead of the
+//     aggregated distribution. The parallel executor's range programs use
+//     this to defer aggregation until every range's endpoints are merged —
+//     summing per-range SparseVectors would reassociate the doubles
+//     (DESIGN.md section 12).
 //   void Finish(const NodeId* positions, uint32_t num_walkers);
 //     Epilogue: the final cursor array (kInvalidNode = dead walker).
 //
@@ -60,6 +67,7 @@
 #include "common/random.h"
 #include "common/sparse.h"
 #include "engine/alias.h"
+#include "engine/simd.h"
 #include "engine/walk.h"
 #include "graph/graph.h"
 
@@ -120,14 +128,7 @@ struct WalkKernel {
     }
     std::vector<SparseEntry> entries;
     entries.reserve(std::min<uint32_t>(n_live, 256));
-    uint32_t run_begin = 0;
-    for (uint32_t i = 1; i <= n_live; ++i) {
-      if (i == n_live || data[i] != data[run_begin]) {
-        entries.push_back(SparseEntry{
-            data[run_begin], static_cast<double>(i - run_begin) * inv_r});
-        run_begin = i;
-      }
-    }
+    simd::AggregateSortedRuns(data, n_live, inv_r, &entries);
     return SparseVector::FromSorted(std::move(entries));
   }
 
@@ -182,6 +183,12 @@ struct WalkKernel {
     uint32_t pending_accept[kMaxWalkBatchWidth];
     uint32_t pending_slot[kMaxWalkBatchWidth];
     uint32_t pending_walker[kMaxWalkBatchWidth];
+    NodeId pending_prev[kMaxWalkBatchWidth];
+    NodeId next_nodes[kMaxWalkBatchWidth];
+    const AliasSlot* const arena_slots =
+        arena != nullptr ? arena->Slots().data() : nullptr;
+    const uint64_t* const in_offsets = graph.InOffsets().data();
+    const NodeId* const in_targets = graph.InTargets().data();
 
     for (uint32_t t = 1; t <= config.num_steps && alive > 0; ++t) {
       // Cooperative stop: one poll per level (the clock read is too costly
@@ -276,23 +283,25 @@ struct WalkKernel {
             pending_accept[pending] = static_cast<uint32_t>(raw);
             pending_slot[pending] = slot;
             pending_walker[pending] = w;
+            pending_prev[pending] = v;
             ++pending;
           }
-          // Pass 3: resolve the prefetched slots and record endpoints.
+          // Pass 3: resolve the prefetched slots as one SIMD batch
+          // (engine/simd.h — same comparisons as the scalar path, so the
+          // resolved ids are identical), then the scalar bookkeeping.
+          simd::ResolveAliasBatch(arena_slots, pending_global, pending_accept,
+                                  pending_slot, pending_prev, in_offsets,
+                                  in_targets, pending, next_nodes);
           for (uint32_t j = 0; j < pending; ++j) {
-            const uint32_t w = pending_walker[j];
-            const NodeId prev = pos[w];
-            const AliasSlot slot = arena->slot(pending_global[j]);
-            const NodeId next = pending_accept[j] < slot.accept
-                                    ? graph.InNeighbor(prev, pending_slot[j])
-                                    : slot.alias;
+            const NodeId next = next_nodes[j];
             if (stats != nullptr) {
               ++stats->steps;
-              if (owner != nullptr && (*owner)(prev) != (*owner)(next)) {
+              if (owner != nullptr &&
+                  (*owner)(pending_prev[j]) != (*owner)(next)) {
                 ++stats->partition_crossings;
               }
             }
-            pos[w] = next;
+            pos[pending_walker[j]] = next;
             if constexpr (Program::kEmitsLevels) {
               endpoints[n_live++] = next;
             }
@@ -340,7 +349,17 @@ struct WalkKernel {
         }
       }
       if constexpr (Program::kEmitsLevels) {
-        program.EmitLevel(t, DrainLevel(s, n_live, inv_r, id_bits));
+        if constexpr (requires {
+                        program.EmitRawLevel(
+                            t, static_cast<const NodeId*>(nullptr), 0u);
+                      }) {
+          // Raw-endpoint consumer (the parallel executor's range programs):
+          // hand over the unsorted multiset; aggregation happens once,
+          // after the cross-range merge.
+          program.EmitRawLevel(t, endpoints, n_live);
+        } else {
+          program.EmitLevel(t, DrainLevel(s, n_live, inv_r, id_bits));
+        }
       }
     }
     program.Finish(pos, r);
@@ -353,22 +372,29 @@ namespace internal {
 /// pre-refactor kernel. The move draw is the canonical per-source stream
 /// CounterRandom(DeriveSeed(seed, source), walker << 32 | step) — the
 /// bit-identity contract every existing test and snapshot depends on.
+/// `walker_offset` is the global id of local walker 0: the parallel
+/// executor runs each walker range through its own program instance, and
+/// offsetting the RNG counter (never the key) keeps every draw the one the
+/// single-thread run would make (DESIGN.md section 12).
 struct SimRankEndpointsProgram {
   static constexpr bool kMayRetire = false;
   static constexpr bool kSecondOrder = false;
   static constexpr bool kEmitsLevels = true;
 
   uint64_t key = 0;             // DeriveSeed(config.seed, source)
-  WalkDistributions* out = nullptr;
+  uint32_t walker_offset = 0;   // global id of local walker 0
+  WalkDistributions* out = nullptr;  // null for raw-level subclasses
 
   void Begin(NodeId source, const WalkConfig& config) {
     key = DeriveSeed(config.seed, source);
+    if (out == nullptr) return;
     out->levels.assign(config.num_steps + 1, SparseVector());
     // Level 0 is exactly e_source.
     out->levels[0] = SparseVector::FromSorted({SparseEntry{source, 1.0}});
   }
   uint64_t Draw(uint32_t w, uint32_t t) const {
-    return CounterRandom(key, (static_cast<uint64_t>(w) << 32) | t);
+    return CounterRandom(
+        key, (static_cast<uint64_t>(w + walker_offset) << 32) | t);
   }
   void EmitLevel(uint32_t t, SparseVector level) {
     out->levels[t] = std::move(level);

@@ -1,0 +1,205 @@
+// Element-for-element equality of the SIMD kernels (DESIGN.md section 12):
+// the AVX2 variants of sorted-run aggregation and batched alias resolve
+// must produce exactly the same output as the scalar reference — every id,
+// every multiplicity, every double bit pattern — across run-length edge
+// cases and every remainder-lane count. On hosts without AVX2 the Avx2
+// entry points are the scalar code, so the suite still runs (vacuously
+// for the vector lanes) everywhere.
+
+#include "engine/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "engine/alias.h"
+#include "engine/walk.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace cloudwalker {
+namespace {
+
+void ExpectSameEntries(const std::vector<SparseEntry>& scalar,
+                       const std::vector<SparseEntry>& avx2,
+                       const std::string& what) {
+  ASSERT_EQ(scalar.size(), avx2.size()) << what;
+  for (size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(scalar[i].index, avx2[i].index) << what << " entry " << i;
+    // Exact double equality: both variants compute value as
+    // multiplicity * inv_r with the same operations.
+    EXPECT_EQ(scalar[i].value, avx2[i].value) << what << " entry " << i;
+  }
+}
+
+void CheckAggregate(const std::vector<NodeId>& sorted, double inv_r,
+                    const std::string& what) {
+  std::vector<SparseEntry> scalar, avx2;
+  simd::AggregateSortedRunsScalar(sorted.data(),
+                                  static_cast<uint32_t>(sorted.size()),
+                                  inv_r, &scalar);
+  simd::AggregateSortedRunsAvx2(sorted.data(),
+                                static_cast<uint32_t>(sorted.size()), inv_r,
+                                &avx2);
+  ExpectSameEntries(scalar, avx2, what);
+  // The dispatched entry point is one of the two variants.
+  std::vector<SparseEntry> dispatched;
+  simd::AggregateSortedRuns(sorted.data(),
+                            static_cast<uint32_t>(sorted.size()), inv_r,
+                            &dispatched);
+  ExpectSameEntries(scalar, dispatched, what + " (dispatched)");
+}
+
+TEST(SimdTest, ActiveLevelNamesAVariant) {
+  const std::string level = simd::ActiveLevel();
+  EXPECT_TRUE(level == "avx2" || level == "scalar") << level;
+  EXPECT_EQ(level == "avx2", simd::HaveAvx2());
+}
+
+TEST(SimdTest, AggregateEveryLengthIncludingRemainderLanes) {
+  // Lengths 0..40 cover every remainder-lane count of the 8-wide kernel
+  // several times over, plus the sub-vector lengths that never enter the
+  // vector loop at all.
+  std::mt19937 rng(7);
+  for (uint32_t n = 0; n <= 40; ++n) {
+    std::vector<NodeId> sorted;
+    NodeId id = 5;
+    while (sorted.size() < n) {
+      id += rng() % 3;  // duplicate runs (step 0) and gaps alike
+      sorted.push_back(id);
+    }
+    CheckAggregate(sorted, 1.0 / 300.0, "n=" + std::to_string(n));
+  }
+}
+
+TEST(SimdTest, AggregateRunBoundaryEdgeCases) {
+  const double inv_r = 1.0 / 1000.0;
+  // All-equal: one run spanning the whole array (no boundary in any lane).
+  CheckAggregate(std::vector<NodeId>(37, 42), inv_r, "all equal");
+  // All-distinct: a boundary in every lane.
+  std::vector<NodeId> distinct(37);
+  for (uint32_t i = 0; i < distinct.size(); ++i) distinct[i] = 3 * i;
+  CheckAggregate(distinct, inv_r, "all distinct");
+  // Runs that straddle vector-block boundaries (length 7, 8, 9 runs).
+  std::vector<NodeId> straddle;
+  for (NodeId id = 0; id < 12; ++id) {
+    for (uint32_t k = 0; k < 7 + id % 3; ++k) straddle.push_back(id * 100);
+  }
+  CheckAggregate(straddle, inv_r, "straddling runs");
+  // Empty input: no entries, no crash.
+  CheckAggregate({}, inv_r, "empty");
+}
+
+TEST(SimdTest, AggregateLargeRandomSweep) {
+  std::mt19937 rng(123);
+  for (int trial = 0; trial < 8; ++trial) {
+    const uint32_t n = 1000 + rng() % 1000;
+    std::vector<NodeId> sorted;
+    sorted.reserve(n);
+    NodeId id = 0;
+    while (sorted.size() < n) {
+      id += 1 + rng() % 4;
+      const uint32_t run = 1 + rng() % 12;
+      for (uint32_t k = 0; k < run && sorted.size() < n; ++k) {
+        sorted.push_back(id);
+      }
+    }
+    CheckAggregate(sorted, 1.0 / static_cast<double>(n),
+                   "trial " + std::to_string(trial));
+  }
+}
+
+// Batched alias resolve over a real arena + CSR, sweeping every remainder
+// count and both branches (accept vs alias) of every lane.
+TEST(SimdTest, ResolveAliasBatchMatchesScalarOnRealArena) {
+  const Graph g = GenerateRmat(500, 4000, /*seed=*/9);
+  const WalkContext ctx(g);
+  const AliasArena& arena = ctx.arena();
+  const auto slots = arena.Slots();
+  const auto in_offsets = g.InOffsets();
+  const auto in_targets = g.InTargets();
+
+  std::mt19937 rng(31);
+  for (uint32_t n = 0; n <= 25; ++n) {
+    std::vector<uint64_t> global(n);
+    std::vector<uint32_t> accept(n), slot_index(n);
+    std::vector<NodeId> prev(n);
+    for (uint32_t j = 0; j < n; ++j) {
+      // Pick a node with in-degree > 0 and one of its slots, like pass 2
+      // of the walk kernel does.
+      NodeId v = rng() % g.num_nodes();
+      while (g.InDegree(v) == 0) v = (v + 1) % g.num_nodes();
+      const uint32_t k = rng() % g.InDegree(v);
+      prev[j] = v;
+      slot_index[j] = k;
+      global[j] = arena.RowOffset(v) + k;
+      // Mix accept and alias branches, including the boundary values.
+      const uint32_t slot_accept = slots[global[j]].accept;
+      switch (rng() % 3) {
+        case 0:
+          accept[j] = 0;  // accepts unless slot_accept == 0
+          break;
+        case 1:
+          accept[j] = slot_accept;  // exact boundary: takes the alias
+          break;
+        default:
+          accept[j] = rng();
+      }
+    }
+    std::vector<NodeId> scalar_out(n, 0xdeadbeef), avx2_out(n, 0xfeedface);
+    simd::ResolveAliasBatchScalar(slots.data(), global.data(), accept.data(),
+                                  slot_index.data(), prev.data(),
+                                  in_offsets.data(), in_targets.data(), n,
+                                  scalar_out.data());
+    simd::ResolveAliasBatchAvx2(slots.data(), global.data(), accept.data(),
+                                slot_index.data(), prev.data(),
+                                in_offsets.data(), in_targets.data(), n,
+                                avx2_out.data());
+    for (uint32_t j = 0; j < n; ++j) {
+      EXPECT_EQ(scalar_out[j], avx2_out[j]) << "n=" << n << " lane " << j;
+      // And the semantics contract itself.
+      const AliasSlot& slot = slots[global[j]];
+      const NodeId want =
+          accept[j] < slot.accept
+              ? in_targets[in_offsets[prev[j]] + slot_index[j]]
+              : slot.alias;
+      EXPECT_EQ(scalar_out[j], want) << "n=" << n << " lane " << j;
+    }
+  }
+}
+
+TEST(SimdTest, ResolveAliasBatchLargeSweep) {
+  const Graph g = GenerateRmat(300, 2400, /*seed=*/4);
+  const WalkContext ctx(g);
+  const AliasArena& arena = ctx.arena();
+  const auto slots = arena.Slots();
+  std::mt19937 rng(77);
+  const uint32_t n = 999;  // odd: exercises the 7-lane remainder
+  std::vector<uint64_t> global(n);
+  std::vector<uint32_t> accept(n), slot_index(n);
+  std::vector<NodeId> prev(n);
+  for (uint32_t j = 0; j < n; ++j) {
+    NodeId v = rng() % g.num_nodes();
+    while (g.InDegree(v) == 0) v = (v + 1) % g.num_nodes();
+    prev[j] = v;
+    slot_index[j] = rng() % g.InDegree(v);
+    global[j] = arena.RowOffset(v) + slot_index[j];
+    accept[j] = rng();
+  }
+  std::vector<NodeId> scalar_out(n), avx2_out(n);
+  simd::ResolveAliasBatchScalar(slots.data(), global.data(), accept.data(),
+                                slot_index.data(), prev.data(),
+                                g.InOffsets().data(), g.InTargets().data(),
+                                n, scalar_out.data());
+  simd::ResolveAliasBatchAvx2(slots.data(), global.data(), accept.data(),
+                              slot_index.data(), prev.data(),
+                              g.InOffsets().data(), g.InTargets().data(), n,
+                              avx2_out.data());
+  EXPECT_EQ(scalar_out, avx2_out);
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -1,0 +1,126 @@
+// TSan-targeted stress of the parallel walk executor behind the serving
+// layer (DESIGN.md section 12): concurrent Submit() with walk_threads > 1
+// while Publish() hot-swaps engine versions mid-stream. Every request
+// fans its walk phase out over the executor's worker pool while serving
+// workers race on the snapshot registry — the test asserts loss-free
+// completion and bit-identity to the single-threaded direct answers, and
+// under TSan (tests/serve/ job filter) it certifies the executor's
+// pool-sharing and the wrap-at-publish path race-free.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cloudwalker.h"
+#include "engine/parallel_walk.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "serve/query_service.h"
+
+namespace cloudwalker {
+namespace {
+
+std::shared_ptr<const CloudWalker> BuildWalker(uint64_t graph_seed) {
+  Graph graph = GenerateRmat(/*num_nodes=*/300, /*num_edges=*/2400,
+                             graph_seed);
+  IndexingOptions options;
+  options.num_walkers = 8;
+  options.params.num_steps = 4;
+  auto built = CloudWalker::Build(std::move(graph), options);
+  EXPECT_TRUE(built.ok()) << built.status().ToString();
+  return built.ok() ? *built : nullptr;
+}
+
+TEST(ParallelServeStressTest, ConcurrentSubmitAcrossHotSwapWithWalkThreads) {
+  auto v1 = BuildWalker(/*graph_seed=*/21);
+  auto v2 = BuildWalker(/*graph_seed=*/22);
+  ASSERT_NE(v1, nullptr);
+  ASSERT_NE(v2, nullptr);
+
+  ServeOptions options;
+  options.query.num_walkers = 200;
+  options.cache_capacity = 0;  // every request runs its walk phase
+  options.max_queue_depth = 0;
+  options.walk_threads = 3;
+
+  const uint32_t k = 8;
+  std::vector<NodeId> sources;
+  for (NodeId s = 0; s < 24; ++s) sources.push_back(s * 7 % 300);
+  // Ground truth from the unwrapped single-threaded engines.
+  std::vector<TopKResult> truth1, truth2;
+  for (const NodeId s : sources) {
+    auto t1 = v1->SingleSourceTopK(s, k, options.query);
+    auto t2 = v2->SingleSourceTopK(s, k, options.query);
+    ASSERT_TRUE(t1.ok() && t2.ok());
+    truth1.push_back(*std::move(t1));
+    truth2.push_back(*std::move(t2));
+  }
+
+  ThreadPool pool(4);
+  QueryService service(v1, options, &pool);
+
+  // Phase 1: pile requests onto the wrapped v1 (4 serving workers, each
+  // fanning walks over the executor's 3 walk threads) and swap while
+  // they are in flight.
+  std::vector<QueryFuture> phase1;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const NodeId s : sources) {
+      phase1.push_back(service.Submit(QueryRequest::SourceTopK(s, k)));
+    }
+  }
+
+  auto epoch = service.Publish(v2);  // wraps v2 with the executor too
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+
+  std::vector<QueryFuture> phase2;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const NodeId s : sources) {
+      phase2.push_back(service.Submit(QueryRequest::SourceTopK(s, k)));
+    }
+  }
+
+  const std::vector<QueryResponse> r1 = WhenAll(phase1);
+  const std::vector<QueryResponse> r2 = WhenAll(phase2);
+  for (size_t i = 0; i < r1.size(); ++i) {
+    ASSERT_TRUE(r1[i].ok()) << r1[i].status.ToString();
+    EXPECT_EQ(*r1[i].topk(), truth1[i % sources.size()])
+        << "phase-1 source " << sources[i % sources.size()];
+  }
+  for (size_t i = 0; i < r2.size(); ++i) {
+    ASSERT_TRUE(r2[i].ok()) << r2[i].status.ToString();
+    EXPECT_EQ(*r2[i].topk(), truth2[i % sources.size()])
+        << "phase-2 source " << sources[i % sources.size()];
+  }
+  EXPECT_EQ(service.Stats().errors, 0u);
+}
+
+TEST(ParallelServeStressTest, PreWrappedEnginePassesThroughUnchanged) {
+  // An engine that already carries a walk backend (here: one the caller
+  // parallelized) must not be wrapped a second time at publish.
+  auto base = BuildWalker(/*graph_seed=*/5);
+  ASSERT_NE(base, nullptr);
+  ParallelWalkOptions popts;
+  popts.num_threads = 2;
+  auto wrapped = CloudWalker::Parallelize(base, popts);
+  ASSERT_TRUE(wrapped.ok());
+  const WalkBackend* backend = (*wrapped)->walk_backend();
+  ASSERT_NE(backend, nullptr);
+
+  ServeOptions options;
+  options.query.num_walkers = 100;
+  options.walk_threads = 4;
+  ThreadPool pool(2);
+  QueryService service(*wrapped, options, &pool);
+  // The published engine still carries the caller's backend instance.
+  EXPECT_EQ(service.CurrentSnapshot()->walker->walk_backend(), backend);
+  const QueryResponse r =
+      service.Submit(QueryRequest::SourceTopK(3, 5)).Wait();
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  auto direct = base->SingleSourceTopK(3, 5, options.query);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*r.topk(), *direct);
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -12,9 +12,18 @@ are deliberately noisier (or tighter) than the rest of the file. Ungated
 metrics (absolute throughputs, which vary across hosts) are reported for
 context only.
 
+A baseline metric may also carry ``"optional": true``: the bench only
+emits it on capable hosts (e.g. SIMD ratios on AVX2 machines), so its
+absence from the current run is reported as SKIPPED instead of failing
+the gate. When the metric *is* present, it is gated normally.
+
 Usage:
   tools/check_bench.py BASELINE.json CURRENT.json [--max-regression 0.2]
+  tools/check_bench.py BASE.json CUR.json --summary-md summary.md
   tools/check_bench.py --self-test     # checker self-checks (CI lint job)
+
+--summary-md additionally writes the comparison as a GitHub-flavored
+markdown table (perf-smoke appends it to $GITHUB_STEP_SUMMARY).
 
 Exit status: 0 when every gate holds, 1 otherwise. Malformed input
 (unreadable file, bad JSON, missing/mistyped metric keys) fails with a
@@ -73,7 +82,11 @@ def load_report(path):
             m.get("value"), bool
         ):
             sys.exit(f"{path}: metric {name!r} is missing a numeric 'value'")
-        for key, want in (("gate", bool), ("higher_is_better", bool)):
+        for key, want in (
+            ("gate", bool),
+            ("higher_is_better", bool),
+            ("optional", bool),
+        ):
             if key in m and not isinstance(m[key], want):
                 sys.exit(
                     f"{path}: metric {name!r} field {key!r} must be "
@@ -117,13 +130,15 @@ def self_test():
         return {"schema": schema, "bench": bench, "metrics": metrics}
 
     def metric(name, value, gate=False, floor=None, higher=True,
-               max_regression=None):
+               max_regression=None, optional=None):
         m = {"name": name, "value": value, "gate": gate,
              "higher_is_better": higher}
         if floor is not None:
             m["min"] = floor
         if max_regression is not None:
             m["max_regression"] = max_regression
+        if optional is not None:
+            m["optional"] = optional
         return m
 
     failures = []
@@ -215,6 +230,32 @@ def self_test():
     case("negative max_regression is diagnosed",
          report([metric("speed", 10.0, gate=True, max_regression=-0.1)]),
          good, "diagnostic")
+    optional_base = report(
+        [metric("speed", 10.0, gate=True, floor=2.0),
+         metric("simd", 2.0, gate=True, floor=1.3, optional=True)])
+    case("missing optional gated metric is skipped", optional_base,
+         report([metric("speed", 10.0, gate=True, floor=2.0)]), 0)
+    case("present optional metric is still gated", optional_base,
+         report([metric("speed", 10.0, gate=True, floor=2.0),
+                 metric("simd", 1.0, gate=True, floor=1.3,
+                        optional=True)]), 1)
+    case("non-bool optional is diagnosed", good,
+         report([{"name": "speed", "value": 1.0, "optional": "maybe"}]),
+         "diagnostic")
+
+    # --summary-md writes a markdown table alongside the text output.
+    with tempfile.TemporaryDirectory() as tmp:
+        md = os.path.join(tmp, "summary.md")
+        case("summary-md passes through exit code", good,
+             report([metric("speed", 5.0, gate=True, floor=2.0)]), 1,
+             extra_args=("--summary-md", md))
+        try:
+            with open(md) as f:
+                text = f.read()
+            if "| `speed` |" not in text or "FAIL" not in text:
+                failures.append(f"summary-md: table missing rows: {text!r}")
+        except OSError as e:
+            failures.append(f"summary-md: file not written ({e})")
 
     if failures:
         print("check_bench self-test FAILED:", file=sys.stderr)
@@ -223,6 +264,34 @@ def self_test():
         return 1
     print("check_bench self-test OK")
     return 0
+
+
+def write_summary_md(bench, rows, failures, max_regression):
+    """Renders the comparison rows as a GitHub-flavored markdown section."""
+    status = "❌ FAIL" if failures else "✅ OK"
+    lines = [
+        f"### {bench} — {status}",
+        "",
+        "| metric | baseline | current | gate | verdict |",
+        "| --- | ---: | ---: | :-: | --- |",
+    ]
+    for name, bv, cv, gated, verdict in rows:
+        fb = f"{bv:g}" if bv is not None else "—"
+        fc = f"{cv:g}" if cv is not None else "—"
+        lines.append(
+            f"| `{name}` | {fb} | {fc} | "
+            f"{'yes' if gated else 'no'} | {verdict} |"
+        )
+    lines.append("")
+    if failures:
+        lines.append("Failures:")
+        lines.extend(f"- {f}" for f in failures)
+    else:
+        lines.append(
+            f"Gated metrics within {max_regression:.0%} of baseline."
+        )
+    lines.append("")
+    return "\n".join(lines)
 
 
 def main(argv=None):
@@ -235,6 +304,12 @@ def main(argv=None):
         default=0.2,
         help="allowed fractional slip of gated metrics vs the baseline "
         "(default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--summary-md",
+        metavar="PATH",
+        help="also write the baseline-vs-current table as GitHub-flavored "
+        "markdown to PATH (for $GITHUB_STEP_SUMMARY)",
     )
     args = parser.parse_args(argv)
 
@@ -252,6 +327,12 @@ def main(argv=None):
         cm = cur.get(name)
         gated = bool(bm.get("gate"))
         if cm is None:
+            # Optional metrics are emitted only on capable hosts (the
+            # AVX2-only SIMD ratio): absence skips the gate, it does not
+            # fail it.
+            if bm.get("optional"):
+                rows.append((name, bm["value"], None, gated, "SKIPPED"))
+                continue
             if gated:
                 failures.append(f"gated metric {name} missing from current run")
             rows.append((name, bm["value"], None, gated, "MISSING"))
@@ -308,6 +389,15 @@ def main(argv=None):
             f"{name:<{width}}  {fb:>12}  {fc:>12}  "
             f"{'yes' if gated else 'no':>4}  {verdict}"
         )
+
+    if args.summary_md:
+        try:
+            with open(args.summary_md, "w") as f:
+                f.write(write_summary_md(
+                    base_report.get("bench"), rows, failures,
+                    args.max_regression))
+        except OSError as e:
+            sys.exit(f"{args.summary_md}: cannot write ({e.strerror})")
 
     if failures:
         print(f"\nFAIL ({args.current} vs {args.baseline}):", file=sys.stderr)

@@ -44,6 +44,7 @@
 
 #include "common/string_util.h"
 #include "core/cloudwalker.h"
+#include "engine/parallel_walk.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/stats.h"
@@ -210,27 +211,42 @@ int CmdIndex(const std::map<std::string, std::string>& flags) {
 }
 
 // --shards=N on a query/serve command routes the walk phases through the
-// in-process sharded engine (DESIGN.md section 11); answers stay
-// bit-identical to single-node. Empty / absent means no sharding.
-StatusOr<std::shared_ptr<const CloudWalker>> MaybeShard(
+// in-process sharded engine (DESIGN.md section 11); --walk-threads=N
+// through the multi-threaded walk executor (DESIGN.md section 12) — or,
+// combined with --shards, it sizes the sharded engine's superstep pool
+// instead. Answers stay bit-identical to single-threaded single-node
+// either way. Empty / absent means no wrapping.
+StatusOr<std::shared_ptr<const CloudWalker>> MaybeWrapEngine(
     std::shared_ptr<const CloudWalker> engine,
     const std::map<std::string, std::string>& flags) {
   const std::string shards = GetFlag(flags, "shards");
-  if (shards.empty()) return engine;
-  ShardingOptions options;
-  options.num_shards = std::stoi(shards);
-  return CloudWalker::Shard(engine, options);
+  const std::string walk_threads = GetFlag(flags, "walk-threads");
+  if (!shards.empty()) {
+    ShardingOptions options;
+    options.num_shards = std::stoi(shards);
+    if (!walk_threads.empty()) {
+      options.num_threads = std::stoi(walk_threads);
+    }
+    return CloudWalker::Shard(engine, options);
+  }
+  if (!walk_threads.empty()) {
+    ParallelWalkOptions options;
+    options.num_threads = std::stoi(walk_threads);
+    return CloudWalker::Parallelize(engine, options);
+  }
+  return engine;
 }
 
 // The query commands' engine source: an mmap-opened snapshot artifact
 // (--snapshot), or the legacy --graph + --index pair (owned by the
-// returned facade either way), optionally wrapped by --shards=N.
+// returned facade either way), optionally wrapped by --shards=N /
+// --walk-threads=N.
 StatusOr<std::shared_ptr<const CloudWalker>> LoadEngine(
     const std::map<std::string, std::string>& flags) {
   const std::string snapshot = GetFlag(flags, "snapshot");
   if (!snapshot.empty()) {
     CW_ASSIGN_OR_RETURN(auto opened, CloudWalker::Open(snapshot));
-    return MaybeShard(std::move(opened), flags);
+    return MaybeWrapEngine(std::move(opened), flags);
   }
   if (GetFlag(flags, "graph").empty() || GetFlag(flags, "index").empty()) {
     return Status::InvalidArgument(
@@ -241,7 +257,7 @@ StatusOr<std::shared_ptr<const CloudWalker>> LoadEngine(
                       DiagonalIndex::Load(GetFlag(flags, "index")));
   CW_ASSIGN_OR_RETURN(
       auto built, CloudWalker::FromIndex(std::move(graph), std::move(index)));
-  return MaybeShard(std::move(built), flags);
+  return MaybeWrapEngine(std::move(built), flags);
 }
 
 QueryOptions QueryFlags(const std::map<std::string, std::string>& flags) {
@@ -375,6 +391,10 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   options.cache_shards = std::stoi(GetFlag(flags, "cache-shards", "8"));
   options.dedup_in_flight = GetFlag(flags, "no-dedup") != "true";
   options.max_queue_depth = ParseU64(flags, "max-queue", "4096");
+  // LoadEngine already applied --walk-threads to the initial engine; the
+  // service-level option covers engines published later (e.g. by an
+  // operator over the registry) and passes already-wrapped ones through.
+  options.walk_threads = std::stoi(GetFlag(flags, "walk-threads", "0"));
   options.query = QueryFlags(flags);
 
   // Optional per-request deadline, applied uniformly to the stream.
@@ -409,10 +429,10 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     reload_watcher = std::thread([&] {
       while (!replay_done.load(std::memory_order_relaxed)) {
         if (g_sighup.exchange(false, std::memory_order_relaxed)) {
-          // Re-apply --shards so a reload serves through the same engine
-          // shape the process started with.
+          // Re-apply --shards / --walk-threads so a reload serves through
+          // the same engine shape the process started with.
           auto reopened = CloudWalker::Open(snapshot_path);
-          if (reopened.ok()) reopened = MaybeShard(*reopened, flags);
+          if (reopened.ok()) reopened = MaybeWrapEngine(*reopened, flags);
           if (!reopened.ok()) {
             std::cerr << "reload failed: " << reopened.status().ToString()
                       << "\n";
@@ -495,21 +515,24 @@ void Usage() {
       "  pair      MCSP: estimate s(i, j).\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --i=A --j=B (0), --walkers=R' (10000), --seed=S (97),\n"
-      "            --exact-push, --shards=N\n"
+      "            --exact-push, --shards=N, --walk-threads=N\n"
       "  source    MCSS: the k nodes most similar to one node.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --node=Q (0), --topk=K (10), --walkers=R' (10000),\n"
-      "            --seed=S (97), --exact-push, --shards=N\n"
+      "            --seed=S (97), --exact-push, --shards=N,\n"
+      "            --walk-threads=N\n"
       "  ppr       Personalized PageRank: top-k by teleport-walk endpoint\n"
       "            frequency around one node.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --node=Q (0), --topk=K (10), --alpha=A (0.85),\n"
-      "            --walkers=R' (10000), --seed=S (97), --shards=N\n"
+      "            --walkers=R' (10000), --seed=S (97), --shards=N,\n"
+      "            --walk-threads=N\n"
       "  n2v       node2vec: top-k by second-order biased-walk visit\n"
       "            frequency around one node.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --node=Q (0), --topk=K (10), --p=P (1), --q=Q (1),\n"
-      "            --walkers=R' (10000), --seed=S (97), --shards=N\n"
+      "            --walkers=R' (10000), --seed=S (97), --shards=N,\n"
+      "            --walk-threads=N\n"
       "  serve     Replay a request workload through the concurrent\n"
       "            QueryService and report QPS / latency / cache stats.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
@@ -526,11 +549,16 @@ void Usage() {
       "            --max-queue=N (4096, 0 unbounded), --deadline-ms=D\n"
       "            (0 = none, applied per request),\n"
       "            --walkers=R' (10000), --seed=S (97), --exact-push,\n"
-      "            --alpha=A (0.85), --p=P (1), --q=Q (1)\n"
+      "            --alpha=A (0.85), --p=P (1), --q=Q (1),\n"
+      "            --walk-threads=N\n"
       "\n"
       "--shards=N on pair/source/ppr/n2v/serve runs the walk phases on\n"
       "the in-process sharded engine (N shard slices, BSP walker\n"
       "exchange); answers are bit-identical to single-node.\n"
+      "--walk-threads=N runs each query's walk phase on N worker threads\n"
+      "(0 = hardware concurrency; with --shards it sizes the sharded\n"
+      "engine's superstep pool instead); answers are bit-identical to\n"
+      "single-threaded execution at every N.\n"
       "  help      Show this message (also --help).\n"
       "\n"
       "--threads=N sizes the worker pool (0 = hardware concurrency).\n"
