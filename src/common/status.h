@@ -29,6 +29,7 @@ enum class StatusCode {
   kDeadlineExceeded = 9,
   kCancelled = 10,
   kDataLoss = 11,
+  kUnavailable = 12,
 };
 
 /// Returns the canonical name of `code`, e.g. "InvalidArgument".
@@ -80,6 +81,9 @@ class Status {
   static Status DataLoss(std::string_view msg) {
     return Status(StatusCode::kDataLoss, msg);
   }
+  static Status Unavailable(std::string_view msg) {
+    return Status(StatusCode::kUnavailable, msg);
+  }
 
   /// True iff the status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -107,6 +111,7 @@ class Status {
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// The canonical code.
   StatusCode code() const { return code_; }

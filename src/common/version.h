@@ -1,0 +1,51 @@
+// Build identity: the library version stamped into snapshots, printed by
+// the binaries' --version flags, and exchanged as free-form build info at
+// the net handshake (src/net/wire.h pins the *protocol* compatibility;
+// this string is for humans reading a mismatch diagnostic).
+
+#ifndef CLOUDWALKER_COMMON_VERSION_H_
+#define CLOUDWALKER_COMMON_VERSION_H_
+
+#include <string>
+#include <string_view>
+
+namespace cloudwalker {
+
+/// Semantic version of the library.
+inline constexpr std::string_view kCloudWalkerVersion = "0.1.0";
+
+/// The builder tag stamped into snapshot metadata (core/cloudwalker.cc)
+/// and echoed in build-info strings.
+inline constexpr std::string_view kCloudWalkerBuilderTag =
+    "cloudwalker-0.1.0";
+
+/// One-line build description: "<binary> cloudwalker-0.1.0 (<compiler>,
+/// <build type>)". Used by `cloudwalker_cli --version`, the shard worker
+/// binary, and the handshake's build-info field.
+inline std::string BuildInfoString(std::string_view binary_name) {
+  std::string out(binary_name);
+  out += ' ';
+  out += kCloudWalkerBuilderTag;
+  out += " (";
+#if defined(__VERSION__)
+#if defined(__clang__)
+  out += "clang ";
+#elif defined(__GNUC__)
+  out += "gcc ";
+#endif
+  out += __VERSION__;
+#else
+  out += "unknown compiler";
+#endif
+#if defined(NDEBUG)
+  out += ", release";
+#else
+  out += ", debug";
+#endif
+  out += ')';
+  return out;
+}
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_COMMON_VERSION_H_

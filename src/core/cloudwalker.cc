@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "common/timer.h"
+#include "common/version.h"
 #include "engine/parallel_walk.h"
+#include "net/remote_backend.h"
 #include "shard/sharded_engine.h"
 #include "snapshot/snapshot.h"
 
@@ -11,8 +13,6 @@ namespace cloudwalker {
 namespace {
 
 double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
-
-constexpr char kBuilderTag[] = "cloudwalker-0.1.0";
 
 }  // namespace
 
@@ -99,6 +99,30 @@ StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Parallelize(
       new CloudWalker(std::move(parallel)));
 }
 
+StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Distribute(
+    const std::shared_ptr<const CloudWalker>& base,
+    const RemoteBackendOptions& options) {
+  if (base == nullptr) {
+    return Status::InvalidArgument("base engine must not be null");
+  }
+  if (base->snapshot_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Distribute requires a snapshot-backed engine (CloudWalker::Open): "
+        "the handshake pins the snapshot fingerprint so coordinator and "
+        "workers provably serve the same artifact");
+  }
+  CW_ASSIGN_OR_RETURN(
+      std::shared_ptr<const RemoteWalkBackend> backend,
+      RemoteWalkBackend::Connect(base->graph(),
+                                 base->snapshot_->fingerprint(), options));
+  // Same ownership story as Shard(): the copy pins base's graph / arena /
+  // snapshot for the backend's borrowed pointers.
+  CloudWalker distributed(*base);
+  distributed.walk_backend_ = std::move(backend);
+  return std::shared_ptr<const CloudWalker>(
+      new CloudWalker(std::move(distributed)));
+}
+
 StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Open(
     const std::string& path) {
   CW_ASSIGN_OR_RETURN(std::shared_ptr<const SnapshotView> view,
@@ -146,9 +170,14 @@ Status CloudWalker::WriteSnapshot(const std::string& path) const {
   meta.query_options_fingerprint = QueryOptionsFingerprint(QueryOptions{});
   meta.walk_steps = stats_.walk_steps;
   meta.build_seconds = stats_.walk_seconds + stats_.solve_seconds;
-  meta.builder = kBuilderTag;
+  meta.builder = std::string(kCloudWalkerBuilderTag);
   return SnapshotWriter::Write(path, *graph_, walk_context_->arena(),
                                index_, meta);
+}
+
+Status CloudWalker::TakeBackendError() const {
+  return walk_backend_ != nullptr ? walk_backend_->TakeError()
+                                  : Status::Ok();
 }
 
 Status CloudWalker::ValidateQuery(NodeId node,
@@ -169,7 +198,11 @@ StatusOr<double> CloudWalker::PairScore(NodeId i, NodeId j,
   const double raw = SinglePairQuery(*graph_, index_, i, j, options, stats,
                                      /*owner=*/nullptr, walk_context_.get(),
                                      cancel, walk_backend_.get());
+  // Drain the backend error even when cancelled, so a stale failure never
+  // leaks into the next query; cancellation takes reporting precedence.
+  const Status backend = TakeBackendError();
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  if (!backend.ok()) return backend;
   return Clamp01(raw);
 }
 
@@ -180,7 +213,9 @@ StatusOr<SparseVector> CloudWalker::SourceVector(
       SingleSourceQuery(*graph_, index_, q, options, stats,
                         /*owner=*/nullptr, walk_context_.get(), cancel,
                         walk_backend_.get());
+  const Status backend = TakeBackendError();
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  if (!backend.ok()) return backend;
   std::vector<SparseEntry> entries;
   entries.reserve(raw.size() + 1);
   bool saw_self = false;
@@ -207,7 +242,9 @@ StatusOr<std::vector<ScoredNode>> CloudWalker::SourceTopK(
       SingleSourceQuery(*graph_, index_, q, options, stats,
                         /*owner=*/nullptr, walk_context_.get(), cancel,
                         walk_backend_.get());
+  const Status backend = TakeBackendError();
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  if (!backend.ok()) return backend;
   std::vector<ScoredNode> top = TopKFromSparse(raw, /*exclude=*/q, k);
   for (ScoredNode& s : top) s.score = Clamp01(s.score);
   return top;
@@ -220,7 +257,9 @@ StatusOr<std::vector<std::vector<ScoredNode>>> CloudWalker::AllPairsInternal(
   auto result = AllPairsTopK(*graph_, index_, options, k, pool, &walk_steps,
                              walk_context_.get(), cancel,
                              walk_backend_.get());
+  const Status backend = TakeBackendError();
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  if (!backend.ok()) return backend;
   if (stats != nullptr) stats->walk_steps += walk_steps;
   for (auto& per_source : result) {
     for (ScoredNode& s : per_source) s.score = Clamp01(s.score);
@@ -235,7 +274,9 @@ StatusOr<std::vector<ScoredNode>> CloudWalker::PprTopK(
       PersonalizedPageRankQuery(*graph_, index_, q, options, stats,
                                 /*owner=*/nullptr, walk_context_.get(),
                                 cancel, walk_backend_.get());
+  const Status backend = TakeBackendError();
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  if (!backend.ok()) return backend;
   // Endpoint frequencies are already in [0, 1]; no clamping needed.
   return TopKFromSparse(endpoints, /*exclude=*/q, k);
 }
@@ -247,7 +288,9 @@ StatusOr<std::vector<ScoredNode>> CloudWalker::N2vTopK(
       Node2VecVisitQuery(*graph_, index_, q, options, stats,
                          /*owner=*/nullptr, walk_context_.get(), cancel,
                          walk_backend_.get());
+  const Status backend = TakeBackendError();
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
+  if (!backend.ok()) return backend;
   return TopKFromSparse(visits, /*exclude=*/q, k);
 }
 

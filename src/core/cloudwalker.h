@@ -50,6 +50,7 @@ class SnapshotView;
 class WalkBackend;
 struct ShardingOptions;
 struct ParallelWalkOptions;
+struct RemoteBackendOptions;
 
 /// An indexed graph ready to answer SimRank queries. Query methods are
 /// const and thread-safe (independent RNG streams per call).
@@ -124,6 +125,21 @@ class CloudWalker {
   static StatusOr<std::shared_ptr<const CloudWalker>> Parallelize(
       const std::shared_ptr<const CloudWalker>& base,
       const ParallelWalkOptions& options);
+
+  /// Re-backs `base` with the socket-connected distributed walk backend
+  /// (net/remote_backend.h, DESIGN.md section 13): every walk phase runs
+  /// as BSP supersteps across the options.workers shard-worker processes,
+  /// which must serve the *same snapshot artifact* — the handshake pins
+  /// the snapshot fingerprint, so `base` must be snapshot-backed (Open());
+  /// an in-memory build fails with kFailedPrecondition. Results are
+  /// bit-identical to `base` at every worker count; a worker death
+  /// mid-query is recovered by deterministic superstep replay, and a
+  /// worker lost past the retry budget surfaces as kUnavailable (never a
+  /// partial answer, never cached). The returned instance shares base's
+  /// graph / index / arena / snapshot.
+  static StatusOr<std::shared_ptr<const CloudWalker>> Distribute(
+      const std::shared_ptr<const CloudWalker>& base,
+      const RemoteBackendOptions& options);
 
   /// The unified entry point: dispatches any QueryRequest kind, applying
   /// the request's per-request options (default QueryOptions{} otherwise)
@@ -218,6 +234,10 @@ class CloudWalker {
         walk_context_(std::move(context)) {}
 
   Status ValidateQuery(NodeId node, const QueryOptions& options) const;
+
+  // Drains the walk backend's first job-fatal error (remote backends can
+  // fail mid-job; see WalkBackend::TakeError). Ok for local backends.
+  Status TakeBackendError() const;
 
   // The shared kernels behind both the per-kind methods and Execute().
   // All assume validated inputs; `stats` / `cancel` may be null. A stopped

@@ -20,6 +20,7 @@
 #define CLOUDWALKER_ENGINE_WALK_BACKEND_H_
 
 #include "common/sparse.h"
+#include "common/status.h"
 #include "engine/walk.h"
 #include "engine/walk_program.h"
 #include "graph/graph.h"
@@ -50,6 +51,16 @@ class WalkBackend {
                                            const WalkConfig& config,
                                            const Node2VecParams& params,
                                            WalkStats* stats) const = 0;
+
+  /// Drains the first job-fatal backend error since the last drain (e.g. a
+  /// remote worker unreachable past its retry budget). The walk methods
+  /// return plain values, so a backend that can fail mid-job records the
+  /// error here and returns a truncated result; the facade checks this
+  /// beside its cancellation checks and surfaces the error instead of the
+  /// partial answer — which is also what keeps partial answers out of the
+  /// serving cache (QueryService only caches ok responses). In-process
+  /// backends cannot fail: the default is always Ok.
+  virtual Status TakeError() const { return Status::Ok(); }
 };
 
 /// The single-node backend: forwards to the batched walk kernel

@@ -1,0 +1,77 @@
+#include "net/framing.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace cloudwalker {
+namespace {
+
+// Header CRC input: the first 16 bytes with header_crc itself zeroed.
+uint32_t HeaderCrc(const FrameHeader& header) {
+  char bytes[sizeof(FrameHeader)];
+  std::memcpy(bytes, &header, sizeof(header));
+  std::memset(bytes + offsetof(FrameHeader, header_crc), 0,
+              sizeof(header.header_crc));
+  return Crc32(bytes, offsetof(FrameHeader, header_crc));
+}
+
+}  // namespace
+
+Status SendFrame(const Socket& socket, MsgType type,
+                 std::string_view payload, double timeout_seconds) {
+  if (payload.size() > kNetMaxFramePayload) {
+    return Status::InvalidArgument(
+        "net: frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kNetMaxFramePayload) +
+        "-byte cap");
+  }
+  FrameHeader header;
+  header.type = static_cast<uint16_t>(type);
+  header.payload_len = static_cast<uint32_t>(payload.size());
+  header.payload_crc = Crc32(payload.data(), payload.size());
+  header.header_crc = HeaderCrc(header);
+  CW_RETURN_IF_ERROR(
+      SendAll(socket, &header, sizeof(header), timeout_seconds));
+  if (!payload.empty()) {
+    CW_RETURN_IF_ERROR(
+        SendAll(socket, payload.data(), payload.size(), timeout_seconds));
+  }
+  return Status::Ok();
+}
+
+StatusOr<Frame> RecvFrame(const Socket& socket, double timeout_seconds) {
+  FrameHeader header;
+  CW_RETURN_IF_ERROR(
+      RecvAll(socket, &header, sizeof(header), timeout_seconds));
+  if (header.magic != kNetFrameMagic) {
+    return Status::DataLoss("net: bad frame magic (stream desync?)");
+  }
+  if (header.header_crc != HeaderCrc(header)) {
+    return Status::DataLoss("net: frame header checksum mismatch");
+  }
+  if (header.payload_len > kNetMaxFramePayload) {
+    return Status::DataLoss("net: frame announces implausible payload of " +
+                            std::to_string(header.payload_len) + " bytes");
+  }
+  Frame frame;
+  frame.type = static_cast<MsgType>(header.type);
+  frame.payload.resize(header.payload_len);
+  if (header.payload_len > 0) {
+    CW_RETURN_IF_ERROR(RecvAll(socket, frame.payload.data(),
+                               frame.payload.size(), timeout_seconds));
+  }
+  if (Crc32(frame.payload.data(), frame.payload.size()) !=
+      header.payload_crc) {
+    return Status::DataLoss("net: frame payload checksum mismatch");
+  }
+  return frame;
+}
+
+void SendErrorFrame(const Socket& socket, const Status& status,
+                    double timeout_seconds) {
+  (void)SendFrame(socket, MsgType::kError, EncodeErrorStatus(status),
+                  timeout_seconds);
+}
+
+}  // namespace cloudwalker

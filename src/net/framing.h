@@ -1,0 +1,43 @@
+// Length-prefixed, CRC-stamped frame transport over a Socket — the only
+// layer that touches raw bytes on the wire. One frame = FrameHeader
+// (net/wire.h) + payload; SendFrame stamps both CRCs, RecvFrame verifies
+// magic, bounds, and both CRCs before a payload byte is interpreted.
+//
+// Status vocabulary: kDataLoss for anything that smells like corruption
+// or stream desync (bad magic, CRC mismatch, implausible length),
+// kUnavailable / kDeadlineExceeded straight from the socket layer.
+
+#ifndef CLOUDWALKER_NET_FRAMING_H_
+#define CLOUDWALKER_NET_FRAMING_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace cloudwalker {
+
+/// One received frame.
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+};
+
+/// Sends one frame (header + payload) within `timeout_seconds`.
+Status SendFrame(const Socket& socket, MsgType type,
+                 std::string_view payload, double timeout_seconds);
+
+/// Receives and verifies one frame within `timeout_seconds` (one shared
+/// deadline across header and payload).
+StatusOr<Frame> RecvFrame(const Socket& socket, double timeout_seconds);
+
+/// Sends a kError frame carrying `status` (best-effort — the connection
+/// is usually about to close).
+void SendErrorFrame(const Socket& socket, const Status& status,
+                    double timeout_seconds);
+
+}  // namespace cloudwalker
+
+#endif  // CLOUDWALKER_NET_FRAMING_H_

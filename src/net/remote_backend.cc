@@ -1,0 +1,503 @@
+#include "net/remote_backend.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/version.h"
+#include "engine/walk_kernel.h"
+#include "net/framing.h"
+
+namespace cloudwalker {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Failures worth a reconnect-and-replay: the worker (or the wire) went
+// away or garbled. Protocol-level rejections (kError frames, decode
+// failures) are deterministic — replaying the same frame reproduces them,
+// so they abort immediately instead.
+bool IsTransportFailure(const Status& status) {
+  return status.IsUnavailable() || status.IsDeadlineExceeded() ||
+         status.IsDataLoss() || status.IsIoError();
+}
+
+PartitionStrategy ResolveStrategy(const Graph& graph, int num_workers,
+                                  const RemoteBackendOptions& options) {
+  switch (options.placement) {
+    case ShardingOptions::Placement::kHash:
+      return PartitionStrategy::kHash;
+    case ShardingOptions::Placement::kRange:
+      return PartitionStrategy::kRange;
+    case ShardingOptions::Placement::kAuto:
+      break;
+  }
+  // Same resolution as ShardPlan::Build: score both, ties go to hash —
+  // --workers=N and --shards=N must route walkers identically.
+  const PlacementScore hash = ShardPlan::Score(
+      graph, PartitionStrategy::kHash, num_workers, options.cost_model);
+  const PlacementScore range = ShardPlan::Score(
+      graph, PartitionStrategy::kRange, num_workers, options.cost_model);
+  return range.superstep_seconds < hash.superstep_seconds
+             ? PartitionStrategy::kRange
+             : PartitionStrategy::kHash;
+}
+
+}  // namespace
+
+StatusOr<std::vector<RemoteWorkerAddress>> ParseWorkerList(
+    const std::string& spec) {
+  std::vector<RemoteWorkerAddress> workers;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    const size_t colon = entry.rfind(':');
+    if (entry.empty() || colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size()) {
+      return Status::InvalidArgument(
+          "worker list entry '" + entry + "' is not host:port (spec: '" +
+          spec + "')");
+    }
+    unsigned long port = 0;  // NOLINT(runtime/int) — strtoul's type
+    try {
+      size_t used = 0;
+      port = std::stoul(entry.substr(colon + 1), &used);
+      if (used != entry.size() - colon - 1) port = 0;
+    } catch (...) {
+      port = 0;
+    }
+    if (port == 0 || port > 65535) {
+      return Status::InvalidArgument("worker list entry '" + entry +
+                                     "' has an invalid port");
+    }
+    workers.push_back(RemoteWorkerAddress{entry.substr(0, colon),
+                                          static_cast<uint16_t>(port)});
+    begin = end + 1;
+  }
+  return workers;
+}
+
+RemoteWalkBackend::RemoteWalkBackend(const Graph& graph,
+                                     uint64_t fingerprint,
+                                     RemoteBackendOptions options,
+                                     PartitionStrategy strategy)
+    : graph_(&graph),
+      fingerprint_(fingerprint),
+      options_(std::move(options)),
+      partitioner_(strategy, graph.num_nodes(),
+                   static_cast<int>(options_.workers.size())),
+      plan_hash_(NetPlanHash(strategy,
+                             static_cast<uint32_t>(options_.workers.size()),
+                             graph.num_nodes())),
+      id_bits_(WalkKernel::IdBits(graph)),
+      last_activity_(Clock::now()) {}
+
+StatusOr<std::shared_ptr<const RemoteWalkBackend>> RemoteWalkBackend::Connect(
+    const Graph& graph, uint64_t snapshot_fingerprint,
+    const RemoteBackendOptions& options) {
+  if (options.workers.empty()) {
+    return Status::InvalidArgument("remote backend needs >= 1 worker");
+  }
+  if (options.max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1, got " +
+                                   std::to_string(options.max_attempts));
+  }
+  if (graph.num_nodes() == 0) {
+    return Status::InvalidArgument("cannot distribute an empty graph");
+  }
+  const PartitionStrategy strategy = ResolveStrategy(
+      graph, static_cast<int>(options.workers.size()), options);
+  std::shared_ptr<RemoteWalkBackend> backend(new RemoteWalkBackend(
+      graph, snapshot_fingerprint, options, strategy));
+  // Single-threaded here: no lock needed to populate the connections.
+  backend->conns_.reserve(backend->options_.workers.size());
+  for (size_t shard = 0; shard < backend->options_.workers.size(); ++shard) {
+    CW_ASSIGN_OR_RETURN(Socket conn,
+                        backend->DialWorker(static_cast<int>(shard)));
+    backend->conns_.push_back(std::move(conn));
+  }
+  return std::shared_ptr<const RemoteWalkBackend>(std::move(backend));
+}
+
+StatusOr<Socket> RemoteWalkBackend::DialWorker(int shard) const {
+  const RemoteWorkerAddress& addr =
+      options_.workers[static_cast<size_t>(shard)];
+  const double timeout = options_.connect_timeout_seconds;
+  StatusOr<Socket> conn = TcpConnect(addr.host, addr.port, timeout);
+  if (!conn.ok()) {
+    return Status(conn.status().code(), "worker " + addr.ToString() + ": " +
+                                            conn.status().message());
+  }
+  HelloMsg hello;
+  hello.protocol_version = kNetProtocolVersion;
+  hello.shard = static_cast<uint32_t>(shard);
+  hello.num_shards = static_cast<uint32_t>(options_.workers.size());
+  hello.strategy = static_cast<uint32_t>(partitioner_.strategy());
+  hello.snapshot_fingerprint = fingerprint_;
+  hello.plan_hash = plan_hash_;
+  hello.num_nodes = graph_->num_nodes();
+  CW_RETURN_IF_ERROR(SendFrame(
+      *conn, MsgType::kHello,
+      EncodeHello(hello, BuildInfoString("cloudwalker-coordinator")),
+      timeout));
+  CW_ASSIGN_OR_RETURN(Frame reply, RecvFrame(*conn, timeout));
+  if (reply.type == MsgType::kError) {
+    const Status rejected = DecodeErrorStatus(reply.payload);
+    return Status(rejected.code(), "worker " + addr.ToString() +
+                                       " rejected handshake: " +
+                                       rejected.message());
+  }
+  if (reply.type != MsgType::kHelloOk) {
+    return Status::Internal("worker " + addr.ToString() +
+                            " answered kHello with frame type " +
+                            std::to_string(static_cast<int>(reply.type)));
+  }
+  HelloMsg echo;
+  std::string build_info;
+  CW_RETURN_IF_ERROR(DecodeHello(reply.payload, &echo, &build_info));
+  if (echo.protocol_version != hello.protocol_version ||
+      echo.shard != hello.shard || echo.num_shards != hello.num_shards ||
+      echo.strategy != hello.strategy ||
+      echo.snapshot_fingerprint != hello.snapshot_fingerprint ||
+      echo.plan_hash != hello.plan_hash ||
+      echo.num_nodes != hello.num_nodes) {
+    return Status::Internal("worker " + addr.ToString() +
+                            " echoed a different handshake than offered");
+  }
+  return conn;
+}
+
+Status RemoteWalkBackend::ExchangeOne(int shard, const std::string& request,
+                                      bool sent_ok, Frame* reply) const {
+  const RemoteWorkerAddress& addr =
+      options_.workers[static_cast<size_t>(shard)];
+  const double timeout = options_.superstep_timeout_seconds;
+  Socket& conn = conns_[static_cast<size_t>(shard)];
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0 || !sent_ok) {
+      // Reconnect, re-handshake, resend the identical frame. The worker
+      // is stateless and every draw is a pure function of the frame's
+      // fields, so the replayed superstep returns the identical bytes.
+      if (attempt > 0 && options_.retry_backoff_seconds > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            options_.retry_backoff_seconds));
+      }
+      conn.Close();
+      StatusOr<Socket> fresh = DialWorker(shard);
+      if (!fresh.ok()) {
+        last = fresh.status();
+        if (IsTransportFailure(last)) continue;
+        return last;  // deterministic rejection (e.g. kFailedPrecondition)
+      }
+      conn = std::move(fresh).value();
+      ++stats_.reconnects;
+      const Status sent = SendFrame(conn, MsgType::kSuperstep, request,
+                                    timeout);
+      if (!sent.ok()) {
+        last = sent;
+        continue;
+      }
+      ++stats_.replays;
+      stats_.bytes_sent += request.size();
+    }
+    sent_ok = true;
+    StatusOr<Frame> got = RecvFrame(conn, timeout);
+    if (!got.ok()) {
+      last = got.status();
+      if (IsTransportFailure(last)) continue;
+      return last;
+    }
+    if (got->type == MsgType::kError) {
+      const Status remote = DecodeErrorStatus(got->payload);
+      return Status(remote.code(),
+                    "worker " + addr.ToString() + ": " + remote.message());
+    }
+    if (got->type != MsgType::kResult) {
+      return Status::Internal("worker " + addr.ToString() +
+                              " answered kSuperstep with frame type " +
+                              std::to_string(static_cast<int>(got->type)));
+    }
+    stats_.bytes_received += got->payload.size();
+    *reply = std::move(got).value();
+    return Status::Ok();
+  }
+  return Status::Unavailable(
+      "worker " + addr.ToString() + " failed a superstep after " +
+      std::to_string(options_.max_attempts) + " attempts; last error: " +
+      last.ToString());
+}
+
+void RemoteWalkBackend::RunJob(SuperstepMsg proto, const WalkConfig& config,
+                               std::vector<SparseVector>* levels,
+                               std::vector<NodeId>* terminals,
+                               WalkStats* stats) const {
+  CW_CHECK_LT(proto.source, graph_->num_nodes());
+  CW_CHECK_GT(config.num_walkers, 0u);
+  const uint32_t r = config.num_walkers;
+  const double inv_r = 1.0 / static_cast<double>(r);
+  const int num_shards = partitioner_.num_workers();
+  const bool emits_levels =
+      proto.phase != static_cast<uint32_t>(WalkPhase::kPpr);
+  proto.num_walkers = r;
+  proto.num_steps = config.num_steps;
+  proto.seed = config.seed;
+  proto.dangling = static_cast<uint32_t>(config.dangling);
+
+  if (emits_levels) {
+    levels->assign(config.num_steps + 1, SparseVector());
+    (*levels)[0] =
+        SparseVector::FromSorted({SparseEntry{proto.source, 1.0}});
+  }
+
+  // One job at a time over the shared connections: concurrency lives in
+  // the workers. QueryService's dedup/cache layers sit in front of this
+  // lock, so identical concurrent queries still collapse to one job.
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // Lazy death detection: a job arriving after a quiet period sweeps
+  // heartbeats first and drops dead connections so the first superstep
+  // reconnects eagerly instead of burning its timeout.
+  if (options_.heartbeat_interval_seconds > 0 &&
+      std::chrono::duration<double>(Clock::now() - last_activity_).count() >
+          options_.heartbeat_interval_seconds) {
+    for (int shard = 0; shard < num_shards; ++shard) {
+      Socket& conn = conns_[static_cast<size_t>(shard)];
+      if (!conn.valid()) continue;
+      Status alive_check = SendFrame(conn, MsgType::kHeartbeat, {},
+                                     options_.connect_timeout_seconds);
+      if (alive_check.ok()) {
+        StatusOr<Frame> ack =
+            RecvFrame(conn, options_.connect_timeout_seconds);
+        alive_check = ack.ok() ? Status::Ok() : ack.status();
+      }
+      if (!alive_check.ok()) conn.Close();  // redialed on first use
+    }
+  }
+
+  // Every walker starts at the source, resident on its owning shard.
+  std::vector<std::vector<WalkerRec>> inbox(
+      static_cast<size_t>(num_shards));
+  std::vector<std::vector<WalkerRec>> next(static_cast<size_t>(num_shards));
+  {
+    std::vector<WalkerRec>& home =
+        inbox[static_cast<size_t>(partitioner_.Owner(proto.source))];
+    home.reserve(r);
+    for (uint32_t w = 0; w < r; ++w) {
+      home.push_back(WalkerRec{w, proto.source, kInvalidNode});
+    }
+  }
+
+  uint64_t alive = r;
+  std::vector<NodeId> merged;
+  if (emits_levels) merged.reserve(r);
+  std::vector<std::string> requests(static_cast<size_t>(num_shards));
+  std::vector<char> sent(static_cast<size_t>(num_shards), 0);
+  std::vector<WalkerRec> survivors;
+  std::vector<NodeId> endpoints;
+  std::vector<NodeId> terms;
+
+  for (uint32_t t = 1; t <= config.num_steps && alive > 0; ++t) {
+    // Cooperative stop, polled once per superstep: a stopped job leaves
+    // the remaining levels empty and the caller discards the truncated
+    // result wholesale (same contract as the in-process engines).
+    if (config.cancel != nullptr && config.cancel->ShouldStop()) break;
+    proto.step = t;
+
+    // Send-all, then recv-all: every worker computes its batch while the
+    // coordinator is still draining the others' replies. Deadlock-free
+    // because a worker fully reads its request before replying. A failed
+    // send is not fatal here — the retry path resends.
+    std::vector<int> active;
+    for (int shard = 0; shard < num_shards; ++shard) {
+      const std::vector<WalkerRec>& batch =
+          inbox[static_cast<size_t>(shard)];
+      if (batch.empty()) continue;
+      active.push_back(shard);
+      requests[static_cast<size_t>(shard)] = EncodeSuperstep(proto, batch);
+      const Status st = SendFrame(conns_[static_cast<size_t>(shard)],
+                                  MsgType::kSuperstep,
+                                  requests[static_cast<size_t>(shard)],
+                                  options_.superstep_timeout_seconds);
+      sent[static_cast<size_t>(shard)] = st.ok() ? 1 : 0;
+      if (st.ok()) {
+        stats_.bytes_sent += requests[static_cast<size_t>(shard)].size();
+      }
+      stats_.walkers_shipped += batch.size();
+    }
+
+    if (emits_levels) merged.clear();
+    for (const int shard : active) {
+      Frame reply;
+      Status status =
+          ExchangeOne(shard, requests[static_cast<size_t>(shard)],
+                      sent[static_cast<size_t>(shard)] != 0, &reply);
+      ResultMsg result;
+      if (status.ok()) {
+        survivors.clear();
+        endpoints.clear();
+        terms.clear();
+        status = DecodeResult(reply.payload, &result, &survivors,
+                              &endpoints, &terms);
+      }
+      if (status.ok() &&
+          (result.step != t ||
+           survivors.size() + terms.size() + result.dead !=
+               inbox[static_cast<size_t>(shard)].size())) {
+        status = Status::Internal(
+            "worker " +
+            options_.workers[static_cast<size_t>(shard)].ToString() +
+            " broke the superstep bookkeeping invariant at step " +
+            std::to_string(t));
+      }
+      if (!status.ok()) {
+        // Unrecoverable: record the first error and return the truncated
+        // job. The facade drains it via TakeError() and reports it
+        // instead of the partial answer.
+        RecordError(status);
+        return;
+      }
+      if (stats != nullptr) stats->steps += result.steps;
+      alive -= result.dead + terms.size();
+      if (emits_levels) {
+        merged.insert(merged.end(), endpoints.begin(), endpoints.end());
+      }
+      if (terminals != nullptr) {
+        terminals->insert(terminals->end(), terms.begin(), terms.end());
+      }
+      // Route survivors to their next owner — the coordinator-side half
+      // of the exchange barrier.
+      for (const WalkerRec& rec : survivors) {
+        const int dest = partitioner_.Owner(rec.cur);
+        if (dest != shard && stats != nullptr) {
+          ++stats->partition_crossings;
+        }
+        next[static_cast<size_t>(dest)].push_back(rec);
+      }
+      inbox[static_cast<size_t>(shard)].clear();
+    }
+
+    // Coordinator merge: concatenated endpoint lists aggregate to the
+    // bit-identical level vector at every worker count (the
+    // order-independent sort-and-RLE of AggregateEndpointNodes).
+    if (emits_levels) {
+      (*levels)[t] = AggregateEndpointNodes(merged, inv_r, id_bits_);
+    }
+    std::swap(inbox, next);
+    for (std::vector<WalkerRec>& box : next) box.clear();
+    ++stats_.supersteps;
+    last_activity_ = Clock::now();
+  }
+
+  // Epilogue: surviving walkers terminate where they stand (PPR).
+  if (terminals != nullptr) {
+    for (const std::vector<WalkerRec>& box : inbox) {
+      for (const WalkerRec& rec : box) terminals->push_back(rec.cur);
+    }
+  }
+}
+
+WalkDistributions RemoteWalkBackend::SimRankLevels(NodeId source,
+                                                   const WalkConfig& config,
+                                                   WalkStats* stats) const {
+  SuperstepMsg proto;
+  proto.phase = static_cast<uint32_t>(WalkPhase::kSimRank);
+  proto.source = source;
+  WalkDistributions out;
+  RunJob(proto, config, &out.levels, /*terminals=*/nullptr, stats);
+  return out;
+}
+
+SparseVector RemoteWalkBackend::PprEndpoints(NodeId source,
+                                             const WalkConfig& config,
+                                             const PprParams& params,
+                                             WalkStats* stats) const {
+  SuperstepMsg proto;
+  proto.phase = static_cast<uint32_t>(WalkPhase::kPpr);
+  proto.source = source;
+  proto.alpha = params.alpha;
+  std::vector<NodeId> terminals;
+  terminals.reserve(config.num_walkers);
+  RunJob(proto, config, /*levels=*/nullptr, &terminals, stats);
+  const double inv_r = 1.0 / static_cast<double>(config.num_walkers);
+  return AggregateEndpointNodes(terminals, inv_r, id_bits_);
+}
+
+WalkDistributions RemoteWalkBackend::Node2VecLevels(
+    NodeId source, const WalkConfig& config, const Node2VecParams& params,
+    WalkStats* stats) const {
+  SuperstepMsg proto;
+  proto.phase = static_cast<uint32_t>(WalkPhase::kNode2Vec);
+  proto.source = source;
+  proto.return_p = params.return_p;
+  proto.in_out_q = params.in_out_q;
+  proto.max_trials = params.max_trials;
+  WalkDistributions out;
+  RunJob(proto, config, &out.levels, /*terminals=*/nullptr, stats);
+  return out;
+}
+
+Status RemoteWalkBackend::TakeError() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  Status out = first_error_;
+  first_error_ = Status::Ok();
+  return out;
+}
+
+void RemoteWalkBackend::RecordError(const Status& status) const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  if (first_error_.ok()) first_error_ = status;
+}
+
+Status RemoteWalkBackend::Ping() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t shard = 0; shard < conns_.size(); ++shard) {
+    const RemoteWorkerAddress& addr = options_.workers[shard];
+    Socket& conn = conns_[shard];
+    if (!conn.valid()) {
+      StatusOr<Socket> fresh = DialWorker(static_cast<int>(shard));
+      if (!fresh.ok()) return fresh.status();
+      conn = std::move(fresh).value();
+      ++stats_.reconnects;
+    }
+    Status status = SendFrame(conn, MsgType::kHeartbeat, {},
+                              options_.connect_timeout_seconds);
+    StatusOr<Frame> ack = status.ok()
+                              ? RecvFrame(conn,
+                                          options_.connect_timeout_seconds)
+                              : StatusOr<Frame>(status);
+    if (!ack.ok()) {
+      conn.Close();  // Ping again after a restart to re-establish
+      return Status::Unavailable("worker " + addr.ToString() +
+                                 " failed heartbeat: " +
+                                 ack.status().ToString());
+    }
+    if (ack->type != MsgType::kHeartbeatAck) {
+      return Status::Internal("worker " + addr.ToString() +
+                              " answered kHeartbeat with frame type " +
+                              std::to_string(static_cast<int>(ack->type)));
+    }
+  }
+  last_activity_ = Clock::now();
+  return Status::Ok();
+}
+
+void RemoteWalkBackend::ShutdownWorkers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Socket& conn : conns_) {
+    if (!conn.valid()) continue;
+    (void)SendFrame(conn, MsgType::kShutdown, {},
+                    options_.connect_timeout_seconds);
+    conn.Close();
+  }
+}
+
+RemoteExchangeStats RemoteWalkBackend::exchange_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace cloudwalker

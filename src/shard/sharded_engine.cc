@@ -1,146 +1,37 @@
 #include "shard/sharded_engine.h"
 
-#include <algorithm>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
-#include "common/random.h"
 #include "engine/walk_kernel.h"
+#include "shard/walk_policies.h"
 
 namespace cloudwalker {
 namespace {
 
-// One walker in flight between shards: its id (the RNG stream index), its
-// current node, and — for second-order programs — the node it came from.
-// This is the exchange wire record; everything else a shard needs to
-// advance the walker is derivable from (config, walker, step).
-struct WalkerRec {
-  uint32_t walker = 0;
-  NodeId cur = kInvalidNode;
-  NodeId prev = kInvalidNode;
-};
-
-// Uniform in-neighbor pick against a shard slice, resolved exactly like
-// the single-node kernel's pass 3 (and its plain-CSR fallback): the slice
-// either mirrors the alias rows (accept test, then target or alias) or
-// indexes the local CSR row directly. In-link rows are uniform, so both
-// consume `raw` identically — the arena-vs-CSR half of the bit-identity
-// matrix.
-inline NodeId ResolveUniform(const ShardSlice& sl, uint32_t row,
-                             uint64_t raw, uint32_t deg) {
-  const uint32_t slot = AliasArena::PickSlot(raw, deg);
-  const uint64_t off = sl.offsets[row];
-  if (!sl.slots.empty()) {
-    const AliasSlot s = sl.slots[off + slot];
-    return static_cast<uint32_t>(raw) < s.accept ? sl.targets[off + slot]
-                                                 : s.alias;
-  }
-  return sl.targets[off + slot];
-}
-
-// The three walk programs, restated as shard policies. Every draw below
-// matches the corresponding single-node program (engine/walk_kernel.h,
-// engine/walk_program.cc) bit for bit: the canonical move stream
-// CounterRandom(DeriveSeed(seed, source), walker << 32 | step) plus the
-// per-program channels. A policy is shared read-only across shard
-// workers; all mutable walk state stays in the per-shard cursors.
-
-struct SimRankShardPolicy {
-  static constexpr bool kMayRetire = false;
-  static constexpr bool kSecondOrder = false;
-  static constexpr bool kEmitsLevels = true;
-
-  uint64_t key = 0;  // DeriveSeed(config.seed, source)
-
-  uint64_t Draw(uint32_t w, uint32_t t) const {
-    return CounterRandom(key, (static_cast<uint64_t>(w) << 32) | t);
-  }
-};
-
-struct PprShardPolicy {
-  static constexpr bool kMayRetire = true;
-  static constexpr bool kSecondOrder = false;
-  static constexpr bool kEmitsLevels = false;
-
-  double alpha = 0.85;
-  uint64_t key = 0;
-  uint64_t stop_key = 0;  // DeriveSeed(key, kPprStopChannel)
-
-  uint64_t Draw(uint32_t w, uint32_t t) const {
-    return CounterRandom(key, (static_cast<uint64_t>(w) << 32) | t);
-  }
-  bool Retire(uint32_t w, uint32_t t) const {
-    const uint64_t coin =
-        CounterRandom(stop_key, (static_cast<uint64_t>(w) << 32) | t);
-    return DrawToUnit(coin) >= alpha;
-  }
-};
-
-struct Node2VecShardPolicy {
-  static constexpr bool kMayRetire = false;
-  static constexpr bool kSecondOrder = true;
-  static constexpr bool kEmitsLevels = true;
-
+// Row source over one shard's materialized slice (shard/walk_policies.h
+// defines the contract). In(prev) fetches of nodes the shard does not own
+// go through the plan's owning slice and are counted as remote row reads —
+// the in-process stand-in for a cross-worker adjacency message.
+struct SliceRowSource {
   const ShardPlan* plan = nullptr;
-  uint32_t max_trials = 64;
-  uint64_t key = 0;
-  uint64_t trial_base = 0;  // DeriveSeed(key, kNode2VecTrialChannel)
-  uint64_t thr_return = 0;
-  uint64_t thr_near = 0;
-  uint64_t thr_far = 0;
+  const ShardSlice* slice = nullptr;
+  int shard = 0;
 
-  void Configure(const Node2VecParams& params) {
-    CW_CHECK_GT(params.return_p, 0.0);
-    CW_CHECK_GT(params.in_out_q, 0.0);
-    CW_CHECK_GT(params.max_trials, 0u);
-    const double w_return = 1.0 / params.return_p;
-    const double w_far = 1.0 / params.in_out_q;
-    const double w_max = std::max({1.0, w_return, w_far});
-    thr_return = AcceptThreshold(w_return / w_max);
-    thr_near = AcceptThreshold(1.0 / w_max);
-    thr_far = AcceptThreshold(w_far / w_max);
-    max_trials = params.max_trials;
+  RowLocation Locate(NodeId v) const {
+    const uint32_t row = plan->LocalRow(v);
+    return RowLocation{slice->offsets[row], slice->RowDegree(row)};
   }
-
-  uint64_t Draw(uint32_t w, uint32_t t) const {
-    return CounterRandom(key, (static_cast<uint64_t>(w) << 32) | t);
+  NodeId Pick(const RowLocation& loc, uint64_t raw) const {
+    return PickFromRow(slice->targets, slice->slots, loc, raw);
   }
-
-  // Full second-order step. In(prev) may live on another shard — the
-  // fetch goes through the plan's owning slice and is counted as a remote
-  // row read, the in-process stand-in for a cross-worker adjacency
-  // message.
-  NodeId Advance(uint32_t w, uint32_t t, NodeId cur, NodeId prev,
-                 const ShardSlice& sl, uint32_t row, uint32_t deg,
-                 int shard, uint64_t* remote_rows) const {
-    (void)cur;
-    if (prev == kInvalidNode) {
-      // First step: uniform on the canonical move stream — the same draw
-      // SimRank would make.
-      return ResolveUniform(sl, row, Draw(w, t), deg);
-    }
-    const uint64_t trial_key =
-        DeriveSeed(trial_base, (static_cast<uint64_t>(w) << 32) | t);
+  std::span<const NodeId> InRow(NodeId v, uint64_t* remote_rows) const {
     bool remote = false;
-    const auto in_prev = plan->InRow(prev, shard, &remote);
+    const std::span<const NodeId> row = plan->InRow(v, shard, &remote);
     if (remote) ++*remote_rows;
-    NodeId candidate = kInvalidNode;
-    for (uint32_t trial = 0; trial < max_trials; ++trial) {
-      const uint64_t raw = CounterRandom(trial_key, trial);
-      candidate = ResolveUniform(sl, row, raw, deg);
-      uint64_t threshold;
-      if (candidate == prev) {
-        threshold = thr_return;
-      } else if (std::binary_search(in_prev.begin(), in_prev.end(),
-                                    candidate)) {
-        threshold = thr_near;
-      } else {
-        threshold = thr_far;
-      }
-      if ((raw & 0xffffffffull) < threshold) return candidate;
-    }
-    return candidate;  // trial cap: accept the last candidate
+    return row;
   }
 };
 
@@ -229,55 +120,39 @@ void ShardedWalkEngine::RunSupersteps(NodeId source, const WalkConfig& config,
     if (config.cancel != nullptr && config.cancel->ShouldStop()) break;
 
     // Phase A — advance. Each shard moves its residents one level using
-    // only its slice; emigrants batch into per-destination outboxes.
+    // only its slice (the shared AdvanceWalker step of
+    // shard/walk_policies.h); emigrants batch into per-destination
+    // outboxes.
     ParallelFor(
         pool_.get(), 0, static_cast<uint64_t>(num_shards), /*grain=*/1,
         [&](uint64_t begin, uint64_t end) {
           for (uint64_t si = begin; si < end; ++si) {
             ShardState& st = shards[si];
-            const ShardSlice& sl = plan_.slice(static_cast<int>(si));
+            const SliceRowSource rows{&plan_,
+                                      &plan_.slice(static_cast<int>(si)),
+                                      static_cast<int>(si)};
             st.endpoints.clear();
             st.keep.clear();
             for (WalkerRec& rec : st.inbox) {
               const NodeId v = rec.cur;
+              const WalkerStepOutcome outcome = AdvanceWalker(
+                  rows, policy, t, self_loop, rec, &st.remote_rows);
               if constexpr (Policy::kMayRetire) {
-                if (policy.Retire(rec.walker, t)) {
+                if (outcome == WalkerStepOutcome::kRetired) {
                   st.terminals.push_back(v);
                   ++st.dead;
                   continue;
                 }
               }
-              const uint32_t row = plan_.LocalRow(v);
-              const uint32_t deg = sl.RowDegree(row);
-              if (deg == 0) {
-                ++st.stats.steps;
-                if (self_loop) {
-                  if constexpr (Policy::kSecondOrder) rec.prev = v;
-                  if constexpr (Policy::kEmitsLevels) {
-                    st.endpoints.push_back(v);
-                  }
-                  st.keep.push_back(rec);
-                } else {
-                  ++st.dead;
-                }
+              ++st.stats.steps;
+              if (outcome == WalkerStepOutcome::kDied) {
+                ++st.dead;
                 continue;
               }
-              NodeId next;
-              if constexpr (Policy::kSecondOrder) {
-                next = policy.Advance(rec.walker, t, v, rec.prev, sl, row,
-                                      deg, static_cast<int>(si),
-                                      &st.remote_rows);
-                rec.prev = v;
-              } else {
-                next = ResolveUniform(sl, row,
-                                      policy.Draw(rec.walker, t), deg);
-              }
-              ++st.stats.steps;
               if constexpr (Policy::kEmitsLevels) {
-                st.endpoints.push_back(next);
+                st.endpoints.push_back(rec.cur);
               }
-              rec.cur = next;
-              const int dest = plan_.Owner(next);
+              const int dest = plan_.Owner(rec.cur);
               if (dest == static_cast<int>(si)) {
                 st.keep.push_back(rec);
               } else {
@@ -358,8 +233,8 @@ void ShardedWalkEngine::RunSupersteps(NodeId source, const WalkConfig& config,
 WalkDistributions ShardedWalkEngine::SimRankLevels(NodeId source,
                                                    const WalkConfig& config,
                                                    WalkStats* stats) const {
-  SimRankShardPolicy policy;
-  policy.key = DeriveSeed(config.seed, source);
+  SimRankWalkPolicy policy;
+  policy.Configure(config.seed, source);
   WalkDistributions out;
   RunSupersteps(source, config, policy, stats, &out.levels,
                 /*terminals=*/nullptr);
@@ -370,12 +245,8 @@ SparseVector ShardedWalkEngine::PprEndpoints(NodeId source,
                                              const WalkConfig& config,
                                              const PprParams& params,
                                              WalkStats* stats) const {
-  CW_CHECK_GT(params.alpha, 0.0);
-  CW_CHECK_LT(params.alpha, 1.0);
-  PprShardPolicy policy;
-  policy.alpha = params.alpha;
-  policy.key = DeriveSeed(config.seed, source);
-  policy.stop_key = DeriveSeed(policy.key, kPprStopChannel);
+  PprWalkPolicy policy;
+  policy.Configure(config.seed, source, params);
   std::vector<NodeId> terminals;
   terminals.reserve(config.num_walkers);
   RunSupersteps(source, config, policy, stats, /*levels=*/nullptr,
@@ -387,11 +258,8 @@ SparseVector ShardedWalkEngine::PprEndpoints(NodeId source,
 WalkDistributions ShardedWalkEngine::Node2VecLevels(
     NodeId source, const WalkConfig& config, const Node2VecParams& params,
     WalkStats* stats) const {
-  Node2VecShardPolicy policy;
-  policy.plan = &plan_;
-  policy.Configure(params);
-  policy.key = DeriveSeed(config.seed, source);
-  policy.trial_base = DeriveSeed(policy.key, kNode2VecTrialChannel);
+  Node2VecWalkPolicy policy;
+  policy.Configure(config.seed, source, params);
   WalkDistributions out;
   RunSupersteps(source, config, policy, stats, &out.levels,
                 /*terminals=*/nullptr);

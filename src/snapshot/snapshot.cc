@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/crc32.h"
+#include "common/random.h"
 #include "common/serialize.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -104,6 +105,27 @@ Status DecodeMetadata(const std::string& bytes, SimRankParams* params,
 
 Status Corrupt(const std::string& path, const std::string& what) {
   return Status::DataLoss("snapshot " + path + ": " + what);
+}
+
+// The SnapshotSections group a payload section belongs to. 0 means the
+// section (metadata) is validated under every mask.
+uint32_t SectionGroup(uint32_t id) {
+  switch (static_cast<SnapshotSection>(id)) {
+    case SnapshotSection::kOutOffsets:
+    case SnapshotSection::kOutTargets:
+      return kSnapshotOut;
+    case SnapshotSection::kInOffsets:
+    case SnapshotSection::kInTargets:
+      return kSnapshotIn;
+    case SnapshotSection::kArenaOffsets:
+    case SnapshotSection::kArenaSlots:
+      return kSnapshotArena;
+    case SnapshotSection::kDiagonal:
+      return kSnapshotDiagonal;
+    case SnapshotSection::kMeta:
+      return 0;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -236,6 +258,11 @@ SnapshotView::~SnapshotView() {
 
 StatusOr<std::shared_ptr<const SnapshotView>> SnapshotView::Open(
     const std::string& path) {
+  return Open(path, kSnapshotAll);
+}
+
+StatusOr<std::shared_ptr<const SnapshotView>> SnapshotView::Open(
+    const std::string& path, uint32_t sections) {
   // shared_ptr (not make_shared): the constructor is private, and the
   // destructor must run even when validation fails below.
   std::shared_ptr<SnapshotView> view(new SnapshotView());
@@ -268,11 +295,16 @@ StatusOr<std::shared_ptr<const SnapshotView>> SnapshotView::Open(
   view->data_ = view->heap_buffer_.data();
   view->size_ = view->heap_buffer_.size();
 #endif
-  CW_RETURN_IF_ERROR(view->Validate(path));
+  CW_RETURN_IF_ERROR(view->Validate(path, sections & kSnapshotAll));
   return std::shared_ptr<const SnapshotView>(std::move(view));
 }
 
-Status SnapshotView::Validate(const std::string& path) {
+Status SnapshotView::Validate(const std::string& path, uint32_t sections) {
+  sections_ = sections;
+  const auto selected = [sections](uint32_t id) {
+    const uint32_t group = SectionGroup(id);
+    return group == 0 || (sections & group) != 0;
+  };
   if (size_ < kHeaderBytes) {
     return Corrupt(path, "truncated header (" + std::to_string(size_) +
                              " bytes, need " + std::to_string(kHeaderBytes) +
@@ -284,11 +316,11 @@ Status SnapshotView::Validate(const std::string& path) {
   if (std::memcmp(data_, kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument("not a cloudwalker snapshot: " + path);
   }
-  uint32_t version = 0, endian = 0, sections = 0, dir_crc = 0;
+  uint32_t version = 0, endian = 0, num_sections = 0, dir_crc = 0;
   uint64_t file_size = 0, n64 = 0, m64 = 0;
   std::memcpy(&version, data_ + 8, 4);
   std::memcpy(&endian, data_ + 12, 4);
-  std::memcpy(&sections, data_ + 16, 4);
+  std::memcpy(&num_sections, data_ + 16, 4);
   std::memcpy(&dir_crc, data_ + 20, 4);
   std::memcpy(&file_size, data_ + 24, 8);
   std::memcpy(&n64, data_ + 32, 8);
@@ -302,11 +334,11 @@ Status SnapshotView::Validate(const std::string& path) {
         "snapshot " + path +
         " was written on a machine with a different byte order");
   }
-  if (sections < kNumSections || sections > 64) {
-    return Corrupt(path,
-                   "implausible section count " + std::to_string(sections));
+  if (num_sections < kNumSections || num_sections > 64) {
+    return Corrupt(
+        path, "implausible section count " + std::to_string(num_sections));
   }
-  const uint64_t dir_bytes = uint64_t{sections} * kDirEntryBytes;
+  const uint64_t dir_bytes = uint64_t{num_sections} * kDirEntryBytes;
   if (kHeaderBytes + dir_bytes > size_) {
     return Corrupt(path, "truncated directory");
   }
@@ -320,6 +352,10 @@ Status SnapshotView::Validate(const std::string& path) {
     if (actual != dir_crc) {
       return Corrupt(path, "header/directory checksum mismatch");
     }
+    // The artifact's identity: the verified header+directory CRC already
+    // covers every section checksum, so any byte-level change anywhere in
+    // the file moves it. Mixed with the size for a full 64-bit tag.
+    fingerprint_ = DeriveSeed(actual, size_);
   }
   if (file_size != size_) {
     return Corrupt(path, "file is " + std::to_string(size_) +
@@ -336,7 +372,7 @@ Status SnapshotView::Validate(const std::string& path) {
   const DirEntry* entries =
       reinterpret_cast<const DirEntry*>(data_ + kHeaderBytes);
   const DirEntry* found[kNumSections] = {};
-  for (uint32_t i = 0; i < sections; ++i) {
+  for (uint32_t i = 0; i < num_sections; ++i) {
     const DirEntry& e = entries[i];
     if (e.offset % kSectionAlign != 0 || e.offset > size_ ||
         e.length > size_ - e.offset) {
@@ -347,7 +383,10 @@ Status SnapshotView::Validate(const std::string& path) {
       return Corrupt(path, std::string("section ") + SectionName(e.id) +
                                " has a malformed element size");
     }
-    if (Crc32(data_ + e.offset, e.length) != e.crc) {
+    // The payload CRC pass is the expensive part of Open; a masked open
+    // skips it for the sections it will never read (their checksums stay
+    // pinned by the verified directory CRC above).
+    if (selected(e.id) && Crc32(data_ + e.offset, e.length) != e.crc) {
       return Corrupt(path, std::string("checksum mismatch in section ") +
                                SectionName(e.id));
     }
@@ -361,9 +400,9 @@ Status SnapshotView::Validate(const std::string& path) {
   // flipped byte anywhere in the file is detectable.
   {
     std::vector<std::pair<uint64_t, uint64_t>> extents;
-    extents.reserve(sections + 1);
+    extents.reserve(num_sections + 1);
     extents.emplace_back(0, kHeaderBytes + dir_bytes);
-    for (uint32_t i = 0; i < sections; ++i) {
+    for (uint32_t i = 0; i < num_sections; ++i) {
       extents.emplace_back(entries[i].offset,
                            entries[i].offset + entries[i].length);
     }
@@ -438,22 +477,32 @@ Status SnapshotView::Validate(const std::string& path) {
   const DirEntry* e_meta =
       found[static_cast<uint32_t>(SnapshotSection::kMeta) - 1];
 
-  out_offsets_ = {reinterpret_cast<const uint64_t*>(section_ptr(e_out_off)),
-                  n + 1};
-  out_targets_ = {reinterpret_cast<const NodeId*>(section_ptr(e_out_tgt)),
-                  m};
-  in_offsets_ = {reinterpret_cast<const uint64_t*>(section_ptr(e_in_off)),
-                 n + 1};
-  in_targets_ = {reinterpret_cast<const NodeId*>(section_ptr(e_in_tgt)), m};
-  arena_offsets_ = {reinterpret_cast<const uint64_t*>(section_ptr(e_ar_off)),
-                    n + 1};
-  arena_slots_ = {reinterpret_cast<const AliasSlot*>(section_ptr(e_ar_slot)),
-                  m};
-  diagonal_ = {reinterpret_cast<const double*>(section_ptr(e_diag)), n};
+  if ((sections & kSnapshotOut) != 0) {
+    out_offsets_ = {
+        reinterpret_cast<const uint64_t*>(section_ptr(e_out_off)), n + 1};
+    out_targets_ = {reinterpret_cast<const NodeId*>(section_ptr(e_out_tgt)),
+                    m};
+  }
+  if ((sections & kSnapshotIn) != 0) {
+    in_offsets_ = {reinterpret_cast<const uint64_t*>(section_ptr(e_in_off)),
+                   n + 1};
+    in_targets_ = {reinterpret_cast<const NodeId*>(section_ptr(e_in_tgt)),
+                   m};
+  }
+  if ((sections & kSnapshotArena) != 0) {
+    arena_offsets_ = {
+        reinterpret_cast<const uint64_t*>(section_ptr(e_ar_off)), n + 1};
+    arena_slots_ = {
+        reinterpret_cast<const AliasSlot*>(section_ptr(e_ar_slot)), m};
+  }
+  if ((sections & kSnapshotDiagonal) != 0) {
+    diagonal_ = {reinterpret_cast<const double*>(section_ptr(e_diag)), n};
+  }
 
   // Structural invariants the zero-copy views rely on: the kernels index
   // with these values unchecked, so a file that passes here can never
-  // send a walker out of bounds.
+  // send a walker out of bounds. Each check runs only for the groups this
+  // open selected — an unselected group hands out no spans.
   const auto offsets_ok = [&](std::span<const uint64_t> off) {
     if (off.front() != 0 || off.back() != m) return false;
     for (uint64_t v = 0; v < n; ++v) {
@@ -461,21 +510,38 @@ Status SnapshotView::Validate(const std::string& path) {
     }
     return true;
   };
-  if (!offsets_ok(out_offsets_) || !offsets_ok(in_offsets_)) {
+  if (((sections & kSnapshotOut) != 0 && !offsets_ok(out_offsets_)) ||
+      ((sections & kSnapshotIn) != 0 && !offsets_ok(in_offsets_))) {
     return Corrupt(path, "CSR offsets are not monotone over [0, num_edges]");
   }
-  if (std::memcmp(arena_offsets_.data(), in_offsets_.data(),
-                  (n + 1) * sizeof(uint64_t)) != 0) {
-    return Corrupt(path, "alias arena offsets diverge from the in-CSR");
-  }
-  for (uint64_t i = 0; i < m; ++i) {
-    if (out_targets_[i] >= n || in_targets_[i] >= n) {
-      return Corrupt(path, "edge target out of node range");
+  if ((sections & kSnapshotArena) != 0) {
+    if ((sections & kSnapshotIn) != 0) {
+      if (std::memcmp(arena_offsets_.data(), in_offsets_.data(),
+                      (n + 1) * sizeof(uint64_t)) != 0) {
+        return Corrupt(path, "alias arena offsets diverge from the in-CSR");
+      }
+    } else if (!offsets_ok(arena_offsets_)) {
+      // Without the in-CSR to mirror-check against, the arena offsets
+      // must still be independently safe to index with.
+      return Corrupt(path,
+                     "arena offsets are not monotone over [0, num_edges]");
     }
   }
-  for (uint64_t i = 0; i < m; ++i) {
-    if (arena_slots_[i].alias >= n) {
-      return Corrupt(path, "alias slot target out of node range");
+  const auto targets_ok = [n, m](std::span<const NodeId> targets) {
+    for (uint64_t i = 0; i < m; ++i) {
+      if (targets[i] >= n) return false;
+    }
+    return true;
+  };
+  if (((sections & kSnapshotOut) != 0 && !targets_ok(out_targets_)) ||
+      ((sections & kSnapshotIn) != 0 && !targets_ok(in_targets_))) {
+    return Corrupt(path, "edge target out of node range");
+  }
+  if ((sections & kSnapshotArena) != 0) {
+    for (uint64_t i = 0; i < m; ++i) {
+      if (arena_slots_[i].alias >= n) {
+        return Corrupt(path, "alias slot target out of node range");
+      }
     }
   }
 

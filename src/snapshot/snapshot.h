@@ -69,6 +69,22 @@ enum class SnapshotSection : uint32_t {
   kMeta = 8,          // BinaryWriter-encoded SnapshotMetadata
 };
 
+/// Bitmask over the payload groups of a snapshot, for partition-aware
+/// opens: a shard worker that only ever advances walkers along in-links
+/// loads kSnapshotIn | kSnapshotArena and skips the integrity pass (CRC +
+/// structural sweep) over the out-CSR and diagonal sections it never
+/// touches. The header, directory, and metadata are always validated, and
+/// the directory CRC still covers every section checksum, so a masked open
+/// loses no tamper evidence for the bytes it actually reads. Spans of
+/// unselected groups come back empty.
+enum SnapshotSections : uint32_t {
+  kSnapshotOut = 1u << 0,       // kOutOffsets + kOutTargets
+  kSnapshotIn = 1u << 1,        // kInOffsets + kInTargets
+  kSnapshotArena = 1u << 2,     // kArenaOffsets + kArenaSlots
+  kSnapshotDiagonal = 1u << 3,  // kDiagonal
+  kSnapshotAll = 0xfu,
+};
+
 /// Build provenance stamped into every snapshot: the indexing knobs the
 /// D-vector was estimated under, the default-QueryOptions fingerprint the
 /// build was validated against, and execution counters.
@@ -111,6 +127,13 @@ class SnapshotView {
   static StatusOr<std::shared_ptr<const SnapshotView>> Open(
       const std::string& path);
 
+  /// Partition-aware open: validates and exposes only the payload groups
+  /// in `sections` (a SnapshotSections mask; the header, directory, and
+  /// metadata are always checked). The net shard worker uses this to mmap
+  /// just the in-CSR + alias arena it walks against.
+  static StatusOr<std::shared_ptr<const SnapshotView>> Open(
+      const std::string& path, uint32_t sections);
+
   ~SnapshotView();
   SnapshotView(const SnapshotView&) = delete;
   SnapshotView& operator=(const SnapshotView&) = delete;
@@ -133,16 +156,28 @@ class SnapshotView {
   /// Total bytes of the underlying file.
   uint64_t file_bytes() const { return size_; }
 
+  /// 64-bit identity of the artifact, derived from the header + directory
+  /// CRC (which covers every section checksum) and the file size — any
+  /// byte-level change to the snapshot changes it. Independent of the
+  /// section mask the view was opened with; the net handshake pins it so a
+  /// coordinator and its workers provably serve the same artifact.
+  uint64_t fingerprint() const { return fingerprint_; }
+
+  /// The SnapshotSections mask this view was opened with.
+  uint32_t sections() const { return sections_; }
+
   /// True when the spans alias an mmap (false on the heap fallback).
   bool mmapped() const { return mmapped_; }
 
  private:
   SnapshotView() = default;
 
-  Status Validate(const std::string& path);
+  Status Validate(const std::string& path, uint32_t sections);
 
   const char* data_ = nullptr;
   uint64_t size_ = 0;
+  uint64_t fingerprint_ = 0;
+  uint32_t sections_ = kSnapshotAll;
   bool mmapped_ = false;
   std::string heap_buffer_;  // backing store on the no-mmap fallback
 

@@ -58,7 +58,9 @@ INSTANTIATE_TEST_SUITE_P(
         CodeCase{Status::Cancelled("m"), StatusCode::kCancelled,
                  "Cancelled"},
         CodeCase{Status::DataLoss("m"), StatusCode::kDataLoss,
-                 "DataLoss"}));
+                 "DataLoss"},
+        CodeCase{Status::Unavailable("m"), StatusCode::kUnavailable,
+                 "Unavailable"}));
 
 TEST(StatusTest, PredicatesMatchExactlyOneCode) {
   using Predicate = bool (Status::*)() const;
@@ -74,6 +76,7 @@ TEST(StatusTest, PredicatesMatchExactlyOneCode) {
       {Status::DeadlineExceeded("m"), &Status::IsDeadlineExceeded},
       {Status::Cancelled("m"), &Status::IsCancelled},
       {Status::DataLoss("m"), &Status::IsDataLoss},
+      {Status::Unavailable("m"), &Status::IsUnavailable},
   };
   for (size_t holder = 0; holder < cases.size(); ++holder) {
     EXPECT_FALSE(cases[holder].first.ok());

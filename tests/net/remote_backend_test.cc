@@ -1,0 +1,293 @@
+// Coordinator-side behavior of cloudwalker-net-v1: worker-list parsing,
+// handshake acceptance and every rejection path (protocol version,
+// snapshot fingerprint, plan hash, shard range), fast failure on an
+// unreachable worker, bounded reconnect-and-replay after a worker fault,
+// and the TakeError() contract that keeps partial answers out of caches.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cloudwalker.h"
+#include "graph/generators.h"
+#include "net/framing.h"
+#include "net/remote_backend.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "worker_fleet.h"
+
+namespace cloudwalker {
+namespace {
+
+// One snapshot per suite run, shared by every test.
+class RemoteBackendTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    IndexingOptions opts;
+    opts.num_walkers = 40;
+    auto built = CloudWalker::Build(GenerateRmat(200, 1500, 11), opts);
+    ASSERT_TRUE(built.ok()) << built.status().message();
+    path_ = new std::string(::testing::TempDir() + "/remote_backend.cwk");
+    ASSERT_TRUE((*built)->WriteSnapshot(*path_).ok());
+    auto opened = CloudWalker::Open(*path_);
+    ASSERT_TRUE(opened.ok()) << opened.status().message();
+    base_ = new std::shared_ptr<const CloudWalker>(std::move(*opened));
+  }
+
+  static void TearDownTestSuite() {
+    delete base_;
+    delete path_;
+  }
+
+  static const std::string& path() { return *path_; }
+  static const std::shared_ptr<const CloudWalker>& base() { return *base_; }
+
+  static QueryOptions FastOptions() {
+    QueryOptions q;
+    q.num_walkers = 120;
+    return q;
+  }
+
+  static std::string* path_;
+  static std::shared_ptr<const CloudWalker>* base_;
+};
+
+std::string* RemoteBackendTest::path_ = nullptr;
+std::shared_ptr<const CloudWalker>* RemoteBackendTest::base_ = nullptr;
+
+TEST_F(RemoteBackendTest, ParseWorkerListAcceptsAndRejects) {
+  auto two = ParseWorkerList("127.0.0.1:7001,example.net:80");
+  ASSERT_TRUE(two.ok()) << two.status().ToString();
+  ASSERT_EQ(two->size(), 2u);
+  EXPECT_EQ((*two)[0].host, "127.0.0.1");
+  EXPECT_EQ((*two)[0].port, 7001);
+  EXPECT_EQ((*two)[1].ToString(), "example.net:80");
+
+  EXPECT_TRUE(ParseWorkerList("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseWorkerList("noport").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseWorkerList("host:0").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseWorkerList("host:70000").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseWorkerList("host:x").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseWorkerList("a:1,,b:2").status().IsInvalidArgument());
+}
+
+TEST_F(RemoteBackendTest, UnreachableWorkerFailsFastWithUnavailable) {
+  RemoteBackendOptions options;
+  options.workers = {{"127.0.0.1", 1}};  // nothing listens on port 1
+  options.connect_timeout_seconds = 1.0;
+  const auto backend =
+      RemoteWalkBackend::Connect(base()->graph(), 1, options);
+  ASSERT_FALSE(backend.ok());
+  EXPECT_TRUE(backend.status().IsUnavailable())
+      << backend.status().ToString();
+  EXPECT_NE(backend.status().message().find("127.0.0.1:1"),
+            std::string::npos)
+      << backend.status().ToString();
+}
+
+TEST_F(RemoteBackendTest, WrongFingerprintRejectedAtHandshake) {
+  WorkerFleet fleet(path(), 1);
+  RemoteBackendOptions options;
+  options.workers = fleet.Addresses();
+  const uint64_t bogus = fleet.fingerprint() ^ 0xdeadbeefull;
+  const auto backend =
+      RemoteWalkBackend::Connect(base()->graph(), bogus, options);
+  ASSERT_FALSE(backend.ok());
+  EXPECT_TRUE(backend.status().IsFailedPrecondition())
+      << backend.status().ToString();
+  EXPECT_NE(backend.status().message().find("fingerprint"),
+            std::string::npos)
+      << backend.status().ToString();
+}
+
+// Sends one raw kHello with `mutate` applied to an otherwise-correct
+// handshake and returns the worker's error reply.
+Status RawHandshake(const WorkerFleet& fleet, NodeId num_nodes,
+                    void (*mutate)(HelloMsg*)) {
+  auto conn = TcpConnect("127.0.0.1", fleet.port(0), 5.0);
+  EXPECT_TRUE(conn.ok());
+  HelloMsg hello;
+  hello.shard = 0;
+  hello.num_shards = 1;
+  hello.strategy = static_cast<uint32_t>(PartitionStrategy::kHash);
+  hello.snapshot_fingerprint = fleet.fingerprint();
+  hello.num_nodes = num_nodes;
+  hello.plan_hash =
+      NetPlanHash(PartitionStrategy::kHash, hello.num_shards, num_nodes);
+  mutate(&hello);
+  EXPECT_TRUE(SendFrame(*conn, MsgType::kHello,
+                        EncodeHello(hello, "raw-test"), 5.0)
+                  .ok());
+  auto reply = RecvFrame(*conn, 5.0);
+  EXPECT_TRUE(reply.ok()) << reply.status().ToString();
+  if (!reply.ok()) return reply.status();
+  if (reply->type == MsgType::kHelloOk) return Status::Ok();
+  EXPECT_EQ(reply->type, MsgType::kError);
+  return DecodeErrorStatus(reply->payload);
+}
+
+TEST_F(RemoteBackendTest, HandshakeRejectionsNameTheirCause) {
+  WorkerFleet fleet(path(), 1);
+  const NodeId nodes = base()->graph().num_nodes();
+
+  const Status ok = RawHandshake(fleet, nodes, [](HelloMsg*) {});
+  EXPECT_TRUE(ok.ok()) << ok.ToString();
+
+  const Status version = RawHandshake(
+      fleet, nodes, [](HelloMsg* h) { h->protocol_version = 999; });
+  EXPECT_TRUE(version.IsFailedPrecondition()) << version.ToString();
+  EXPECT_NE(version.message().find("protocol version"), std::string::npos)
+      << version.ToString();
+  EXPECT_NE(version.message().find("999"), std::string::npos);
+
+  const Status shard = RawHandshake(fleet, nodes, [](HelloMsg* h) {
+    h->shard = 7;  // >= num_shards = 1
+  });
+  EXPECT_TRUE(shard.IsFailedPrecondition()) << shard.ToString();
+
+  const Status plan = RawHandshake(
+      fleet, nodes, [](HelloMsg* h) { h->plan_hash ^= 1; });
+  EXPECT_TRUE(plan.IsFailedPrecondition()) << plan.ToString();
+  EXPECT_NE(plan.message().find("plan hash"), std::string::npos)
+      << plan.ToString();
+
+  const Status nodes_mismatch = RawHandshake(
+      fleet, nodes + 5, [](HelloMsg*) {});
+  EXPECT_TRUE(nodes_mismatch.IsFailedPrecondition())
+      << nodes_mismatch.ToString();
+}
+
+TEST_F(RemoteBackendTest, DistributeAnswersMatchSingleNode) {
+  WorkerFleet fleet(path(), 2);
+  RemoteBackendOptions options;
+  options.workers = fleet.Addresses();
+  auto remote = CloudWalker::Distribute(base(), options);
+  ASSERT_TRUE(remote.ok()) << remote.status().message();
+
+  const QueryOptions q = FastOptions();
+  EXPECT_EQ(base()->SinglePair(3, 40, q).value(),
+            (*remote)->SinglePair(3, 40, q).value());
+  const auto want = base()->PersonalizedPageRankTopK(7, 10, q).value();
+  const auto got = (*remote)->PersonalizedPageRankTopK(7, 10, q).value();
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].node, got[i].node);
+    EXPECT_EQ(want[i].score, got[i].score);
+  }
+}
+
+TEST_F(RemoteBackendTest, DistributeRequiresSnapshotBackedEngine) {
+  IndexingOptions opts;
+  opts.num_walkers = 20;
+  const auto in_memory =
+      CloudWalker::Build(GenerateRmat(60, 400, 5), opts).value();
+  RemoteBackendOptions options;
+  options.workers = {{"127.0.0.1", 7001}};
+  const auto remote = CloudWalker::Distribute(in_memory, options);
+  ASSERT_FALSE(remote.ok());
+  EXPECT_TRUE(remote.status().IsFailedPrecondition());
+  EXPECT_TRUE(CloudWalker::Distribute(nullptr, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(RemoteBackendTest, WorkerFaultIsReplayedBitIdentically) {
+  // Worker 0 silently drops its connection after a few frames — exactly
+  // once. The coordinator must reconnect, re-handshake, resend the same
+  // superstep, and produce the same answer as a fault-free run.
+  const QueryOptions q = FastOptions();
+  const double want = base()->SinglePair(5, 90, q).value();
+
+  WorkerFleet fleet(path(), 2, /*fail_after=*/4);
+  RemoteBackendOptions options;
+  options.workers = fleet.Addresses();
+  options.superstep_timeout_seconds = 5.0;
+  auto remote = CloudWalker::Distribute(base(), options);
+  ASSERT_TRUE(remote.ok()) << remote.status().message();
+  const auto got = (*remote)->SinglePair(5, 90, q);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, want);
+
+  // The recovery is visible in the exchange telemetry.
+  const auto* backend =
+      dynamic_cast<const RemoteWalkBackend*>((*remote)->walk_backend());
+  ASSERT_NE(backend, nullptr);
+  const RemoteExchangeStats stats = backend->exchange_stats();
+  EXPECT_GE(stats.replays, 1u) << "fault injection never fired";
+  EXPECT_GE(stats.reconnects, 1u);
+}
+
+TEST_F(RemoteBackendTest, DeadFleetSurfacesUnavailableNotPartialAnswer) {
+  WorkerFleet fleet(path(), 2);
+  RemoteBackendOptions options;
+  options.workers = fleet.Addresses();
+  options.connect_timeout_seconds = 0.5;
+  options.superstep_timeout_seconds = 0.5;
+  options.max_attempts = 2;
+  options.retry_backoff_seconds = 0.01;
+  auto remote = CloudWalker::Distribute(base(), options);
+  ASSERT_TRUE(remote.ok());
+  const QueryOptions q = FastOptions();
+  ASSERT_TRUE((*remote)->SinglePair(2, 30, q).ok());
+
+  fleet.StopAll();
+  const auto dead = (*remote)->SinglePair(2, 30, q);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_TRUE(dead.status().IsUnavailable()) << dead.status().ToString();
+
+  // The error was drained: it must not leak into a later query's result.
+  const auto again = (*remote)->SinglePair(2, 30, q);
+  EXPECT_TRUE(again.status().IsUnavailable());
+}
+
+TEST_F(RemoteBackendTest, PingDetectsDeathAndRecoversAfterRestart) {
+  WorkerFleet fleet(path(), 2);
+  RemoteBackendOptions options;
+  options.workers = fleet.Addresses();
+  options.connect_timeout_seconds = 0.5;
+  auto backend = RemoteWalkBackend::Connect(
+      base()->graph(), fleet.fingerprint(), options);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_TRUE((*backend)->Ping().ok());
+
+  fleet.Stop(1);
+  const Status dead = (*backend)->Ping();
+  ASSERT_FALSE(dead.ok());
+  EXPECT_TRUE(dead.IsUnavailable()) << dead.ToString();
+
+  fleet.Restart(1, path());
+  EXPECT_TRUE((*backend)->Ping().ok());
+}
+
+TEST_F(RemoteBackendTest, ExchangeStatsCountTraffic) {
+  WorkerFleet fleet(path(), 3);
+  RemoteBackendOptions options;
+  options.workers = fleet.Addresses();
+  auto backend = RemoteWalkBackend::Connect(
+      base()->graph(), fleet.fingerprint(), options);
+  ASSERT_TRUE(backend.ok());
+  EXPECT_EQ((*backend)->num_workers(), 3);
+
+  WalkConfig config;
+  config.num_walkers = 100;
+  config.num_steps = 6;
+  config.seed = 7;
+  WalkStats stats;
+  const auto levels = (*backend)->SimRankLevels(4, config, &stats);
+  EXPECT_TRUE((*backend)->TakeError().ok());
+  EXPECT_EQ(levels.num_levels(), config.num_steps + 1);
+  EXPECT_GT(stats.steps, 0u);
+
+  const RemoteExchangeStats net = (*backend)->exchange_stats();
+  EXPECT_GT(net.supersteps, 0u);
+  EXPECT_GT(net.walkers_shipped, 0u);
+  EXPECT_GT(net.bytes_sent, 0u);
+  EXPECT_GT(net.bytes_received, 0u);
+  EXPECT_EQ(net.replays, 0u);
+}
+
+}  // namespace
+}  // namespace cloudwalker

@@ -43,11 +43,14 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "common/version.h"
 #include "core/cloudwalker.h"
 #include "engine/parallel_walk.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/stats.h"
+#include "net/remote_backend.h"
+#include "net/wire.h"
 #include "serve/query_service.h"
 #include "serve/workload.h"
 #include "shard/sharding.h"
@@ -221,6 +224,19 @@ StatusOr<std::shared_ptr<const CloudWalker>> MaybeWrapEngine(
     const std::map<std::string, std::string>& flags) {
   const std::string shards = GetFlag(flags, "shards");
   const std::string walk_threads = GetFlag(flags, "walk-threads");
+  const std::string workers = GetFlag(flags, "workers");
+  if (!workers.empty()) {
+    // --workers=host:port,... routes the walk phases through the
+    // socket-connected shard workers (DESIGN.md section 13). Exclusive
+    // with the in-process wrappers: exactly one backend serves a query.
+    if (!shards.empty() || !walk_threads.empty()) {
+      return Status::InvalidArgument(
+          "--workers is mutually exclusive with --shards / --walk-threads");
+    }
+    RemoteBackendOptions options;
+    CW_ASSIGN_OR_RETURN(options.workers, ParseWorkerList(workers));
+    return CloudWalker::Distribute(engine, options);
+  }
   if (!shards.empty()) {
     ShardingOptions options;
     options.num_shards = std::stoi(shards);
@@ -552,9 +568,16 @@ void Usage() {
       "            --alpha=A (0.85), --p=P (1), --q=Q (1),\n"
       "            --walk-threads=N\n"
       "\n"
+      "  version   Print build info and the wire-protocol version\n"
+      "            (also --version).\n"
+      "\n"
       "--shards=N on pair/source/ppr/n2v/serve runs the walk phases on\n"
       "the in-process sharded engine (N shard slices, BSP walker\n"
       "exchange); answers are bit-identical to single-node.\n"
+      "--workers=HOST:PORT,... routes the walk phases through\n"
+      "socket-connected cloudwalker_shard_worker processes serving the\n"
+      "same --snapshot (worker i owns shard i; exclusive with --shards\n"
+      "and --walk-threads); answers are bit-identical to single-node.\n"
       "--walk-threads=N runs each query's walk phase on N worker threads\n"
       "(0 = hardware concurrency; with --shards it sizes the sharded\n"
       "engine's superstep pool instead); answers are bit-identical to\n"
@@ -577,6 +600,12 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   if (cmd == "help" || cmd == "--help" || cmd == "-h") {
     Usage();
+    return 0;
+  }
+  if (cmd == "version" || cmd == "--version") {
+    std::cout << BuildInfoString("cloudwalker_cli") << "\n"
+              << "wire protocol: " << kNetProtocolName << " (v"
+              << kNetProtocolVersion << ")\n";
     return 0;
   }
   const auto flags = ParseFlags(argc, argv, 2);
