@@ -272,7 +272,13 @@ void RemoteWalkBackend::RunJob(SuperstepMsg proto, const WalkConfig& config,
       if (alive_check.ok()) {
         StatusOr<Frame> ack =
             RecvFrame(conn, options_.connect_timeout_seconds);
-        alive_check = ack.ok() ? Status::Ok() : ack.status();
+        if (!ack.ok()) {
+          alive_check = ack.status();
+        } else if (ack->type != MsgType::kHeartbeatAck) {
+          // A stale kResult / kError here means the connection is
+          // desynced, not alive — drop it like a dead one.
+          alive_check = Status::Internal("desynced heartbeat reply");
+        }
       }
       if (!alive_check.ok()) conn.Close();  // redialed on first use
     }
@@ -330,7 +336,8 @@ void RemoteWalkBackend::RunJob(SuperstepMsg proto, const WalkConfig& config,
     }
 
     if (emits_levels) merged.clear();
-    for (const int shard : active) {
+    for (size_t drained = 0; drained < active.size(); ++drained) {
+      const int shard = active[drained];
       Frame reply;
       Status status =
           ExchangeOne(shard, requests[static_cast<size_t>(shard)],
@@ -356,7 +363,13 @@ void RemoteWalkBackend::RunJob(SuperstepMsg proto, const WalkConfig& config,
       if (!status.ok()) {
         // Unrecoverable: record the first error and return the truncated
         // job. The facade drains it via TakeError() and reports it
-        // instead of the partial answer.
+        // instead of the partial answer. The failing shard and every
+        // still-undrained shard may have a kSuperstep in flight whose
+        // reply was never matched; close those connections so the next
+        // job re-dials instead of reading a stale buffered kResult.
+        for (size_t rest = drained; rest < active.size(); ++rest) {
+          conns_[static_cast<size_t>(active[rest])].Close();
+        }
         RecordError(status);
         return;
       }
@@ -476,6 +489,7 @@ Status RemoteWalkBackend::Ping() const {
                                  ack.status().ToString());
     }
     if (ack->type != MsgType::kHeartbeatAck) {
+      conn.Close();  // desynced — re-dial on next use
       return Status::Internal("worker " + addr.ToString() +
                               " answered kHeartbeat with frame type " +
                               std::to_string(static_cast<int>(ack->type)));

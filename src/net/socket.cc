@@ -210,11 +210,16 @@ Status SendAll(const Socket& socket, const void* data, size_t size,
       sent += static_cast<size_t>(n);
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    if (n == 0) {
+      // send() does not set errno here; mirror RecvAll's peer-closed
+      // classification instead of reporting a stale errno.
+      return Status::Unavailable("connection closed by peer");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
       CW_RETURN_IF_ERROR(PollFor(socket.fd(), POLLOUT, deadline, "send"));
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
+    if (errno == EINTR) continue;
     return ErrnoStatus("send", errno);
   }
   return Status::Ok();

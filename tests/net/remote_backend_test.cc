@@ -243,6 +243,65 @@ TEST_F(RemoteBackendTest, DeadFleetSurfacesUnavailableNotPartialAnswer) {
   EXPECT_TRUE(again.status().IsUnavailable());
 }
 
+TEST_F(RemoteBackendTest, PartialFailureDoesNotWedgeSurvivorConnections) {
+  // One worker dies mid-job while the survivor still has a pipelined
+  // superstep in flight. The abort must close the survivor's connection
+  // too: its buffered reply would otherwise desync every later job
+  // (step-mismatch kInternal — deterministic, so never retried) or, on a
+  // step/count collision, be silently accepted as the new job's answer.
+  WorkerFleet fleet(path(), 2);
+  RemoteBackendOptions options;
+  options.workers = fleet.Addresses();
+  options.connect_timeout_seconds = 0.5;
+  options.superstep_timeout_seconds = 2.0;
+  options.max_attempts = 2;
+  options.retry_backoff_seconds = 0.01;
+  auto backend = RemoteWalkBackend::Connect(
+      base()->graph(), fleet.fingerprint(), options);
+  ASSERT_TRUE(backend.ok()) << backend.status().ToString();
+
+  // A source owned by shard 1 makes step 1 succeed against the surviving
+  // worker; by step 2 both shards are active, so killing worker 0 aborts
+  // the job while worker 1's reply is still buffered on its socket.
+  const Partitioner owners((*backend)->strategy(),
+                           base()->graph().num_nodes(), 2);
+  NodeId source = kInvalidNode;
+  for (NodeId v = 0; v < base()->graph().num_nodes(); ++v) {
+    if (owners.Owner(v) == 1) {
+      source = v;
+      break;
+    }
+  }
+  ASSERT_NE(source, kInvalidNode);
+
+  WalkConfig config;
+  config.num_walkers = 120;
+  config.num_steps = 6;
+  config.seed = 7;
+  const WalkDistributions want =
+      (*backend)->SimRankLevels(source, config, nullptr);
+  ASSERT_TRUE((*backend)->TakeError().ok());
+
+  fleet.Stop(0);
+  (void)(*backend)->SimRankLevels(source, config, nullptr);
+  const Status failed = (*backend)->TakeError();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE(failed.IsUnavailable()) << failed.ToString();
+
+  fleet.Restart(0, path());
+  const WalkDistributions healed =
+      (*backend)->SimRankLevels(source, config, nullptr);
+  const Status drained = (*backend)->TakeError();
+  ASSERT_TRUE(drained.ok()) << drained.ToString();
+  ASSERT_EQ(healed.num_levels(), want.num_levels());
+  for (size_t t = 0; t < want.num_levels(); ++t) {
+    ASSERT_EQ(healed.levels[t].size(), want.levels[t].size()) << "level " << t;
+    for (size_t i = 0; i < want.levels[t].size(); ++i) {
+      EXPECT_EQ(healed.levels[t][i], want.levels[t][i]) << "level " << t;
+    }
+  }
+}
+
 TEST_F(RemoteBackendTest, PingDetectsDeathAndRecoversAfterRestart) {
   WorkerFleet fleet(path(), 2);
   RemoteBackendOptions options;
