@@ -5,7 +5,11 @@
 #include "common/timer.h"
 #include "common/version.h"
 #include "engine/parallel_walk.h"
+#include "engine/walk_backend.h"
 #include "net/remote_backend.h"
+#include "ooc/ooc_backend.h"
+#include "ooc/paged_snapshot.h"
+#include "ooc/reorder.h"
 #include "shard/sharded_engine.h"
 #include "snapshot/snapshot.h"
 
@@ -13,6 +17,28 @@ namespace cloudwalker {
 namespace {
 
 double Clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+// Reconstructs the build-time knobs a snapshot's metadata block records
+// (shared by the in-memory and out-of-core open paths).
+IndexingOptions OptionsFromMetadata(const SimRankParams& params,
+                                    const SnapshotMetadata& meta) {
+  IndexingOptions options;
+  options.params = params;
+  options.num_walkers = meta.num_walkers;
+  options.jacobi_iterations = meta.jacobi_iterations;
+  options.seed = meta.seed;
+  options.row_mode = static_cast<RowMode>(meta.row_mode);
+  options.dangling = static_cast<DanglingPolicy>(meta.dangling);
+  options.initial_diagonal = meta.initial_diagonal;
+  return options;
+}
+
+IndexingStats StatsFromMetadata(const SnapshotMetadata& meta) {
+  IndexingStats stats;
+  stats.walk_steps = meta.walk_steps;
+  stats.walk_seconds = meta.build_seconds;
+  return stats;
+}
 
 }  // namespace
 
@@ -68,6 +94,16 @@ StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Shard(
   if (base == nullptr) {
     return Status::InvalidArgument("base engine must not be null");
   }
+  if (base->ooc_backend_ != nullptr) {
+    return Status::FailedPrecondition(
+        "Shard requires an in-memory graph: an out-of-core instance pages "
+        "its edges through the walker-block scheduler instead");
+  }
+  if (!base->int_to_ext_.empty()) {
+    return Status::FailedPrecondition(
+        "Shard does not support locality-reordered snapshots: replacing "
+        "the walk backend would drop the external-id RNG keying");
+  }
   CW_ASSIGN_OR_RETURN(
       std::shared_ptr<const ShardedWalkEngine> engine,
       ShardedWalkEngine::Build(base->graph(), base->walk_context_.get(),
@@ -86,6 +122,16 @@ StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Parallelize(
     const ParallelWalkOptions& options) {
   if (base == nullptr) {
     return Status::InvalidArgument("base engine must not be null");
+  }
+  if (base->ooc_backend_ != nullptr) {
+    return Status::FailedPrecondition(
+        "Parallelize requires an in-memory graph: an out-of-core instance "
+        "pages its edges through the walker-block scheduler instead");
+  }
+  if (!base->int_to_ext_.empty()) {
+    return Status::FailedPrecondition(
+        "Parallelize does not support locality-reordered snapshots: "
+        "replacing the walk backend would drop the external-id RNG keying");
   }
   CW_ASSIGN_OR_RETURN(
       std::shared_ptr<const ParallelWalkExecutor> executor,
@@ -110,6 +156,11 @@ StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Distribute(
         "Distribute requires a snapshot-backed engine (CloudWalker::Open): "
         "the handshake pins the snapshot fingerprint so coordinator and "
         "workers provably serve the same artifact");
+  }
+  if (!base->int_to_ext_.empty()) {
+    return Status::FailedPrecondition(
+        "Distribute does not support locality-reordered snapshots: the "
+        "wire protocol does not carry the external-id RNG keying");
   }
   CW_ASSIGN_OR_RETURN(
       std::shared_ptr<const RemoteWalkBackend> backend,
@@ -139,27 +190,96 @@ StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::Open(
       DiagonalIndex::FromView(view->params(), view->diagonal());
 
   const SnapshotMetadata& meta = view->metadata();
-  IndexingOptions options;
-  options.params = view->params();
-  options.num_walkers = meta.num_walkers;
-  options.jacobi_iterations = meta.jacobi_iterations;
-  options.seed = meta.seed;
-  options.row_mode = static_cast<RowMode>(meta.row_mode);
-  options.dangling = static_cast<DanglingPolicy>(meta.dangling);
-  options.initial_diagonal = meta.initial_diagonal;
-  IndexingStats stats;
-  stats.walk_steps = meta.walk_steps;
-  stats.walk_seconds = meta.build_seconds;
-
-  CloudWalker opened(graph.get(), std::move(index), std::move(stats),
-                     options, std::move(context));
+  CloudWalker opened(graph.get(), std::move(index),
+                     StatsFromMetadata(meta),
+                     OptionsFromMetadata(view->params(), meta),
+                     std::move(context));
   opened.owned_graph_ = std::move(graph);
+  if (!view->permutation().empty()) {
+    // Locality-reordered artifact: queries run on internal ids behind an
+    // external-id translation layer, and every walk re-keys its RNG on
+    // the source's external id so answers match the unreordered artifact.
+    opened.InstallPermutation(
+        view->permutation(),
+        std::make_shared<const LocalWalkBackend>(*opened.graph_,
+                                                 opened.walk_context_.get()));
+  }
   opened.snapshot_ = std::move(view);
   return std::shared_ptr<const CloudWalker>(
       new CloudWalker(std::move(opened)));
 }
 
-Status CloudWalker::WriteSnapshot(const std::string& path) const {
+StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::OutOfCore(
+    const std::string& path) {
+  return OutOfCore(path, OutOfCoreOptions{});
+}
+
+StatusOr<std::shared_ptr<const CloudWalker>> CloudWalker::OutOfCore(
+    const std::string& path, const OutOfCoreOptions& ooc_options) {
+  CW_ASSIGN_OR_RETURN(std::shared_ptr<const PagedSnapshot> paged,
+                      PagedSnapshot::Open(path));
+  CW_ASSIGN_OR_RETURN(
+      std::shared_ptr<const OutOfCoreWalkBackend> backend,
+      OutOfCoreWalkBackend::Create(paged, ooc_options));
+  // The facade graph exposes only the resident per-node arrays; the
+  // in-targets span is deliberately empty. That is safe because every
+  // walk routes through the out-of-core backend and the combine phases
+  // read only the out-CSR and the diagonal — nothing on a query path
+  // touches in-neighbors through this graph.
+  auto graph = std::make_shared<const Graph>(Graph::FromCsrViews(
+      paged->num_nodes(), paged->out_offsets(), paged->out_targets(),
+      paged->in_offsets(), std::span<const NodeId>{}));
+  // Degenerate arena for the same reason: the context is plumbing only.
+  auto context = std::make_shared<const WalkContext>(
+      *graph,
+      AliasArena::FromParts(
+          std::vector<uint64_t>(static_cast<size_t>(paged->num_nodes()) + 1,
+                                0),
+          {}));
+  DiagonalIndex index =
+      DiagonalIndex::FromView(paged->params(), paged->diagonal());
+
+  const SnapshotMetadata& meta = paged->metadata();
+  CloudWalker opened(graph.get(), std::move(index),
+                     StatsFromMetadata(meta),
+                     OptionsFromMetadata(paged->params(), meta),
+                     std::move(context));
+  opened.owned_graph_ = std::move(graph);
+  opened.ooc_backend_ = backend;
+  opened.walk_backend_ = backend;
+  if (!paged->permutation().empty()) {
+    opened.InstallPermutation(paged->permutation(), std::move(backend));
+  }
+  return std::shared_ptr<const CloudWalker>(
+      new CloudWalker(std::move(opened)));
+}
+
+void CloudWalker::InstallPermutation(
+    std::span<const NodeId> perm,
+    std::shared_ptr<const WalkBackend> inner) {
+  int_to_ext_ = perm;
+  ext_to_int_.resize(perm.size());
+  for (NodeId u = 0; u < perm.size(); ++u) ext_to_int_[perm[u]] = u;
+  walk_backend_ =
+      std::make_shared<const ExternalKeyWalkBackend>(std::move(inner),
+                                                     int_to_ext_);
+}
+
+SparseVector CloudWalker::TranslateSparse(SparseVector raw) const {
+  if (int_to_ext_.empty()) return raw;
+  std::vector<SparseEntry> entries;
+  entries.reserve(raw.size());
+  for (const SparseEntry& e : raw) {
+    entries.push_back(SparseEntry{int_to_ext_[e.index], e.value});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const SparseEntry& a, const SparseEntry& b) {
+              return a.index < b.index;
+            });
+  return SparseVector::FromSorted(std::move(entries));
+}
+
+SnapshotMetadata CloudWalker::BuildSnapshotMetadata() const {
   SnapshotMetadata meta;
   meta.num_walkers = indexing_options_.num_walkers;
   meta.jacobi_iterations = indexing_options_.jacobi_iterations;
@@ -171,8 +291,51 @@ Status CloudWalker::WriteSnapshot(const std::string& path) const {
   meta.walk_steps = stats_.walk_steps;
   meta.build_seconds = stats_.walk_seconds + stats_.solve_seconds;
   meta.builder = std::string(kCloudWalkerBuilderTag);
+  return meta;
+}
+
+Status CloudWalker::WriteSnapshot(const std::string& path) const {
+  if (ooc_backend_ != nullptr) {
+    return Status::FailedPrecondition(
+        "an out-of-core instance pages its per-edge arrays from disk and "
+        "cannot rewrite a snapshot; copy the artifact file instead");
+  }
+  SnapshotWriteOptions write_options;
+  if (snapshot_ != nullptr) {
+    // Mirror the source artifact's format extensions so open-then-rewrite
+    // stays byte-stable for old (no block index) and new formats alike.
+    write_options.write_block_index = snapshot_->has_block_index();
+    write_options.block_bytes = snapshot_->block_target_bytes();
+    write_options.permutation = snapshot_->permutation();
+  }
   return SnapshotWriter::Write(path, *graph_, walk_context_->arena(),
-                               index_, meta);
+                               index_, BuildSnapshotMetadata(),
+                               write_options);
+}
+
+Status CloudWalker::WriteReorderedSnapshot(const std::string& path,
+                                           ReorderKind kind) const {
+  if (kind == ReorderKind::kNone) return WriteSnapshot(path);
+  if (ooc_backend_ != nullptr) {
+    return Status::FailedPrecondition(
+        "an out-of-core instance cannot reorder: the pass rewrites every "
+        "per-edge array, which is exactly what it does not hold");
+  }
+  if (!int_to_ext_.empty()) {
+    return Status::FailedPrecondition(
+        "this instance already serves a locality-reordered snapshot; "
+        "reordering again would compose permutations");
+  }
+  CW_ASSIGN_OR_RETURN(
+      ReorderedArtifact artifact,
+      ReorderForLocality(*graph_, index_.diagonal(), kind));
+  const DiagonalIndex permuted =
+      DiagonalIndex::FromView(index_.params(), artifact.diagonal);
+  SnapshotWriteOptions write_options;
+  write_options.permutation = artifact.perm;
+  return SnapshotWriter::Write(path, artifact.graph, artifact.arena,
+                               permuted, BuildSnapshotMetadata(),
+                               write_options);
 }
 
 Status CloudWalker::TakeBackendError() const {
@@ -195,7 +358,8 @@ StatusOr<double> CloudWalker::PairScore(NodeId i, NodeId j,
                                         const QueryOptions& options,
                                         QueryStats* stats,
                                         const CancelToken* cancel) const {
-  const double raw = SinglePairQuery(*graph_, index_, i, j, options, stats,
+  const double raw = SinglePairQuery(*graph_, index_, ToInternal(i),
+                                     ToInternal(j), options, stats,
                                      /*owner=*/nullptr, walk_context_.get(),
                                      cancel, walk_backend_.get());
   // Drain the backend error even when cancelled, so a stale failure never
@@ -209,13 +373,14 @@ StatusOr<double> CloudWalker::PairScore(NodeId i, NodeId j,
 StatusOr<SparseVector> CloudWalker::SourceVector(
     NodeId q, const QueryOptions& options, QueryStats* stats,
     const CancelToken* cancel) const {
-  const SparseVector raw =
-      SingleSourceQuery(*graph_, index_, q, options, stats,
+  SparseVector internal =
+      SingleSourceQuery(*graph_, index_, ToInternal(q), options, stats,
                         /*owner=*/nullptr, walk_context_.get(), cancel,
                         walk_backend_.get());
   const Status backend = TakeBackendError();
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   if (!backend.ok()) return backend;
+  const SparseVector raw = TranslateSparse(std::move(internal));
   std::vector<SparseEntry> entries;
   entries.reserve(raw.size() + 1);
   bool saw_self = false;
@@ -238,13 +403,14 @@ StatusOr<SparseVector> CloudWalker::SourceVector(
 StatusOr<std::vector<ScoredNode>> CloudWalker::SourceTopK(
     NodeId q, size_t k, const QueryOptions& options, QueryStats* stats,
     const CancelToken* cancel) const {
-  const SparseVector raw =
-      SingleSourceQuery(*graph_, index_, q, options, stats,
+  SparseVector internal =
+      SingleSourceQuery(*graph_, index_, ToInternal(q), options, stats,
                         /*owner=*/nullptr, walk_context_.get(), cancel,
                         walk_backend_.get());
   const Status backend = TakeBackendError();
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   if (!backend.ok()) return backend;
+  const SparseVector raw = TranslateSparse(std::move(internal));
   std::vector<ScoredNode> top = TopKFromSparse(raw, /*exclude=*/q, k);
   for (ScoredNode& s : top) s.score = Clamp01(s.score);
   return top;
@@ -264,34 +430,54 @@ StatusOr<std::vector<std::vector<ScoredNode>>> CloudWalker::AllPairsInternal(
   for (auto& per_source : result) {
     for (ScoredNode& s : per_source) s.score = Clamp01(s.score);
   }
+  if (!int_to_ext_.empty()) {
+    // Re-index sources and scored nodes into external id space, restoring
+    // the (score desc, id asc) contract on the translated ids. Score ties
+    // at the k boundary were decided on internal ids inside the kernel.
+    std::vector<std::vector<ScoredNode>> external(result.size());
+    for (size_t u = 0; u < result.size(); ++u) {
+      std::vector<ScoredNode>& list = result[u];
+      for (ScoredNode& s : list) s.node = int_to_ext_[s.node];
+      std::sort(list.begin(), list.end(),
+                [](const ScoredNode& a, const ScoredNode& b) {
+                  return a.score != b.score ? a.score > b.score
+                                            : a.node < b.node;
+                });
+      external[int_to_ext_[u]] = std::move(list);
+    }
+    result = std::move(external);
+  }
   return result;
 }
 
 StatusOr<std::vector<ScoredNode>> CloudWalker::PprTopK(
     NodeId q, size_t k, const QueryOptions& options, QueryStats* stats,
     const CancelToken* cancel) const {
-  const SparseVector endpoints =
-      PersonalizedPageRankQuery(*graph_, index_, q, options, stats,
-                                /*owner=*/nullptr, walk_context_.get(),
-                                cancel, walk_backend_.get());
+  SparseVector endpoints =
+      PersonalizedPageRankQuery(*graph_, index_, ToInternal(q), options,
+                                stats, /*owner=*/nullptr,
+                                walk_context_.get(), cancel,
+                                walk_backend_.get());
   const Status backend = TakeBackendError();
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   if (!backend.ok()) return backend;
   // Endpoint frequencies are already in [0, 1]; no clamping needed.
-  return TopKFromSparse(endpoints, /*exclude=*/q, k);
+  return TopKFromSparse(TranslateSparse(std::move(endpoints)),
+                        /*exclude=*/q, k);
 }
 
 StatusOr<std::vector<ScoredNode>> CloudWalker::N2vTopK(
     NodeId q, size_t k, const QueryOptions& options, QueryStats* stats,
     const CancelToken* cancel) const {
-  const SparseVector visits =
-      Node2VecVisitQuery(*graph_, index_, q, options, stats,
+  SparseVector visits =
+      Node2VecVisitQuery(*graph_, index_, ToInternal(q), options, stats,
                          /*owner=*/nullptr, walk_context_.get(), cancel,
                          walk_backend_.get());
   const Status backend = TakeBackendError();
   if (cancel != nullptr && cancel->ShouldStop()) return cancel->ToStatus();
   if (!backend.ok()) return backend;
-  return TopKFromSparse(visits, /*exclude=*/q, k);
+  return TopKFromSparse(TranslateSparse(std::move(visits)),
+                        /*exclude=*/q, k);
 }
 
 QueryResponse CloudWalker::Execute(const QueryRequest& request,

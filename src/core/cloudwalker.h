@@ -29,7 +29,9 @@
 #define CLOUDWALKER_CORE_CLOUDWALKER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -48,9 +50,14 @@ namespace cloudwalker {
 
 class SnapshotView;
 class WalkBackend;
+class PagedSnapshot;
+class OutOfCoreWalkBackend;
 struct ShardingOptions;
 struct ParallelWalkOptions;
 struct RemoteBackendOptions;
+struct OutOfCoreOptions;
+struct SnapshotMetadata;
+enum class ReorderKind : uint32_t;
 
 /// An indexed graph ready to answer SimRank queries. Query methods are
 /// const and thread-safe (independent RNG streams per call).
@@ -85,9 +92,36 @@ class CloudWalker {
   static StatusOr<std::shared_ptr<const CloudWalker>> Open(
       const std::string& path);
 
+  /// Out-of-core open (DESIGN.md section 14): like Open(), but only the
+  /// per-node arrays become resident — the per-edge walk arrays stay on
+  /// disk and page in through a block cache capped at
+  /// options.budget_bytes, so an artifact larger than RAM still serves
+  /// every query kind. Answers are bit-identical to Open() of the same
+  /// file. Restrictions: such an instance cannot WriteSnapshot() (it
+  /// cannot read back every edge at once by design) and cannot be
+  /// re-backed by Shard() / Parallelize() / Distribute().
+  static StatusOr<std::shared_ptr<const CloudWalker>> OutOfCore(
+      const std::string& path);
+
+  /// As above with explicit knobs.
+  static StatusOr<std::shared_ptr<const CloudWalker>> OutOfCore(
+      const std::string& path, const OutOfCoreOptions& options);
+
   /// Persists this instance as one self-contained snapshot artifact
   /// (graph + arena + index + build metadata); reopen with Open().
+  /// Snapshot-backed instances mirror their source's format extensions
+  /// (block index, target block bytes, permutation), so open-then-rewrite
+  /// is byte-stable across old and new formats alike.
   Status WriteSnapshot(const std::string& path) const;
+
+  /// Renumbers the graph for walk locality (ooc/reorder.h) and persists
+  /// the reordered artifact with its permutation section; Open() and
+  /// OutOfCore() translate external ids at the API boundary, so callers
+  /// of the reopened snapshot see the original id space. kNone writes an
+  /// ordinary snapshot. Fails on an out-of-core or already-reordered
+  /// instance.
+  Status WriteReorderedSnapshot(const std::string& path,
+                                ReorderKind kind) const;
 
   /// Wraps a previously built (e.g. loaded) index for `graph`. Fails when
   /// the index and graph disagree on the node count.
@@ -197,10 +231,22 @@ class CloudWalker {
     return indexing_options_;
   }
 
-  /// The snapshot backing this instance, or null for in-memory builds.
+  /// The snapshot backing this instance, or null for in-memory builds
+  /// (and for out-of-core opens, which expose paged_snapshot() instead).
   const std::shared_ptr<const SnapshotView>& snapshot() const {
     return snapshot_;
   }
+
+  /// The out-of-core backend, or null unless this instance came from
+  /// OutOfCore(). Exposes the paged snapshot and the cache counters.
+  const std::shared_ptr<const OutOfCoreWalkBackend>& ooc_backend() const {
+    return ooc_backend_;
+  }
+
+  /// The locality permutation (internal id -> external id) when this
+  /// instance serves a reordered snapshot; empty otherwise. All public
+  /// APIs speak external ids — this is observability only.
+  std::span<const NodeId> permutation() const { return int_to_ext_; }
 
   /// The graph being queried.
   const Graph& graph() const { return *graph_; }
@@ -238,6 +284,31 @@ class CloudWalker {
   // Drains the walk backend's first job-fatal error (remote backends can
   // fail mid-job; see WalkBackend::TakeError). Ok for local backends.
   Status TakeBackendError() const;
+
+  // The build-metadata block WriteSnapshot stamps (shared with
+  // WriteReorderedSnapshot).
+  SnapshotMetadata BuildSnapshotMetadata() const;
+
+  // External/internal id translation of a reordered snapshot; both are
+  // the identity when int_to_ext_ is empty. Every public API takes and
+  // returns external ids; the kernels below run on internal ids.
+  NodeId ToInternal(NodeId external) const {
+    return ext_to_int_.empty() ? external : ext_to_int_[external];
+  }
+  NodeId ToExternal(NodeId internal) const {
+    return int_to_ext_.empty() ? internal : int_to_ext_[internal];
+  }
+  // Re-indexes a kernel-produced sparse vector into external id space
+  // (sorted; pass-through when not reordered). Helpers translate *before*
+  // top-k extraction so score ties break on external ids.
+  SparseVector TranslateSparse(SparseVector raw) const;
+
+  // Installs the id-translation state for a reordered snapshot: borrows
+  // `perm` (internal -> external; the instance must pin its owner),
+  // builds the inverse, and re-keys every walk on external source ids by
+  // wrapping `inner` in an ExternalKeyWalkBackend.
+  void InstallPermutation(std::span<const NodeId> perm,
+                          std::shared_ptr<const WalkBackend> inner);
 
   // The shared kernels behind both the per-kind methods and Execute().
   // All assume validated inputs; `stats` / `cancel` may be null. A stopped
@@ -277,6 +348,15 @@ class CloudWalker {
   // the graph is merely borrowed. graph_ aliases owned_graph_ when set.
   std::shared_ptr<const Graph> owned_graph_;
   std::shared_ptr<const SnapshotView> snapshot_;
+  // OutOfCore(): the demand-paged backend (also aliased — possibly through
+  // an ExternalKeyWalkBackend wrapper — by walk_backend_). Pins the
+  // PagedSnapshot the facade's graph / index spans alias.
+  std::shared_ptr<const OutOfCoreWalkBackend> ooc_backend_;
+  // Locality-reorder translation (empty unless the backing snapshot
+  // carries a permutation). int_to_ext_ borrows the snapshot's
+  // kPermutation span; ext_to_int_ is its materialized inverse.
+  std::span<const NodeId> int_to_ext_;
+  std::vector<NodeId> ext_to_int_;
 };
 
 }  // namespace cloudwalker

@@ -104,6 +104,18 @@ class AliasArena {
   /// False when the arrays alias external memory (FromViews).
   bool owns_storage() const { return offsets_v_.data() == offsets_.data(); }
 
+  /// Owning counterpart of FromViews: adopts prebuilt flat arrays. Same
+  /// invariants as FromViews; the reorder layer uses this to materialize
+  /// an external-rank arena at snapshot-open time (DESIGN.md section 14).
+  static AliasArena FromParts(std::vector<uint64_t> offsets,
+                              std::vector<AliasSlot> slots) {
+    AliasArena arena;
+    arena.offsets_ = std::move(offsets);
+    arena.slots_ = std::move(slots);
+    arena.AdoptOwnedStorage();
+    return arena;
+  }
+
   /// Flattens the uniform in-link distributions of `graph` (every in-edge
   /// of v equally likely). O(|E|) time, 8 bytes per edge + 8 per node.
   static AliasArena BuildInLink(const Graph& graph);

@@ -78,6 +78,12 @@ struct WalkConfig {
   /// with the remaining levels empty, and the caller is expected to
   /// discard the truncated result (see common/cancel.h).
   const CancelToken* cancel = nullptr;
+  /// Node id the per-source RNG key is derived from; kInvalidNode (the
+  /// default) keys on the walk's actual source. A locality-reordered
+  /// snapshot (DESIGN.md section 14) sets this to the source's *external*
+  /// id so the draw streams — and therefore the walk distributions, after
+  /// id translation — are identical to the unreordered artifact's.
+  NodeId rng_node = kInvalidNode;
 };
 
 /// Advances one walker one step along in-links. Returns kInvalidNode when

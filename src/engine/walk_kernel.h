@@ -386,7 +386,9 @@ struct SimRankEndpointsProgram {
   WalkDistributions* out = nullptr;  // null for raw-level subclasses
 
   void Begin(NodeId source, const WalkConfig& config) {
-    key = DeriveSeed(config.seed, source);
+    key = DeriveSeed(config.seed, config.rng_node != kInvalidNode
+                                      ? config.rng_node
+                                      : source);
     if (out == nullptr) return;
     out->levels.assign(config.num_steps + 1, SparseVector());
     // Level 0 is exactly e_source.

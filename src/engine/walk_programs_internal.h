@@ -43,7 +43,9 @@ struct PprEndpointsProgram {
   std::vector<NodeId> terminals;
 
   void Begin(NodeId source, const WalkConfig& config) {
-    key = DeriveSeed(config.seed, source);
+    key = DeriveSeed(config.seed, config.rng_node != kInvalidNode
+                                      ? config.rng_node
+                                      : source);
     stop_key = DeriveSeed(key, kPprStopChannel);
     terminals.clear();
     terminals.reserve(config.num_walkers);
@@ -105,7 +107,9 @@ struct Node2VecProgram {
     max_trials = params.max_trials;
   }
   void Begin(NodeId source, const WalkConfig& config) {
-    key = DeriveSeed(config.seed, source);
+    key = DeriveSeed(config.seed, config.rng_node != kInvalidNode
+                                      ? config.rng_node
+                                      : source);
     trial_base = DeriveSeed(key, kNode2VecTrialChannel);
     if (out == nullptr) return;
     out->levels.assign(config.num_steps + 1, SparseVector());

@@ -27,7 +27,8 @@ constexpr uint32_t kEndianStamp = 0x01020304u;
 constexpr uint64_t kHeaderBytes = 64;
 constexpr uint64_t kDirEntryBytes = 32;
 constexpr uint64_t kSectionAlign = 64;
-constexpr uint32_t kNumSections = 8;
+constexpr uint32_t kNumSections = 8;       // required sections, ids 1..8
+constexpr uint32_t kNumKnownSections = 10;  // + optional block index, perm
 
 struct DirEntry {
   uint32_t id = 0;
@@ -57,6 +58,10 @@ const char* SectionName(uint32_t id) {
       return "diagonal";
     case SnapshotSection::kMeta:
       return "meta";
+    case SnapshotSection::kBlockIndex:
+      return "block_index";
+    case SnapshotSection::kPermutation:
+      return "permutation";
   }
   return "unknown";
 }
@@ -123,9 +128,73 @@ uint32_t SectionGroup(uint32_t id) {
     case SnapshotSection::kDiagonal:
       return kSnapshotDiagonal;
     case SnapshotSection::kMeta:
+    case SnapshotSection::kBlockIndex:
+    case SnapshotSection::kPermutation:
       return 0;
   }
   return 0;
+}
+
+#if CW_SNAPSHOT_HAS_MMAP
+bool g_madvise_fail_for_test = false;
+
+// Best-effort paging hint over [offset, offset + length) of the mapping at
+// `base`. The start rounds down to a page boundary (madvise requires it;
+// advice is per-page anyway). A failed hint is never fatal — the test hook
+// forces failure to prove callers treat it that way.
+bool MadviseRange(const char* base, uint64_t offset, uint64_t length,
+                  int advice) {
+  if (length == 0) return true;
+  if (g_madvise_fail_for_test) return false;
+  const uint64_t page = static_cast<uint64_t>(::sysconf(_SC_PAGESIZE));
+  const uint64_t begin = offset / page * page;
+  return ::madvise(const_cast<char*>(base) + begin,
+                   static_cast<size_t>(offset - begin + length), advice) == 0;
+}
+#endif
+
+// Writer read-back: stream the just-written .tmp off disk again (hinted
+// MADV_SEQUENTIAL — it is a single front-to-back pass) and check every
+// byte round-tripped before the rename publishes the artifact. Catches
+// torn writes that hid behind page-cache buffering until fclose.
+Status VerifyWrittenFile(const std::string& tmp, uint64_t expect_size,
+                         uint32_t expect_crc) {
+  uint32_t actual = 0;
+  uint64_t size = 0;
+#if CW_SNAPSHOT_HAS_MMAP
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot reopen for verification: " + tmp);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat: " + tmp);
+  }
+  size = static_cast<uint64_t>(st.st_size);
+  if (size > 0) {
+    void* base = ::mmap(nullptr, static_cast<size_t>(size), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+    ::close(fd);
+    if (base == MAP_FAILED) {
+      return Status::IoError("mmap failed on: " + tmp);
+    }
+    MadviseRange(static_cast<const char*>(base), 0, size, MADV_SEQUENTIAL);
+    actual = Crc32(base, size);
+    ::munmap(base, static_cast<size_t>(size));
+  } else {
+    ::close(fd);
+  }
+#else
+  std::string buffer;
+  CW_RETURN_IF_ERROR(BinaryReader::LoadFile(tmp, &buffer));
+  size = buffer.size();
+  actual = Crc32(buffer.data(), buffer.size());
+#endif
+  if (size != expect_size || actual != expect_crc) {
+    return Status::IoError("read-back verification failed for " + tmp);
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -134,6 +203,14 @@ Status SnapshotWriter::Write(const std::string& path, const Graph& graph,
                              const AliasArena& arena,
                              const DiagonalIndex& index,
                              const SnapshotMetadata& metadata) {
+  return Write(path, graph, arena, index, metadata, SnapshotWriteOptions{});
+}
+
+Status SnapshotWriter::Write(const std::string& path, const Graph& graph,
+                             const AliasArena& arena,
+                             const DiagonalIndex& index,
+                             const SnapshotMetadata& metadata,
+                             const SnapshotWriteOptions& options) {
   const uint64_t n = graph.num_nodes();
   const uint64_t m = graph.num_edges();
   if (index.num_nodes() != graph.num_nodes()) {
@@ -148,6 +225,22 @@ Status SnapshotWriter::Write(const std::string& path, const Graph& graph,
     return Status::InvalidArgument(
         "snapshot: alias arena does not mirror the graph's in-adjacency");
   }
+  if (!options.permutation.empty()) {
+    if (options.permutation.size() != n) {
+      return Status::InvalidArgument(
+          "snapshot: permutation has " +
+          std::to_string(options.permutation.size()) + " entries for " +
+          std::to_string(n) + " nodes");
+    }
+    std::vector<uint8_t> seen(n, 0);
+    for (const NodeId ext : options.permutation) {
+      if (ext >= n || seen[ext]) {
+        return Status::InvalidArgument(
+            "snapshot: permutation is not a bijection over the node ids");
+      }
+      seen[ext] = 1;
+    }
+  }
 
   const std::string meta_bytes = EncodeMetadata(index.params(), metadata);
 
@@ -157,7 +250,7 @@ Status SnapshotWriter::Write(const std::string& path, const Graph& graph,
     const void* data;
     uint64_t length;
   };
-  const Payload payloads[kNumSections] = {
+  std::vector<Payload> payloads = {
       {SnapshotSection::kOutOffsets, sizeof(uint64_t),
        graph.OutOffsets().data(), (n + 1) * sizeof(uint64_t)},
       {SnapshotSection::kOutTargets, sizeof(NodeId),
@@ -174,9 +267,25 @@ Status SnapshotWriter::Write(const std::string& path, const Graph& graph,
        n * sizeof(double)},
       {SnapshotSection::kMeta, 1, meta_bytes.data(), meta_bytes.size()},
   };
+  std::string block_index_bytes;
+  if (options.write_block_index) {
+    const uint64_t target =
+        options.block_bytes != 0 ? options.block_bytes : kDefaultBlockBytes;
+    block_index_bytes = EncodeBlockIndex(
+        BuildBlockLayout(graph.InOffsets(), graph.InTargets(), arena.Slots(),
+                         target),
+        target);
+    payloads.push_back({SnapshotSection::kBlockIndex, 1,
+                        block_index_bytes.data(), block_index_bytes.size()});
+  }
+  if (!options.permutation.empty()) {
+    payloads.push_back({SnapshotSection::kPermutation, sizeof(NodeId),
+                        options.permutation.data(), n * sizeof(NodeId)});
+  }
+  const uint32_t num_sections = static_cast<uint32_t>(payloads.size());
 
   // Lay out the payloads after the header + directory, 64-byte aligned.
-  uint64_t cursor = kHeaderBytes + kNumSections * kDirEntryBytes;
+  uint64_t cursor = kHeaderBytes + uint64_t{num_sections} * kDirEntryBytes;
   BinaryWriter dir;
   for (const Payload& p : payloads) {
     cursor = (cursor + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
@@ -197,7 +306,7 @@ Status SnapshotWriter::Write(const std::string& path, const Graph& graph,
   header.WriteBytes(kMagic, sizeof(kMagic));
   header.Write(kFormatVersion);
   header.Write(kEndianStamp);
-  header.Write(kNumSections);
+  header.Write(num_sections);
   header.Write<uint32_t>(0);  // CRC placeholder
   header.Write(file_size);
   header.Write(n);
@@ -222,8 +331,13 @@ Status SnapshotWriter::Write(const std::string& path, const Graph& graph,
   if (f == nullptr) {
     return Status::IoError("cannot open for writing: " + tmp);
   }
-  const auto put = [f](const void* data, uint64_t size) {
-    return size == 0 || std::fwrite(data, 1, size, f) == size;
+  // `disk_crc` accumulates over every byte in file order; the read-back
+  // pass below re-derives it from the .tmp to prove the write stuck.
+  uint32_t disk_crc = 0;
+  const auto put = [f, &disk_crc](const void* data, uint64_t size) {
+    if (size == 0) return true;
+    disk_crc = Crc32(data, size, disk_crc);
+    return std::fwrite(data, 1, size, f) == size;
   };
   static const char kPadZeros[kSectionAlign] = {};
   uint64_t written = header_bytes.size() + dir.buffer().size();
@@ -240,6 +354,11 @@ Status SnapshotWriter::Write(const std::string& path, const Graph& graph,
   if (!ok) {
     std::remove(tmp.c_str());
     return Status::IoError("short write to " + tmp);
+  }
+  const Status readback = VerifyWrittenFile(tmp, file_size, disk_crc);
+  if (!readback.ok()) {
+    std::remove(tmp.c_str());
+    return readback;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
@@ -286,6 +405,9 @@ StatusOr<std::shared_ptr<const SnapshotView>> SnapshotView::Open(
     }
     view->data_ = static_cast<const char*>(base);
     view->mmapped_ = true;
+    // Validation is one front-to-back integrity pass; hint it. Validate
+    // re-hints the randomly-accessed sections MADV_RANDOM once it's done.
+    MadviseRange(view->data_, 0, size, MADV_SEQUENTIAL);
   } else {
     ::close(fd);
   }
@@ -371,7 +493,7 @@ Status SnapshotView::Validate(const std::string& path, uint32_t sections) {
   // Walk the directory: bounds, alignment, element sizing, payload CRC.
   const DirEntry* entries =
       reinterpret_cast<const DirEntry*>(data_ + kHeaderBytes);
-  const DirEntry* found[kNumSections] = {};
+  const DirEntry* found[kNumKnownSections] = {};
   for (uint32_t i = 0; i < num_sections; ++i) {
     const DirEntry& e = entries[i];
     if (e.offset % kSectionAlign != 0 || e.offset > size_ ||
@@ -391,7 +513,7 @@ Status SnapshotView::Validate(const std::string& path, uint32_t sections) {
                                SectionName(e.id));
     }
     const uint32_t id = e.id;
-    if (id >= 1 && id <= kNumSections && found[id - 1] == nullptr) {
+    if (id >= 1 && id <= kNumKnownSections && found[id - 1] == nullptr) {
       found[id - 1] = &e;
     }
   }
@@ -545,6 +667,51 @@ Status SnapshotView::Validate(const std::string& path, uint32_t sections) {
     }
   }
 
+  // Optional extension sections (ids 9/10). The CRC pass above already
+  // pinned their bytes (group 0 — always checked), so a failure here means
+  // a malformed writer, not bit rot; it is still corruption to the caller.
+  if (const DirEntry* e_blocks =
+          found[static_cast<uint32_t>(SnapshotSection::kBlockIndex) - 1]) {
+    if (e_blocks->elem_size != 1) {
+      return Corrupt(path, "block index has a malformed element size");
+    }
+    std::string block_bytes(section_ptr(e_blocks), e_blocks->length);
+    uint64_t target = 0;
+    const Status decoded = DecodeBlockIndex(block_bytes, n, m, &blocks_,
+                                            &target);
+    if (!decoded.ok()) {
+      return Corrupt(path,
+                     "undecodable block index (" + decoded.ToString() + ")");
+    }
+    block_target_bytes_ = target;
+    if ((sections & kSnapshotIn) != 0) {
+      // The blocks must cut the in-CSR at exactly the rows they claim —
+      // the block cache preads [edge_begin, edge_end) for nodes
+      // [node_begin, node_end) without consulting in_offsets again.
+      for (const BlockExtent& b : blocks_) {
+        if (in_offsets_[b.node_begin] != b.edge_begin ||
+            in_offsets_[b.node_end] != b.edge_end) {
+          return Corrupt(path, "block index disagrees with the in-CSR");
+        }
+      }
+    }
+  }
+  if (const DirEntry* e_perm =
+          found[static_cast<uint32_t>(SnapshotSection::kPermutation) - 1]) {
+    if (e_perm->elem_size != sizeof(NodeId) ||
+        e_perm->length != n * sizeof(NodeId)) {
+      return Corrupt(path, "permutation disagrees with the node count");
+    }
+    permutation_ = {reinterpret_cast<const NodeId*>(section_ptr(e_perm)), n};
+    std::vector<uint8_t> seen(n, 0);
+    for (const NodeId ext : permutation_) {
+      if (ext >= n || seen[ext]) {
+        return Corrupt(path, "permutation is not a bijection");
+      }
+      seen[ext] = 1;
+    }
+  }
+
   std::string meta_bytes(section_ptr(e_meta), e_meta->length);
   const Status meta_ok = DecodeMetadata(meta_bytes, &params_, &metadata_);
   if (!meta_ok.ok()) {
@@ -554,9 +721,103 @@ Status SnapshotView::Validate(const std::string& path, uint32_t sections) {
     return Corrupt(path, "metadata carries invalid SimRank parameters");
   }
 
+#if CW_SNAPSHOT_HAS_MMAP
+  // Serving hint: queries hit the CSR and arena arrays in walker order —
+  // effectively at random — so flip those extents from the sequential
+  // validation hint to MADV_RANDOM. Purely advisory; a failing madvise
+  // (see SetSnapshotMadviseFailForTest) never fails the open.
+  if (mmapped_) {
+    for (const SnapshotSection id :
+         {SnapshotSection::kOutOffsets, SnapshotSection::kOutTargets,
+          SnapshotSection::kInOffsets, SnapshotSection::kInTargets,
+          SnapshotSection::kArenaOffsets, SnapshotSection::kArenaSlots}) {
+      const DirEntry* e = found[static_cast<uint32_t>(id) - 1];
+      MadviseRange(data_, e->offset, e->length, MADV_RANDOM);
+    }
+  }
+#endif
+
   num_nodes_ = static_cast<NodeId>(n);
   num_edges_ = m;
   return Status::Ok();
+}
+
+StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path) {
+  std::string bytes;
+  CW_RETURN_IF_ERROR(BinaryReader::LoadFile(path, &bytes));
+  const char* data = bytes.data();
+  const uint64_t size = bytes.size();
+  if (size < kHeaderBytes) {
+    return Corrupt(path, "truncated header (" + std::to_string(size) +
+                             " bytes, need " + std::to_string(kHeaderBytes) +
+                             ")");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("not a cloudwalker snapshot: " + path);
+  }
+  SnapshotInfo info;
+  uint32_t endian = 0, dir_crc = 0;
+  std::memcpy(&info.format_version, data + 8, 4);
+  std::memcpy(&endian, data + 12, 4);
+  std::memcpy(&info.num_sections, data + 16, 4);
+  std::memcpy(&dir_crc, data + 20, 4);
+  std::memcpy(&info.num_nodes, data + 32, 8);
+  std::memcpy(&info.num_edges, data + 40, 8);
+  info.file_bytes = size;
+  if (endian != kEndianStamp) {
+    return Status::InvalidArgument(
+        "snapshot " + path +
+        " was written on a machine with a different byte order");
+  }
+  const uint64_t dir_bytes = uint64_t{info.num_sections} * kDirEntryBytes;
+  if (dir_bytes > size - kHeaderBytes) {
+    return Corrupt(path, "truncated directory");
+  }
+  {
+    char header_copy[kHeaderBytes];
+    std::memcpy(header_copy, data, kHeaderBytes);
+    std::memset(header_copy + 20, 0, 4);
+    info.header_crc_ok = Crc32(data + kHeaderBytes, dir_bytes,
+                               Crc32(header_copy, kHeaderBytes)) == dir_crc;
+  }
+  info.sections.reserve(info.num_sections);
+  for (uint32_t i = 0; i < info.num_sections; ++i) {
+    DirEntry e;
+    std::memcpy(&e, data + kHeaderBytes + i * kDirEntryBytes, sizeof(e));
+    SnapshotSectionInfo s;
+    s.id = e.id;
+    s.name = SectionName(e.id);
+    s.elem_size = e.elem_size;
+    s.offset = e.offset;
+    s.length = e.length;
+    s.crc = e.crc;
+    const bool in_file = e.offset <= size && e.length <= size - e.offset;
+    s.crc_ok = in_file && Crc32(data + e.offset, e.length) == e.crc;
+    if (e.id == static_cast<uint32_t>(SnapshotSection::kBlockIndex)) {
+      info.has_block_index = true;
+      if (in_file) {
+        std::vector<BlockExtent> blocks;
+        uint64_t target = 0;
+        if (DecodeBlockIndex(std::string(data + e.offset, e.length),
+                             info.num_nodes, info.num_edges, &blocks, &target)
+                .ok()) {
+          info.block_count = blocks.size();
+        }
+      }
+    } else if (e.id == static_cast<uint32_t>(SnapshotSection::kPermutation)) {
+      info.has_permutation = true;
+    }
+    info.sections.push_back(std::move(s));
+  }
+  return info;
+}
+
+void SetSnapshotMadviseFailForTest(bool fail) {
+#if CW_SNAPSHOT_HAS_MMAP
+  g_madvise_fail_for_test = fail;
+#else
+  (void)fail;
+#endif
 }
 
 }  // namespace cloudwalker

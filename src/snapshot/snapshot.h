@@ -48,16 +48,24 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "core/diagonal.h"
 #include "core/options.h"
 #include "engine/alias.h"
 #include "graph/graph.h"
+#include "ooc/block_layout.h"
 
 namespace cloudwalker {
 
-/// Payload section ids of cloudwalker-snap-v1.
+/// Payload section ids of cloudwalker-snap-v1. Sections 1-8 are required;
+/// 9 and 10 are optional extensions (still format version 1): a reader
+/// that predates them validates them generically (bounds, element sizing,
+/// CRC — every unknown id gets the always-checked group) and otherwise
+/// ignores them, and a reader that knows them treats their absence as
+/// "old-format snapshot" and falls back accordingly (DESIGN.md
+/// section 14). Both directions stay fully compatible.
 enum class SnapshotSection : uint32_t {
   kOutOffsets = 1,    // uint64[num_nodes + 1]
   kOutTargets = 2,    // NodeId[num_edges]
@@ -67,6 +75,8 @@ enum class SnapshotSection : uint32_t {
   kArenaSlots = 6,    // AliasSlot[num_edges]
   kDiagonal = 7,      // double[num_nodes]
   kMeta = 8,          // BinaryWriter-encoded SnapshotMetadata
+  kBlockIndex = 9,    // EncodeBlockIndex bytes (ooc/block_layout.h)
+  kPermutation = 10,  // NodeId[num_nodes]: internal id -> external id
 };
 
 /// Bitmask over the payload groups of a snapshot, for partition-aware
@@ -105,6 +115,24 @@ struct SnapshotMetadata {
   std::string builder;
 };
 
+/// Writer knobs for the optional format extensions.
+struct SnapshotWriteOptions {
+  /// Write the kBlockIndex section (the out-of-core block layout;
+  /// DESIGN.md section 14). Off reproduces the pre-extension format
+  /// exactly — the compatibility tests use this to author "old" snapshots
+  /// with the current writer.
+  bool write_block_index = true;
+  /// Target paged payload bytes per block; 0 selects kDefaultBlockBytes
+  /// (ooc/block_layout.h).
+  uint64_t block_bytes = 0;
+  /// When non-empty: the locality reorder permutation, internal id ->
+  /// external id, written as the kPermutation section. Must be a bijection
+  /// over [0, num_nodes). The graph/arena/index passed to Write are
+  /// already in internal (reordered) id space; the permutation is what
+  /// lets the API boundary translate back (DESIGN.md section 14).
+  std::span<const NodeId> permutation = {};
+};
+
 /// Writes one cloudwalker-snap-v1 file. The arena must mirror the graph's
 /// in-adjacency (the layout every CloudWalker build produces) and the
 /// index must cover the graph's nodes.
@@ -113,6 +141,12 @@ class SnapshotWriter {
   static Status Write(const std::string& path, const Graph& graph,
                       const AliasArena& arena, const DiagonalIndex& index,
                       const SnapshotMetadata& metadata);
+
+  /// As above with explicit extension knobs.
+  static Status Write(const std::string& path, const Graph& graph,
+                      const AliasArena& arena, const DiagonalIndex& index,
+                      const SnapshotMetadata& metadata,
+                      const SnapshotWriteOptions& options);
 };
 
 /// An open snapshot: the validated mmap plus typed spans into it. Share
@@ -169,6 +203,24 @@ class SnapshotView {
   /// True when the spans alias an mmap (false on the heap fallback).
   bool mmapped() const { return mmapped_; }
 
+  /// True when the snapshot carries the kBlockIndex section. Old-format
+  /// artifacts return false; the out-of-core layer falls back to
+  /// whole-file residency for them (DESIGN.md section 14).
+  bool has_block_index() const { return !blocks_.empty(); }
+
+  /// The decoded block layout (empty without a kBlockIndex section).
+  std::span<const BlockExtent> blocks() const { return blocks_; }
+
+  /// The target paged bytes per block the layout was cut at (0 without a
+  /// kBlockIndex section). Carried so open-then-rewrite reproduces the
+  /// identical layout.
+  uint64_t block_target_bytes() const { return block_target_bytes_; }
+
+  /// The locality reorder permutation, internal id -> external id (empty
+  /// when the snapshot was written without reordering). Validated as a
+  /// bijection at open.
+  std::span<const NodeId> permutation() const { return permutation_; }
+
  private:
   SnapshotView() = default;
 
@@ -193,7 +245,50 @@ class SnapshotView {
   std::span<const uint64_t> arena_offsets_;
   std::span<const AliasSlot> arena_slots_;
   std::span<const double> diagonal_;
+  std::span<const NodeId> permutation_;
+  std::vector<BlockExtent> blocks_;
+  uint64_t block_target_bytes_ = 0;
 };
+
+/// One row of a snapshot's section directory, as InspectSnapshot reports
+/// it (the `snapshot-info` CLI subcommand renders these).
+struct SnapshotSectionInfo {
+  uint32_t id = 0;
+  std::string name;        // "out_offsets", ..., "unknown"
+  uint32_t elem_size = 0;  // element size in bytes
+  uint64_t offset = 0;     // payload offset from file start
+  uint64_t length = 0;     // payload length in bytes
+  uint32_t crc = 0;        // stored CRC-32
+  bool crc_ok = false;     // stored CRC matches the payload bytes
+};
+
+/// A snapshot's directory, decoded for inspection. Unlike SnapshotView::
+/// Open this is diagnostic-grade: CRC mismatches and malformed sections
+/// are *reported* (crc_ok = false, sections possibly flagged) instead of
+/// failing the call, so an operator can inspect a damaged artifact. Only
+/// an unreadable file, a foreign magic/endianness, or a directory that
+/// does not fit the file fails.
+struct SnapshotInfo {
+  uint32_t format_version = 0;
+  uint32_t num_sections = 0;
+  uint64_t file_bytes = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  bool header_crc_ok = false;  // header + directory checksum
+  bool has_block_index = false;
+  bool has_permutation = false;
+  uint64_t block_count = 0;  // decoded from kBlockIndex when present
+  std::vector<SnapshotSectionInfo> sections;
+};
+
+/// Reads and decodes `path`'s header and section directory (see
+/// SnapshotInfo).
+StatusOr<SnapshotInfo> InspectSnapshot(const std::string& path);
+
+/// Test hook: when set, every madvise the snapshot layer issues reports
+/// failure. Open and Write must still succeed — the hints are
+/// best-effort — which is exactly what the hook lets a test assert.
+void SetSnapshotMadviseFailForTest(bool fail);
 
 }  // namespace cloudwalker
 

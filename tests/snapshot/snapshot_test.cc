@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -17,6 +18,8 @@
 #include "core/cloudwalker.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
+#include "ooc/ooc_backend.h"
+#include "ooc/paged_snapshot.h"
 #include "snapshot/snapshot.h"
 
 namespace cloudwalker {
@@ -37,6 +40,15 @@ void WriteFile(const std::string& path, const std::string& bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   ASSERT_TRUE(out.good()) << path;
+}
+
+// Section count from the header (u32 little-endian at offset 16), so the
+// corruption sweeps track the directory's real extent as sections are
+// added to the format.
+uint32_t NumSections(const std::string& bytes) {
+  uint32_t n = 0;
+  std::memcpy(&n, bytes.data() + 16, sizeof(n));
+  return n;
 }
 
 class SnapshotTest : public ::testing::Test {
@@ -198,11 +210,14 @@ TEST_F(SnapshotTest, RejectsEveryFlippedByte) {
   // and none may crash or yield a working instance.
   const std::string original = ReadFile(path());
   const std::string mutant = TempPath("flipped.cwk");
+  const size_t directory_end = 64 + 32 * size_t{NumSections(original)};
   std::vector<size_t> offsets;
-  for (size_t o = 0; o < std::min<size_t>(original.size(), 320); ++o) {
+  for (size_t o = 0; o < std::min(original.size(), directory_end); ++o) {
     offsets.push_back(o);  // header + directory, every byte
   }
-  for (size_t o = 320; o < original.size(); o += 997) offsets.push_back(o);
+  for (size_t o = directory_end; o < original.size(); o += 997) {
+    offsets.push_back(o);
+  }
   offsets.push_back(original.size() - 1);
 
   for (const size_t off : offsets) {
@@ -223,8 +238,10 @@ TEST_F(SnapshotTest, RejectsFlippedCrcField) {
   // by a single-byte error.
   const std::string original = ReadFile(path());
   const std::string mutant = TempPath("crcflip.cwk");
+  const uint32_t num_sections = NumSections(original);
+  ASSERT_GE(num_sections, 9u) << "expected the kBlockIndex section too";
   // Section CRCs live at directory offset 64 + 32*i + 24.
-  for (int section = 0; section < 8; ++section) {
+  for (uint32_t section = 0; section < num_sections; ++section) {
     std::string bad = original;
     const size_t off = 64 + 32 * static_cast<size_t>(section) + 24;
     bad[off] = static_cast<char>(bad[off] ^ 0x01);
@@ -233,6 +250,90 @@ TEST_F(SnapshotTest, RejectsFlippedCrcField) {
     ASSERT_FALSE(r.ok()) << "section " << section;
     EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
   }
+  std::remove(mutant.c_str());
+}
+
+TEST_F(SnapshotTest, OldFormatOpensThroughBothPathsIdentically) {
+  // A pre-extension artifact (no kBlockIndex section, authored with the
+  // current writer's compatibility knob) must open via the mmap path AND
+  // via OutOfCore's whole-file fallback, answering identically.
+  const std::string old_path = TempPath("oldformat.cwk");
+  SnapshotWriteOptions write_options;
+  write_options.write_block_index = false;
+  ASSERT_TRUE(SnapshotWriter::Write(old_path, built().graph(),
+                                    built().walk_context().arena(),
+                                    built().index(), SnapshotMetadata{},
+                                    write_options)
+                  .ok());
+  const std::string bytes = ReadFile(old_path);
+  EXPECT_EQ(NumSections(bytes), 8u) << "compat knob wrote a new section";
+
+  auto mmap_open = CloudWalker::Open(old_path);
+  ASSERT_TRUE(mmap_open.ok()) << mmap_open.status().ToString();
+  EXPECT_FALSE((*mmap_open)->snapshot()->has_block_index());
+  auto ooc_open = CloudWalker::OutOfCore(old_path);
+  ASSERT_TRUE(ooc_open.ok()) << ooc_open.status().ToString();
+  ASSERT_NE((*ooc_open)->ooc_backend(), nullptr);
+  EXPECT_TRUE((*ooc_open)->ooc_backend()->paged_snapshot().all_resident());
+
+  auto a = built().SingleSource(42);
+  auto b = (*mmap_open)->SingleSource(42);
+  auto c = (*ooc_open)->SingleSource(42);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_EQ(a->entries().size(), c->entries().size());
+  for (size_t e = 0; e < a->entries().size(); ++e) {
+    EXPECT_EQ(a->entries()[e].value, b->entries()[e].value);
+    EXPECT_EQ(a->entries()[e].value, c->entries()[e].value);
+  }
+  std::remove(old_path.c_str());
+}
+
+TEST_F(SnapshotTest, MadviseFailureIsBestEffort) {
+  // The access-pattern hints are advisory: a kernel that rejects them
+  // must not fail the open, and answers are unaffected.
+  SetSnapshotMadviseFailForTest(true);
+  auto opened = CloudWalker::Open(path());
+  SetSnapshotMadviseFailForTest(false);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  auto hinted = (*opened)->SinglePair(1, 2);
+  auto plain = built().SinglePair(1, 2);
+  ASSERT_TRUE(hinted.ok() && plain.ok());
+  EXPECT_EQ(*hinted, *plain);
+}
+
+TEST_F(SnapshotTest, InspectReportsDirectoryAndFlagsDamage) {
+  auto info = InspectSnapshot(path());
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->format_version, 1u);
+  EXPECT_EQ(info->num_nodes, built().graph().num_nodes());
+  EXPECT_EQ(info->num_edges, built().graph().num_edges());
+  EXPECT_TRUE(info->header_crc_ok);
+  EXPECT_TRUE(info->has_block_index);
+  EXPECT_FALSE(info->has_permutation);
+  EXPECT_GT(info->block_count, 0u);
+  ASSERT_EQ(info->sections.size(), info->num_sections);
+  for (const SnapshotSectionInfo& s : info->sections) {
+    EXPECT_TRUE(s.crc_ok) << s.name;
+    EXPECT_NE(s.name, "unknown");
+  }
+
+  // Diagnostic-grade on damage: a flipped payload byte is *reported*, not
+  // a hard failure.
+  const std::string original = ReadFile(path());
+  std::string bad = original;
+  const size_t payload_off = info->sections.back().offset +
+                             info->sections.back().length / 2;
+  ASSERT_LT(payload_off, bad.size());
+  bad[payload_off] = static_cast<char>(bad[payload_off] ^ 0x20);
+  const std::string mutant = TempPath("inspect_damaged.cwk");
+  WriteFile(mutant, bad);
+  auto damaged = InspectSnapshot(mutant);
+  ASSERT_TRUE(damaged.ok()) << damaged.status().ToString();
+  size_t bad_sections = 0;
+  for (const SnapshotSectionInfo& s : damaged->sections) {
+    if (!s.crc_ok) ++bad_sections;
+  }
+  EXPECT_EQ(bad_sections, 1u);
   std::remove(mutant.c_str());
 }
 

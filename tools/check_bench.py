@@ -257,6 +257,34 @@ def self_test():
         except OSError as e:
             failures.append(f"summary-md: file not written ({e})")
 
+    # A SKIPPED optional metric must render distinctly from PASS in the
+    # markdown summary — not as a bare string a reviewer has to eyeball
+    # apart from the passing rows.
+    with tempfile.TemporaryDirectory() as tmp:
+        md = os.path.join(tmp, "summary_skip.md")
+        case("summary-md with skipped optional metric passes", optional_base,
+             report([metric("speed", 10.0, gate=True, floor=2.0)]), 0,
+             extra_args=("--summary-md", md))
+        try:
+            with open(md) as f:
+                text = f.read()
+            speed_row = next(
+                (l for l in text.splitlines() if "| `speed` |" in l), "")
+            simd_row = next(
+                (l for l in text.splitlines() if "| `simd` |" in l), "")
+            if "✅ PASS" not in speed_row:
+                failures.append(
+                    f"summary-md: passing row not marked PASS: {speed_row!r}")
+            if "SKIPPED" not in simd_row or "⏭️" not in simd_row:
+                failures.append(
+                    f"summary-md: skipped row not distinct: {simd_row!r}")
+            if "✅" in simd_row:
+                failures.append(
+                    f"summary-md: skipped row rendered as a pass: "
+                    f"{simd_row!r}")
+        except OSError as e:
+            failures.append(f"summary-md: skip-case file not written ({e})")
+
     if failures:
         print("check_bench self-test FAILED:", file=sys.stderr)
         for f in failures:
@@ -264,6 +292,22 @@ def self_test():
         return 1
     print("check_bench self-test OK")
     return 0
+
+
+def decorate_verdict(verdict):
+    """Markdown decoration so each disposition reads at a glance.
+
+    SKIPPED in particular must not look like a pass: an optional metric the
+    current host never emitted was not checked, and the step summary should
+    say so without the reader diffing verdict strings.
+    """
+    if verdict == "ok":
+        return "✅ PASS"
+    if verdict == "SKIPPED":
+        return "⏭️ SKIPPED — optional, not emitted by this run"
+    if verdict == "new":
+        return "🆕 new (no baseline)"
+    return f"❌ {verdict}"
 
 
 def write_summary_md(bench, rows, failures, max_regression):
@@ -280,7 +324,7 @@ def write_summary_md(bench, rows, failures, max_regression):
         fc = f"{cv:g}" if cv is not None else "—"
         lines.append(
             f"| `{name}` | {fb} | {fc} | "
-            f"{'yes' if gated else 'no'} | {verdict} |"
+            f"{'yes' if gated else 'no'} | {decorate_verdict(verdict)} |"
         )
     lines.append("")
     if failures:

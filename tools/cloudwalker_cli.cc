@@ -51,9 +51,12 @@
 #include "graph/stats.h"
 #include "net/remote_backend.h"
 #include "net/wire.h"
+#include "ooc/ooc_backend.h"
+#include "ooc/reorder.h"
 #include "serve/query_service.h"
 #include "serve/workload.h"
 #include "shard/sharding.h"
+#include "snapshot/snapshot.h"
 
 using namespace cloudwalker;
 
@@ -205,9 +208,18 @@ int CmdIndex(const std::map<std::string, std::string>& flags) {
     std::cout << "; wrote index " << out;
   }
   if (!snapshot_out.empty()) {
-    const Status s = cw->WriteSnapshot(snapshot_out);
+    // --reorder=degree|bfs renumbers the graph for walk locality before
+    // writing (the permutation rides in the snapshot; queries against the
+    // reopened artifact still speak the original ids).
+    const std::string reorder = GetFlag(flags, "reorder", "none");
+    auto kind = ParseReorderKind(reorder);
+    if (!kind.ok()) return Fail(kind.status().ToString());
+    const Status s = cw->WriteReorderedSnapshot(snapshot_out, *kind);
     if (!s.ok()) return Fail(s.ToString());
     std::cout << "; wrote snapshot " << snapshot_out;
+    if (*kind != ReorderKind::kNone) {
+      std::cout << " (locality reorder: " << reorder << ")";
+    }
   }
   std::cout << "\n";
   return 0;
@@ -260,6 +272,26 @@ StatusOr<std::shared_ptr<const CloudWalker>> MaybeWrapEngine(
 StatusOr<std::shared_ptr<const CloudWalker>> LoadEngine(
     const std::map<std::string, std::string>& flags) {
   const std::string snapshot = GetFlag(flags, "snapshot");
+  if (!GetFlag(flags, "ooc-budget-mb").empty()) {
+    // --ooc-budget-mb=N: demand-paged open under a hard block-cache
+    // budget (DESIGN.md section 14). Exclusive with the other walk
+    // backends — an out-of-core engine carries its own scheduler.
+    if (snapshot.empty()) {
+      return Status::InvalidArgument(
+          "--ooc-budget-mb requires --snapshot=PATH (the out-of-core "
+          "engine pages a snapshot artifact)");
+    }
+    if (!GetFlag(flags, "shards").empty() ||
+        !GetFlag(flags, "walk-threads").empty() ||
+        !GetFlag(flags, "workers").empty()) {
+      return Status::InvalidArgument(
+          "--ooc-budget-mb is mutually exclusive with --shards / "
+          "--walk-threads / --workers");
+    }
+    OutOfCoreOptions options;
+    options.budget_bytes = ParseU64(flags, "ooc-budget-mb", "64") << 20;
+    return CloudWalker::OutOfCore(snapshot, options);
+  }
   if (!snapshot.empty()) {
     CW_ASSIGN_OR_RETURN(auto opened, CloudWalker::Open(snapshot));
     return MaybeWrapEngine(std::move(opened), flags);
@@ -352,6 +384,51 @@ int CmdN2v(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// `snapshot-info FILE`: render the artifact's section directory. Built on
+// InspectSnapshot, which is diagnostic-grade — CRC mismatches are reported
+// per section instead of failing the open, so a damaged artifact can still
+// be examined. Exit 0 only when every checksum verifies.
+int CmdSnapshotInfo(const std::string& path) {
+  if (path.empty()) {
+    return Fail("snapshot-info requires a snapshot path "
+                "(snapshot-info FILE or --snapshot=PATH)");
+  }
+  auto info = InspectSnapshot(path);
+  if (!info.ok()) return Fail(info.status().ToString());
+  std::cout << path << ": cloudwalker-snap-v" << info->format_version
+            << ", " << HumanCount(info->num_nodes) << " nodes, "
+            << HumanCount(info->num_edges) << " edges, "
+            << HumanBytes(info->file_bytes) << "\n"
+            << "header+directory crc: "
+            << (info->header_crc_ok ? "ok" : "BAD") << "\n"
+            << "block index:          ";
+  if (info->has_block_index) {
+    std::cout << "present (" << HumanCount(info->block_count)
+              << " blocks)\n";
+  } else {
+    std::cout << "absent (pre-out-of-core format; OutOfCore() opens fall "
+                 "back to whole-file residency)\n";
+  }
+  std::cout << "permutation:          "
+            << (info->has_permutation ? "present (locality-reordered)"
+                                      : "absent")
+            << "\n"
+            << "sections (" << info->num_sections << "):\n";
+  size_t bad = info->header_crc_ok ? 0 : 1;
+  for (const SnapshotSectionInfo& s : info->sections) {
+    std::cout << "  [" << s.id << "] " << s.name;
+    for (size_t pad = s.name.size(); pad < 14; ++pad) std::cout << ' ';
+    std::cout << " offset " << s.offset << ", " << HumanBytes(s.length)
+              << ", elem " << s.elem_size << "B, crc "
+              << (s.crc_ok ? "ok" : "BAD") << "\n";
+    if (!s.crc_ok) ++bad;
+  }
+  if (bad != 0) {
+    return Fail(std::to_string(bad) + " checksum(s) failed verification");
+  }
+  return 0;
+}
+
 // SIGHUP flag for `serve --reload-on=sighup` (write of one atomic is all
 // a signal handler may do; the watcher thread does the real work).
 std::atomic<bool> g_sighup{false};
@@ -411,6 +488,10 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   // service-level option covers engines published later (e.g. by an
   // operator over the registry) and passes already-wrapped ones through.
   options.walk_threads = std::stoi(GetFlag(flags, "walk-threads", "0"));
+  // LoadEngine also applied --ooc-budget-mb (and enforced exclusivity);
+  // recording it here makes the SIGHUP reload reproduce the same
+  // out-of-core shape.
+  options.ooc_budget_mb = ParseU64(flags, "ooc-budget-mb", "0");
   options.query = QueryFlags(flags);
 
   // Optional per-request deadline, applied uniformly to the stream.
@@ -445,10 +526,19 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
     reload_watcher = std::thread([&] {
       while (!replay_done.load(std::memory_order_relaxed)) {
         if (g_sighup.exchange(false, std::memory_order_relaxed)) {
-          // Re-apply --shards / --walk-threads so a reload serves through
-          // the same engine shape the process started with.
-          auto reopened = CloudWalker::Open(snapshot_path);
-          if (reopened.ok()) reopened = MaybeWrapEngine(*reopened, flags);
+          // Re-apply --shards / --walk-threads / --ooc-budget-mb so a
+          // reload serves through the same engine shape the process
+          // started with.
+          auto reopened =
+              [&]() -> StatusOr<std::shared_ptr<const CloudWalker>> {
+            if (options.ooc_budget_mb > 0) {
+              OutOfCoreOptions ooc;
+              ooc.budget_bytes = options.ooc_budget_mb << 20;
+              return CloudWalker::OutOfCore(snapshot_path, ooc);
+            }
+            CW_ASSIGN_OR_RETURN(auto mem, CloudWalker::Open(snapshot_path));
+            return MaybeWrapEngine(std::move(mem), flags);
+          }();
           if (!reopened.ok()) {
             std::cerr << "reload failed: " << reopened.status().ToString()
                       << "\n";
@@ -527,28 +617,36 @@ void Usage() {
       "            (diagonal-only index); --walkers=R (100),\n"
       "            --steps=T (10), --decay=c (0.6), --iterations=L (3),\n"
       "            --seed=S (1), --regenerate (row regeneration mode),\n"
-      "            --threads=N\n"
+      "            --reorder=none|degree|bfs (none) renumbers the graph\n"
+      "            for walk locality before writing the snapshot (the\n"
+      "            permutation rides in the artifact; queries still\n"
+      "            speak the original ids), --threads=N\n"
+      "  snapshot-info  Print a snapshot's section directory: names,\n"
+      "            offsets, sizes, per-section CRC verification, block\n"
+      "            index and permutation presence.\n"
+      "            snapshot-info FILE (or --snapshot=PATH)\n"
       "  pair      MCSP: estimate s(i, j).\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --i=A --j=B (0), --walkers=R' (10000), --seed=S (97),\n"
-      "            --exact-push, --shards=N, --walk-threads=N\n"
+      "            --exact-push, --shards=N, --walk-threads=N,\n"
+      "            --ooc-budget-mb=N\n"
       "  source    MCSS: the k nodes most similar to one node.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --node=Q (0), --topk=K (10), --walkers=R' (10000),\n"
       "            --seed=S (97), --exact-push, --shards=N,\n"
-      "            --walk-threads=N\n"
+      "            --walk-threads=N, --ooc-budget-mb=N\n"
       "  ppr       Personalized PageRank: top-k by teleport-walk endpoint\n"
       "            frequency around one node.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --node=Q (0), --topk=K (10), --alpha=A (0.85),\n"
       "            --walkers=R' (10000), --seed=S (97), --shards=N,\n"
-      "            --walk-threads=N\n"
+      "            --walk-threads=N, --ooc-budget-mb=N\n"
       "  n2v       node2vec: top-k by second-order biased-walk visit\n"
       "            frequency around one node.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
       "            --node=Q (0), --topk=K (10), --p=P (1), --q=Q (1),\n"
       "            --walkers=R' (10000), --seed=S (97), --shards=N,\n"
-      "            --walk-threads=N\n"
+      "            --walk-threads=N, --ooc-budget-mb=N\n"
       "  serve     Replay a request workload through the concurrent\n"
       "            QueryService and report QPS / latency / cache stats.\n"
       "            --snapshot=PATH or --graph=PATH --index=PATH;\n"
@@ -566,7 +664,7 @@ void Usage() {
       "            (0 = none, applied per request),\n"
       "            --walkers=R' (10000), --seed=S (97), --exact-push,\n"
       "            --alpha=A (0.85), --p=P (1), --q=Q (1),\n"
-      "            --walk-threads=N\n"
+      "            --walk-threads=N, --ooc-budget-mb=N\n"
       "\n"
       "  version   Print build info and the wire-protocol version\n"
       "            (also --version).\n"
@@ -582,6 +680,12 @@ void Usage() {
       "(0 = hardware concurrency; with --shards it sizes the sharded\n"
       "engine's superstep pool instead); answers are bit-identical to\n"
       "single-threaded execution at every N.\n"
+      "--ooc-budget-mb=N on pair/source/ppr/n2v/serve opens --snapshot\n"
+      "out of core: only the per-node arrays become resident and the\n"
+      "per-edge walk arrays page in through a block cache capped at N\n"
+      "MiB, so an artifact larger than RAM still serves every query\n"
+      "kind; answers are bit-identical to the in-memory open (exclusive\n"
+      "with --shards / --walk-threads / --workers).\n"
       "  help      Show this message (also --help).\n"
       "\n"
       "--threads=N sizes the worker pool (0 = hardware concurrency).\n"
@@ -616,6 +720,14 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return CmdGenerate(flags);
     if (cmd == "stats") return CmdStats(flags);
     if (cmd == "index") return CmdIndex(flags);
+    if (cmd == "snapshot-info") {
+      // Positional path (first non-flag argument) or --snapshot=PATH.
+      std::string path = GetFlag(flags, "snapshot");
+      for (int a = 2; a < argc && path.empty(); ++a) {
+        if (!StartsWith(argv[a], "--")) path = argv[a];
+      }
+      return CmdSnapshotInfo(path);
+    }
     if (cmd == "pair") return CmdPair(flags);
     if (cmd == "source") return CmdSource(flags);
     if (cmd == "ppr") return CmdPpr(flags);
